@@ -1,0 +1,42 @@
+//! Control-plane microbenchmarks: the adaptive thread-allocation solver
+//! and the DBSCAN grouping — both on the per-epoch critical path.
+
+use aets_common::{FxHashSet, TableId};
+use aets_replay::{allocate_threads, dbscan_1d, TableGrouping, UrgencyMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_alloc(c: &mut Criterion) {
+    let pending: Vec<u64> = (0..64).map(|i| 1_000 + i * 37).collect();
+    let rates: Vec<f64> = (0..64).map(|i| (i as f64 * 13.7) % 900.0).collect();
+    c.bench_function("allocate_threads_64_groups", |b| {
+        b.iter(|| {
+            allocate_threads(
+                std::hint::black_box(32),
+                &pending,
+                &rates,
+                UrgencyMode::Log,
+            )
+            .unwrap()
+        })
+    });
+
+    let mut points: Vec<f64> = (0..64).map(|i| ((i * librand(i)) % 1000) as f64).collect();
+    points.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    c.bench_function("dbscan_64_points", |b| {
+        b.iter(|| dbscan_1d(std::hint::black_box(&points), 10.0, 1))
+    });
+
+    let hot: FxHashSet<TableId> = (0..14u32).map(TableId::new).collect();
+    c.bench_function("dbscan_grouping_65_tables", |b| {
+        b.iter(|| {
+            TableGrouping::dbscan(65, &hot, |t| (t.raw() as f64 * 7.3) % 300.0, 0.3)
+        })
+    });
+}
+
+fn librand(i: usize) -> usize {
+    (i.wrapping_mul(2654435761)) % 97 + 1
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Value-log codec microbenchmarks: full decode vs metadata-only scan —
+//! the cost asymmetry behind the C5-vs-ATR/AETS dispatch comparison.
+
+use aets_wal::{decode_batch, encode_epoch, MetaScanner};
+use aets_workloads::tpcc::{self, TpccConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_codec(c: &mut Criterion) {
+    let w = tpcc::generate(&TpccConfig { num_txns: 1_000, warehouses: 2, ..Default::default() });
+    let epochs = aets_wal::batch_into_epochs(w.txns.clone(), 1_000).unwrap();
+    let entries = w.total_entries() as u64;
+
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(entries));
+
+    g.bench_function("encode_epoch", |b| {
+        b.iter(|| encode_epoch(std::hint::black_box(&epochs[0])))
+    });
+
+    let encoded = encode_epoch(&epochs[0]);
+    g.bench_function("decode_full", |b| {
+        b.iter(|| decode_batch(std::hint::black_box(encoded.bytes.clone())).unwrap())
+    });
+
+    g.bench_function("scan_meta", |b| {
+        b.iter(|| {
+            MetaScanner::new(std::hint::black_box(encoded.bytes.clone()))
+                .map(|r| r.unwrap())
+                .count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

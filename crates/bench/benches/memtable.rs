@@ -1,0 +1,74 @@
+//! Memtable microbenchmarks: B+Tree point ops, version appends, and MVCC
+//! snapshot reads.
+
+use aets_common::{ColumnId, DmlOp, RowKey, TableId, Timestamp, TxnId, Value};
+use aets_memtable::{BPlusTree, Table, Version};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_bptree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bptree");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("insert_100k_seq", |b| {
+        b.iter(|| {
+            let mut t = BPlusTree::new();
+            for i in 0..N {
+                t.insert(std::hint::black_box(i), i);
+            }
+            t
+        })
+    });
+    let mut tree = BPlusTree::new();
+    for i in 0..N {
+        tree.insert(i * 2, i);
+    }
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("point_get", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % (N * 2);
+            tree.get(std::hint::black_box(&k))
+        })
+    });
+    g.finish();
+}
+
+fn bench_versions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mvcc");
+    let table = Table::new(TableId::new(0));
+    for i in 0..1_000u64 {
+        for v in 0..8u64 {
+            table.apply_version(
+                RowKey::new(i),
+                Version {
+                    txn_id: TxnId::new(i * 8 + v + 1),
+                    commit_ts: Timestamp::from_micros((i * 8 + v + 1) * 10),
+                    op: if v == 0 { DmlOp::Insert } else { DmlOp::Update },
+                    cols: vec![(ColumnId::new((v % 3) as u16), Value::Int(v as i64))],
+                },
+            );
+        }
+    }
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("read_row_latest", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 37) % 1_000;
+            table.read_row(RowKey::new(std::hint::black_box(k)), Timestamp::MAX)
+        })
+    });
+    g.bench_function("read_row_time_travel", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 37) % 1_000;
+            table.read_row(
+                RowKey::new(std::hint::black_box(k)),
+                Timestamp::from_micros(k * 40 + 20),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bptree, bench_versions);
+criterion_main!(benches);

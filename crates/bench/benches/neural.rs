@@ -1,0 +1,48 @@
+//! Neural-substrate microbenchmarks: one DTGM-scale forward+backward pass
+//! and its dominant kernels.
+
+use aets_neural::{Tape, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+
+fn bench_neural(c: &mut Criterion) {
+    let mut rng = aets_common::rng::seeded_rng(5);
+    let n = 14usize; // tables
+    let t = 12usize; // window
+    let h = 48usize; // hidden (paper's optimum)
+
+    let x = Tensor::rand_uniform(&mut rng, &[h, n, t], 0.5);
+    let w = Tensor::rand_uniform(&mut rng, &[h, h, 2], 0.2);
+    c.bench_function("conv1d_48x48x2_fwd", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let wv = tape.leaf(w.clone());
+            tape.conv1d(std::hint::black_box(xv), wv, 2)
+        })
+    });
+
+    let ident = {
+        let mut m = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            m.data_mut()[i * n + i] = 1.0;
+        }
+        m
+    };
+    let adj = Rc::new(vec![ident.clone(), ident]);
+    let mix_w = Tensor::rand_uniform(&mut rng, &[2 * h, h], 0.2);
+    let target = Tensor::zeros(&[h, n, t]);
+    c.bench_function("gcn_block_fwd_bwd", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let wv = tape.leaf(mix_w.clone());
+            let y = tape.gcn_mix(xv, wv, adj.clone());
+            let loss = tape.mae_loss(y, target.clone());
+            tape.backward(std::hint::black_box(loss))
+        })
+    });
+}
+
+criterion_group!(benches, bench_neural);
+criterion_main!(benches);

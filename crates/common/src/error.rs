@@ -1,0 +1,62 @@
+//! Error type shared across the AETS workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the log codec, replay engines, and model training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A log buffer could not be decoded (truncated, bad tag, ...).
+    Codec(String),
+    /// A log stream violated a protocol invariant (e.g. a DML entry outside
+    /// a BEGIN/COMMIT pair, or epochs out of order).
+    Protocol(String),
+    /// A replay engine hit an internal invariant violation.
+    Replay(String),
+    /// Invalid configuration (zero threads, empty workload, ...).
+    Config(String),
+    /// Model training / numeric failure.
+    Numeric(String),
+}
+
+impl Error {
+    /// Short machine-friendly category name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Codec(_) => "codec",
+            Error::Protocol(_) => "protocol",
+            Error::Replay(_) => "replay",
+            Error::Config(_) => "config",
+            Error::Numeric(_) => "numeric",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Protocol(m) => write!(f, "protocol error: {m}"),
+            Error::Replay(m) => write!(f, "replay error: {m}"),
+            Error::Config(m) => write!(f, "config error: {m}"),
+            Error::Numeric(m) => write!(f, "numeric error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display_are_stable() {
+        let e = Error::Codec("bad tag".into());
+        assert_eq!(e.kind(), "codec");
+        assert_eq!(e.to_string(), "codec error: bad tag");
+        assert_eq!(Error::Config("x".into()).kind(), "config");
+    }
+}

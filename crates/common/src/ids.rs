@@ -1,0 +1,226 @@
+//! Strongly-typed identifiers for the replication pipeline.
+//!
+//! All identifiers are thin newtypes over integers so they are `Copy`,
+//! order-comparable, and hash quickly, while making it impossible to mix a
+//! transaction id with a table id at a call site.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Wraps a raw integer.
+            #[inline]
+            pub const fn new(raw: $inner) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// Returns the raw value widened to `usize` for indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(raw: $inner) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a database table within a schema.
+    TableId,
+    u32
+);
+id_type!(
+    /// Identifier of a column within a table.
+    ColumnId,
+    u16
+);
+id_type!(
+    /// Transaction identifier. Monotonically increasing in primary commit
+    /// order (Section III-A of the paper): comparing two `TxnId`s compares
+    /// their commit order on the primary node.
+    TxnId,
+    u64
+);
+id_type!(
+    /// Log sequence number: the unique, sequential identifier of a log
+    /// entry in the replicated value-log stream.
+    Lsn,
+    u64
+);
+id_type!(
+    /// Identifier of a replay table group produced by the grouping policy.
+    GroupId,
+    u32
+);
+id_type!(
+    /// Identifier of an epoch in the replicated log stream. Epochs are
+    /// consecutive and replayed strictly in order.
+    EpochId,
+    u64
+);
+
+/// Primary key of a record within a table.
+///
+/// The reproduction uses 64-bit surrogate keys: every benchmark schema maps
+/// its composite primary keys onto a packed `u64` (e.g. TPC-C `order_line`
+/// packs `(w_id, d_id, o_id, ol_number)`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RowKey(pub u64);
+
+impl RowKey {
+    /// Wraps a raw key.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw key.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RowKey({})", self.0)
+    }
+}
+
+impl From<u64> for RowKey {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+/// Logical timestamp in microseconds.
+///
+/// Timestamps serve two roles, mirroring the paper: (a) the commit
+/// timestamp stamped on every transaction by the primary, which determines
+/// visibility; and (b) query arrival timestamps (`qts`). Both live on the
+/// primary's clock, so they are directly comparable.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp (before any commit).
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The maximum representable timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Builds a timestamp from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us)
+    }
+
+    /// Builds a timestamp from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000)
+    }
+
+    /// Builds a timestamp from seconds (saturating).
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Self((secs * 1_000_000.0).max(0.0) as u64)
+    }
+
+    /// Microseconds since the epoch origin.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch origin as `f64`.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating addition of a microsecond delta.
+    #[inline]
+    pub const fn saturating_add(self, delta_us: u64) -> Self {
+        Self(self.0.saturating_add(delta_us))
+    }
+
+    /// Saturating difference in microseconds (`self - earlier`, clamped at 0).
+    #[inline]
+    pub const fn saturating_since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_orders_by_commit_order() {
+        assert!(TxnId::new(1) < TxnId::new(2));
+        assert_eq!(TxnId::new(7).raw(), 7);
+        assert_eq!(TxnId::new(7).index(), 7usize);
+    }
+
+    #[test]
+    fn timestamp_conversions_round_trip() {
+        let ts = Timestamp::from_millis(1500);
+        assert_eq!(ts.as_micros(), 1_500_000);
+        assert!((ts.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(Timestamp::from_secs_f64(1.5), ts);
+    }
+
+    #[test]
+    fn timestamp_saturating_math() {
+        let a = Timestamp::from_micros(10);
+        let b = Timestamp::from_micros(25);
+        assert_eq!(b.saturating_since(a), 15);
+        assert_eq!(a.saturating_since(b), 0);
+        assert_eq!(Timestamp::MAX.saturating_add(10), Timestamp::MAX);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(TableId::new(3).to_string(), "TableId(3)");
+        assert_eq!(RowKey::new(9).to_string(), "RowKey(9)");
+        assert_eq!(Timestamp::from_micros(5).to_string(), "5us");
+    }
+}

@@ -1,0 +1,20 @@
+//! Shared building blocks for the AETS workspace.
+//!
+//! This crate defines the strongly-typed identifiers used throughout the
+//! replication pipeline (tables, transactions, log sequence numbers,
+//! timestamps, groups), the column [`Value`] model carried by value-log
+//! entries, a fast non-cryptographic hash map, and deterministic sampling
+//! helpers used by the workload generators.
+
+pub mod error;
+pub mod fxhash;
+pub mod ids;
+pub mod ops;
+pub mod rng;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use ids::{ColumnId, EpochId, GroupId, Lsn, RowKey, TableId, Timestamp, TxnId};
+pub use ops::DmlOp;
+pub use value::{Row, Value};

@@ -1,0 +1,49 @@
+//! DML operation kinds shared by the value-log format and the Memtable.
+
+use serde::{Deserialize, Serialize};
+
+/// The three row operations of the value-log format (Section III-A):
+/// *insert*, *update*, and *delete*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DmlOp {
+    /// Full-row insert: the payload is the complete row image.
+    Insert,
+    /// Partial update: the payload holds only the modified columns.
+    Update,
+    /// Deletion: the payload is empty.
+    Delete,
+}
+
+impl DmlOp {
+    /// Stable wire tag used by the log codec.
+    pub const fn tag(self) -> u8 {
+        match self {
+            DmlOp::Insert => 0,
+            DmlOp::Update => 1,
+            DmlOp::Delete => 2,
+        }
+    }
+
+    /// Inverse of [`DmlOp::tag`].
+    pub const fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(DmlOp::Insert),
+            1 => Some(DmlOp::Update),
+            2 => Some(DmlOp::Delete),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip() {
+        for op in [DmlOp::Insert, DmlOp::Update, DmlOp::Delete] {
+            assert_eq!(DmlOp::from_tag(op.tag()), Some(op));
+        }
+        assert_eq!(DmlOp::from_tag(3), None);
+    }
+}

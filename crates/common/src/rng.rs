@@ -1,0 +1,154 @@
+//! Deterministic sampling helpers for workload generation.
+//!
+//! Everything in the reproduction that involves randomness takes an
+//! explicit seed so that experiments are replayable. `rand` provides the
+//! core RNG; this module adds the distributions the benchmark generators
+//! need that are not in `rand` itself (Zipf, Poisson arrival processes,
+//! TPC-C's NURand).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the workspace-standard seeded RNG.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Zipf-distributed sampler over `1..=n` with exponent `s`.
+///
+/// Uses the classic inverse-CDF-over-precomputed-weights approach; setup is
+/// `O(n)` and sampling is `O(log n)`. Good enough for table- and key-skew
+/// generation where `n` is at most a few million.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `1..=n` with skew `s >= 0` (`s = 0` is
+    /// uniform). Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for w in &mut cdf {
+            *w /= total;
+        }
+        // Guard against floating-point round-off leaving the last bucket
+        // fractionally below 1.0.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Self { cdf }
+    }
+
+    /// Samples a rank in `1..=n` (1 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Samples an exponential inter-arrival gap (seconds) for a Poisson
+/// process with the given rate (events/second).
+pub fn exp_interarrival<R: Rng + ?Sized>(rng: &mut R, rate_per_sec: f64) -> f64 {
+    assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate_per_sec
+}
+
+/// TPC-C NURand(A, x, y): non-uniform random over `[x, y]`.
+///
+/// `c` is the per-run constant required by clause 2.1.6 of the spec.
+pub fn nurand<R: Rng + ?Sized>(rng: &mut R, a: u64, x: u64, y: u64, c: u64) -> u64 {
+    let r1 = rng.gen_range(0..=a);
+    let r2 = rng.gen_range(x..=y);
+    (((r1 | r2) + c) % (y - x + 1)) + x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_deterministic_under_seed() {
+        let z = Zipf::new(100, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = seeded_rng(7);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = seeded_rng(7);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = seeded_rng(11);
+        let mut top10 = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) <= 10 {
+                top10 += 1;
+            }
+        }
+        // With s = 1.2 the top-10 ranks carry far more than the uniform 1%.
+        assert!(top10 as f64 / N as f64 > 0.30, "top10 share {}", top10 as f64 / N as f64);
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = seeded_rng(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_domain() {
+        let z = Zipf::new(5, 2.0);
+        let mut rng = seeded_rng(5);
+        for _ in 0..1000 {
+            let v = z.sample(&mut rng);
+            assert!((1..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn poisson_gaps_average_to_inverse_rate() {
+        let mut rng = seeded_rng(13);
+        let rate = 50.0;
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exp_interarrival(&mut rng, rate)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.002, "mean gap {mean}");
+    }
+
+    #[test]
+    fn nurand_stays_in_range() {
+        let mut rng = seeded_rng(17);
+        for _ in 0..1000 {
+            let v = nurand(&mut rng, 1023, 1, 3000, 123);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+}

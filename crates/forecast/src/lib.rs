@@ -1,0 +1,21 @@
+//! Table-access-rate forecasting for AETS (Section IV-A of the paper).
+//!
+//! The adaptive thread allocator weighs groups by predicted access rates;
+//! this crate provides the predictor — [`dtgm::Dtgm`], a deep temporal
+//! graph model (gated dilated TCN + GCN with residual/skip connections) —
+//! and the baselines of Table III: historical average, ARIMA, and the
+//! QB5000 LR/LSTM/KR ensemble. [`series::evaluate`] computes rolling
+//! MAPE at the paper's 15/30/60-slot horizons.
+
+pub mod baselines;
+pub mod dtgm;
+pub mod linalg;
+pub mod lstm;
+pub mod qb5000;
+pub mod series;
+
+pub use baselines::{Arima, Ha, KernelRegression, LinearRegression};
+pub use dtgm::{adjacency_powers, Dtgm, DtgmConfig};
+pub use lstm::{Lstm, LstmConfig};
+pub use qb5000::Qb5000;
+pub use series::{evaluate, mape, Forecaster, RateSeries};

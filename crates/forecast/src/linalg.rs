@@ -1,0 +1,110 @@
+//! Tiny dense linear algebra: ridge-regularized least squares via
+//! Gaussian elimination, for the LR and ARIMA baselines.
+
+/// Solves `A x = b` for square `A` (row-major, `n x n`) by Gaussian
+/// elimination with partial pivoting. Returns `None` if singular.
+pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for r in col + 1..n {
+            if a[r * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = r;
+            }
+        }
+        if a[pivot * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for c in 0..n {
+                a.swap(col * n + c, pivot * n + c);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * n + col];
+        for r in col + 1..n {
+            let factor = a[r * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r * n + c] -= factor * a[col * n + c];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in row + 1..n {
+            acc -= a[row * n + c] * x[c];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Some(x)
+}
+
+/// Ridge regression: given samples `xs[i]` (feature vectors, length `d`)
+/// and scalar targets `ys[i]`, returns weights `w` (length `d + 1`, last
+/// element the intercept) minimizing `Σ (w·x + b - y)² + λ‖w‖²`.
+pub fn ridge_fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.first()?.len() + 1; // + intercept
+    let mut xtx = vec![0.0f64; n * n];
+    let mut xty = vec![0.0f64; n];
+    for (x, y) in xs.iter().zip(ys) {
+        let aug: Vec<f64> = x.iter().copied().chain(std::iter::once(1.0)).collect();
+        for i in 0..n {
+            for j in 0..n {
+                xtx[i * n + j] += aug[i] * aug[j];
+            }
+            xty[i] += aug[i] * y;
+        }
+    }
+    for i in 0..n - 1 {
+        xtx[i * n + i] += lambda; // do not regularize the intercept
+    }
+    solve(xtx, xty, n)
+}
+
+/// Applies ridge weights to a feature vector.
+pub fn ridge_predict(w: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(w.len(), x.len() + 1);
+    x.iter().zip(w).map(|(xi, wi)| xi * wi).sum::<f64>() + w[w.len() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_systems() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+        let x = solve(vec![2.0, 1.0, 1.0, -1.0], vec![5.0, 1.0], 2).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_systems_return_none() {
+        assert!(solve(vec![1.0, 2.0, 2.0, 4.0], vec![1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn ridge_recovers_linear_relationship() {
+        // y = 3 x0 - 2 x1 + 5.
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 5.0).collect();
+        let w = ridge_fit(&xs, &ys, 1e-9).unwrap();
+        assert!((w[0] - 3.0).abs() < 1e-6, "{w:?}");
+        assert!((w[1] + 2.0).abs() < 1e-6);
+        assert!((w[2] - 5.0).abs() < 1e-6);
+        let pred = ridge_predict(&w, &[2.0, 1.0]);
+        assert!((pred - 9.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,76 @@
+//! QB5000 baseline (Ma et al., SIGMOD'18): forecasts by equally
+//! averaging linear regression, LSTM, and kernel regression.
+
+use crate::baselines::{KernelRegression, LinearRegression};
+use crate::lstm::{Lstm, LstmConfig};
+use crate::series::{Forecaster, RateSeries};
+
+/// The three-model ensemble.
+pub struct Qb5000 {
+    lr: LinearRegression,
+    lstm: Lstm,
+    kr: KernelRegression,
+}
+
+impl Qb5000 {
+    /// Trains all three members on the training series.
+    pub fn fit(train: &RateSeries, t_in: usize, max_horizon: usize, seed: u64) -> Self {
+        let lr = LinearRegression::fit(train, t_in, max_horizon);
+        let lstm = Lstm::fit(
+            train,
+            LstmConfig { t_in, max_horizon, seed, ..Default::default() },
+        );
+        let kr = KernelRegression::fit(train, t_in, max_horizon, 0.5);
+        Self { lr, lstm, kr }
+    }
+}
+
+impl Forecaster for Qb5000 {
+    fn name(&self) -> &'static str {
+        "QB5000"
+    }
+
+    fn forecast(&self, history: &[Vec<f64>], t_f: usize) -> Vec<Vec<f64>> {
+        let a = self.lr.forecast(history, t_f);
+        let b = self.lstm.forecast(history, t_f);
+        let c = self.kr.forecast(history, t_f);
+        a.iter()
+            .zip(&b)
+            .zip(&c)
+            .map(|((ra, rb), rc)| {
+                ra.iter()
+                    .zip(rb)
+                    .zip(rc)
+                    .map(|((x, y), z)| (x + y + z) / 3.0)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::Ha;
+    use crate::series::evaluate;
+
+    #[test]
+    fn ensemble_beats_historical_average() {
+        let full = RateSeries::bustracker_hot(140, 0.05, 13);
+        let (train, _) = full.split(110);
+        let qb = Qb5000::fit(&train, 12, 5, 13);
+        let e_qb = evaluate(&qb, &full, 110, 5);
+        let e_ha = evaluate(&Ha { window: 60 }, &full, 110, 5);
+        assert!(e_qb < e_ha, "QB5000 {e_qb} should beat HA {e_ha}");
+    }
+
+    #[test]
+    fn ensemble_output_shape() {
+        let full = RateSeries::bustracker_hot(120, 0.05, 17);
+        let (train, _) = full.split(100);
+        let qb = Qb5000::fit(&train, 12, 5, 17);
+        let pred = qb.forecast(&full.values[..30].to_vec(), 5);
+        assert_eq!(pred.len(), 5);
+        assert_eq!(pred[0].len(), 14);
+    }
+}

@@ -1,0 +1,339 @@
+//! A from-scratch B+Tree used as the per-table index of the Memtable.
+//!
+//! The paper's backup prototype "utilizes a B+Tree as the in-memory storage
+//! engine" (Section VI-A). This implementation stores values only in leaves
+//! and keeps leaf keys sorted, giving `O(log n)` point lookups and ordered
+//! scans for analytical reads.
+//!
+//! The tree itself is single-writer: the owning [`crate::Table`] wraps it
+//! in a `RwLock` (structural changes — inserting a new record node — take
+//! the write lock; lookups take the read lock). Version-chain mutation does
+//! not touch the tree at all, which is what makes TPLR's lock-free phase 1
+//! possible.
+
+use std::mem;
+
+/// Maximum number of keys per node before it splits.
+const MAX_KEYS: usize = 32;
+
+// Boxing the `Vec` keeps sibling nodes pointer-sized inside parents.
+#[allow(clippy::box_collection, clippy::vec_box)]
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Leaf {
+        keys: Vec<K>,
+        vals: Vec<V>,
+    },
+    Internal {
+        /// Separator keys: child `i` holds keys `< keys[i]`; child `i+1`
+        /// holds keys `>= keys[i]`.
+        keys: Vec<K>,
+        children: Vec<Box<Node<K, V>>>,
+    },
+}
+
+enum InsertResult<K, V> {
+    Done(Option<V>),
+    Split(K, Box<Node<K, V>>),
+}
+
+impl<K: Ord + Clone, V> Node<K, V> {
+    fn get(&self, key: &K) -> Option<&V> {
+        match self {
+            Node::Leaf { keys, vals } => keys.binary_search(key).ok().map(|i| &vals[i]),
+            Node::Internal { keys, children } => {
+                let i = keys.partition_point(|k| k <= key);
+                children[i].get(key)
+            }
+        }
+    }
+
+    fn insert(&mut self, key: K, val: V) -> InsertResult<K, V> {
+        match self {
+            Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+                Ok(i) => InsertResult::Done(Some(mem::replace(&mut vals[i], val))),
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, val);
+                    if keys.len() > MAX_KEYS {
+                        let mid = keys.len() / 2;
+                        let rkeys = keys.split_off(mid);
+                        let rvals = vals.split_off(mid);
+                        let sep = rkeys[0].clone();
+                        InsertResult::Split(
+                            sep,
+                            Box::new(Node::Leaf { keys: rkeys, vals: rvals }),
+                        )
+                    } else {
+                        InsertResult::Done(None)
+                    }
+                }
+            },
+            Node::Internal { keys, children } => {
+                let i = keys.partition_point(|k| *k <= key);
+                match children[i].insert(key, val) {
+                    InsertResult::Done(r) => InsertResult::Done(r),
+                    InsertResult::Split(sep, right) => {
+                        keys.insert(i, sep);
+                        children.insert(i + 1, right);
+                        if keys.len() > MAX_KEYS {
+                            let mid = keys.len() / 2;
+                            let sep_up = keys[mid].clone();
+                            let rkeys = keys.split_off(mid + 1);
+                            keys.pop(); // drop sep_up from the left node
+                            let rchildren = children.split_off(mid + 1);
+                            InsertResult::Split(
+                                sep_up,
+                                Box::new(Node::Internal { keys: rkeys, children: rchildren }),
+                            )
+                        } else {
+                            InsertResult::Done(None)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn scan<F: FnMut(&K, &V)>(&self, f: &mut F) {
+        match self {
+            Node::Leaf { keys, vals } => {
+                for (k, v) in keys.iter().zip(vals) {
+                    f(k, v);
+                }
+            }
+            Node::Internal { children, .. } => {
+                for c in children {
+                    c.scan(f);
+                }
+            }
+        }
+    }
+
+    fn range_scan<F: FnMut(&K, &V)>(&self, lo: &K, hi: &K, f: &mut F) {
+        match self {
+            Node::Leaf { keys, vals } => {
+                let start = keys.partition_point(|k| k < lo);
+                for i in start..keys.len() {
+                    if &keys[i] > hi {
+                        break;
+                    }
+                    f(&keys[i], &vals[i]);
+                }
+            }
+            Node::Internal { keys, children } => {
+                let first = keys.partition_point(|k| k <= lo);
+                let last = keys.partition_point(|k| k <= hi);
+                for c in &children[first..=last] {
+                    c.range_scan(lo, hi, f);
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children, .. } => 1 + children[0].depth(),
+        }
+    }
+}
+
+/// An ordered map backed by a B+Tree.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K, V> {
+    root: Box<Node<K, V>>,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V> BPlusTree<K, V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self {
+            root: Box::new(Node::Leaf { keys: Vec::new(), vals: Vec::new() }),
+            len: 0,
+        }
+    }
+
+    /// Number of key/value pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.root.get(key)
+    }
+
+    /// Inserts `key -> val`, returning the previous value if present.
+    pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        match self.root.insert(key, val) {
+            InsertResult::Done(old) => {
+                if old.is_none() {
+                    self.len += 1;
+                }
+                old
+            }
+            InsertResult::Split(sep, right) => {
+                self.len += 1;
+                let placeholder = Node::Leaf { keys: Vec::new(), vals: Vec::new() };
+                let old_root = mem::replace(&mut *self.root, placeholder);
+                *self.root = Node::Internal {
+                    keys: vec![sep],
+                    children: vec![Box::new(old_root), right],
+                };
+                None
+            }
+        }
+    }
+
+    /// Visits every pair in key order.
+    pub fn scan<F: FnMut(&K, &V)>(&self, mut f: F) {
+        self.root.scan(&mut f);
+    }
+
+    /// Visits pairs with `lo <= key <= hi` in key order.
+    pub fn range_scan<F: FnMut(&K, &V)>(&self, lo: &K, hi: &K, mut f: F) {
+        if lo > hi {
+            return;
+        }
+        self.root.range_scan(lo, hi, &mut f);
+    }
+
+    /// Tree height (1 for a single leaf). Exposed for tests/benches.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_tree_behaves() {
+        let t: BPlusTree<u64, u64> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(5u64, "a"), None);
+        assert_eq!(t.insert(5u64, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&5), Some(&"b"));
+    }
+
+    #[test]
+    fn sequential_inserts_split_and_stay_sorted() {
+        let mut t = BPlusTree::new();
+        for i in 0..10_000u64 {
+            t.insert(i, i * 2);
+        }
+        assert_eq!(t.len(), 10_000);
+        assert!(t.depth() > 1, "tree should have split");
+        let mut prev = None;
+        let mut count = 0usize;
+        t.scan(|k, v| {
+            if let Some(p) = prev {
+                assert!(*k > p, "keys out of order");
+            }
+            assert_eq!(*v, *k * 2);
+            prev = Some(*k);
+            count += 1;
+        });
+        assert_eq!(count, 10_000);
+    }
+
+    #[test]
+    fn reverse_inserts_work() {
+        let mut t = BPlusTree::new();
+        for i in (0..5000u64).rev() {
+            t.insert(i, ());
+        }
+        assert_eq!(t.len(), 5000);
+        for i in 0..5000u64 {
+            assert!(t.get(&i).is_some(), "missing key {i}");
+        }
+    }
+
+    #[test]
+    fn range_scan_bounds_are_inclusive() {
+        let mut t = BPlusTree::new();
+        for i in 0..1000u64 {
+            t.insert(i, i);
+        }
+        let mut seen = Vec::new();
+        t.range_scan(&100, &110, |k, _| seen.push(*k));
+        assert_eq!(seen, (100..=110).collect::<Vec<_>>());
+        // Empty range.
+        let mut seen2 = Vec::new();
+        t.range_scan(&50, &40, |k, _| seen2.push(*k));
+        assert!(seen2.is_empty());
+    }
+
+    #[test]
+    fn range_scan_on_boundaries_across_splits() {
+        let mut t = BPlusTree::new();
+        for i in (0..4000u64).step_by(2) {
+            t.insert(i, i);
+        }
+        // Bounds that do not exist as keys.
+        let mut seen = Vec::new();
+        t.range_scan(&999, &1011, |k, _| seen.push(*k));
+        assert_eq!(seen, vec![1000, 1002, 1004, 1006, 1008, 1010]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_btreemap(ops in prop::collection::vec((any::<u16>(), any::<u32>()), 0..2000)) {
+            let mut ours = BPlusTree::new();
+            let mut std = BTreeMap::new();
+            for (k, v) in &ops {
+                prop_assert_eq!(ours.insert(*k, *v), std.insert(*k, *v));
+            }
+            prop_assert_eq!(ours.len(), std.len());
+            for (k, v) in &std {
+                prop_assert_eq!(ours.get(k), Some(v));
+            }
+            let mut pairs = Vec::new();
+            ours.scan(|k, v| pairs.push((*k, *v)));
+            let expect: Vec<_> = std.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(pairs, expect);
+        }
+
+        #[test]
+        fn range_matches_btreemap(
+            keys in prop::collection::btree_set(any::<u16>(), 0..500),
+            lo in any::<u16>(),
+            hi in any::<u16>(),
+        ) {
+            let mut ours = BPlusTree::new();
+            for k in &keys {
+                ours.insert(*k, ());
+            }
+            let (lo, hi) = (lo.min(hi), lo.max(hi));
+            let mut got = Vec::new();
+            ours.range_scan(&lo, &hi, |k, _| got.push(*k));
+            let expect: Vec<_> = keys.range(lo..=hi).copied().collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Version-chain garbage collection.
+//!
+//! The backup accumulates one version per replayed modification; long
+//! runs need the HANA-style hybrid GC the paper's storage model assumes
+//! (Lee et al., SIGMOD'16, the paper's storage reference). This module
+//! implements watermark-based pruning: given the minimum snapshot
+//! timestamp any active reader may still use (on the backup that is the
+//! oldest admitted query's `qts`), every version chain can drop all
+//! versions strictly older than the newest version at-or-below the
+//! watermark — that newest one must survive, because it is exactly what a
+//! reader at the watermark reconstructs.
+//!
+//! Subtlety: `update` versions are *partial* (they carry only modified
+//! columns). Dropping older versions below a partial update would lose
+//! the untouched columns, so the surviving boundary version is first
+//! *consolidated* — rewritten as a full `insert` image of the row at the
+//! watermark (or a `delete` tombstone).
+
+use crate::record::{OpType, RecordNode, Version};
+use crate::table::{MemDb, Table};
+use aets_common::Timestamp;
+
+/// Statistics from one GC pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Record nodes visited.
+    pub nodes: usize,
+    /// Versions removed.
+    pub pruned: usize,
+    /// Versions kept.
+    pub retained: usize,
+    /// Boundary versions consolidated into full images.
+    pub consolidated: usize,
+}
+
+impl GcStats {
+    fn merge(&mut self, other: GcStats) {
+        self.nodes += other.nodes;
+        self.pruned += other.pruned;
+        self.retained += other.retained;
+        self.consolidated += other.consolidated;
+    }
+}
+
+/// Prunes one record's chain against the watermark. Exposed for tests;
+/// engines call [`gc_table`] / [`gc_db`].
+pub fn gc_node(node: &RecordNode, watermark: Timestamp) -> GcStats {
+    // Reconstruct the row at the watermark *before* taking the write
+    // lock (reads take the shared lock internally).
+    let boundary = node.version_at(watermark);
+    let mut stats = GcStats { nodes: 1, ..Default::default() };
+    let Some((boundary_txn, boundary_ts, boundary_op)) = boundary else {
+        // Nothing visible at the watermark: every version is newer;
+        // nothing can be pruned.
+        stats.retained = node.version_count();
+        return stats;
+    };
+    let image = node.read_at(watermark);
+    let _ = boundary_op;
+    node.replace_prefix(watermark, || {
+        // Build the consolidated boundary version: a full row image, or a
+        // tombstone when the row is invisible at the watermark.
+        let op = if image.is_some() { OpType::Insert } else { OpType::Delete };
+        Version {
+            txn_id: boundary_txn,
+            commit_ts: boundary_ts,
+            op,
+            cols: image.clone().unwrap_or_default(),
+        }
+    });
+    // Recompute stats from the chain after replacement.
+    stats.retained = node.version_count();
+    stats.consolidated = 1;
+    stats
+}
+
+/// Runs GC over every record of a table.
+pub fn gc_table(table: &Table, watermark: Timestamp) -> GcStats {
+    let mut stats = GcStats::default();
+    let before = table.total_versions();
+    for node in table.nodes() {
+        stats.merge(gc_node(&node, watermark));
+    }
+    let after = table.total_versions();
+    stats.pruned = before.saturating_sub(after);
+    stats
+}
+
+/// Runs GC over the whole database.
+pub fn gc_db(db: &MemDb, watermark: Timestamp) -> GcStats {
+    let mut stats = GcStats::default();
+    for t in db.tables() {
+        stats.merge(gc_table(t, watermark));
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aets_common::{ColumnId, RowKey, TableId, TxnId, Value};
+
+    fn ver(txn: u64, ts: u64, op: OpType, cols: Vec<(u16, i64)>) -> Version {
+        Version {
+            txn_id: TxnId::new(txn),
+            commit_ts: Timestamp::from_micros(ts),
+            op,
+            cols: cols
+                .into_iter()
+                .map(|(c, v)| (ColumnId::new(c), Value::Int(v)))
+                .collect(),
+        }
+    }
+
+    fn node_with_history() -> RecordNode {
+        let n = RecordNode::new();
+        n.append_version(ver(1, 10, OpType::Insert, vec![(0, 1), (1, 100)]));
+        n.append_version(ver(2, 20, OpType::Update, vec![(0, 2)]));
+        n.append_version(ver(3, 30, OpType::Update, vec![(1, 300)]));
+        n.append_version(ver(4, 40, OpType::Update, vec![(0, 4)]));
+        n
+    }
+
+    #[test]
+    fn gc_preserves_reads_at_and_after_watermark() {
+        let n = node_with_history();
+        let watermark = Timestamp::from_micros(30);
+        let want_at_wm = n.read_at(watermark);
+        let want_latest = n.read_at(Timestamp::MAX);
+
+        let stats = gc_node(&n, watermark);
+        assert_eq!(stats.consolidated, 1);
+        assert!(n.is_ordered());
+        // Versions 1 and 2 merged into the boundary at ts=30; version 4
+        // survives untouched.
+        assert_eq!(n.version_count(), 2);
+        assert_eq!(n.read_at(watermark), want_at_wm);
+        assert_eq!(n.read_at(Timestamp::MAX), want_latest);
+        // Partial-update columns were consolidated: the boundary now
+        // carries BOTH columns.
+        let row = n.read_at(watermark).unwrap();
+        assert_eq!(row.len(), 2);
+    }
+
+    #[test]
+    fn gc_below_first_version_is_a_noop() {
+        let n = node_with_history();
+        let stats = gc_node(&n, Timestamp::from_micros(5));
+        assert_eq!(stats.retained, 4);
+        assert_eq!(n.version_count(), 4);
+    }
+
+    #[test]
+    fn gc_consolidates_delete_boundary() {
+        let n = RecordNode::new();
+        n.append_version(ver(1, 10, OpType::Insert, vec![(0, 1)]));
+        n.append_version(ver(2, 20, OpType::Delete, vec![]));
+        n.append_version(ver(3, 30, OpType::Insert, vec![(0, 9)]));
+        gc_node(&n, Timestamp::from_micros(25));
+        assert_eq!(n.version_count(), 2);
+        assert_eq!(n.read_at(Timestamp::from_micros(25)), None, "tombstone preserved");
+        assert!(n.read_at(Timestamp::from_micros(35)).is_some());
+    }
+
+    #[test]
+    fn gc_at_max_keeps_one_version_per_row() {
+        let n = node_with_history();
+        gc_node(&n, Timestamp::MAX);
+        assert_eq!(n.version_count(), 1);
+        let row = n.read_at(Timestamp::MAX).unwrap();
+        // Full consolidated image: col0 = 4 (last update), col1 = 300.
+        assert_eq!(
+            row,
+            vec![
+                (ColumnId::new(0), Value::Int(4)),
+                (ColumnId::new(1), Value::Int(300)),
+            ]
+        );
+    }
+
+    #[test]
+    fn gc_db_prunes_across_tables() {
+        let db = MemDb::new(2);
+        for t in 0..2u32 {
+            for k in 0..50u64 {
+                for v in 0..4u64 {
+                    db.table(TableId::new(t)).apply_version(
+                        RowKey::new(k),
+                        ver(
+                            k * 4 + v + 1,
+                            (k * 4 + v + 1) * 10,
+                            if v == 0 { OpType::Insert } else { OpType::Update },
+                            vec![(0, v as i64)],
+                        ),
+                    );
+                }
+            }
+        }
+        let before = db.total_versions();
+        assert_eq!(before, 2 * 50 * 4);
+        let stats = gc_db(&db, Timestamp::MAX);
+        assert_eq!(stats.nodes, 100);
+        assert_eq!(db.total_versions(), 100, "one version per row remains");
+        assert_eq!(stats.pruned, before - 100);
+        assert!(db.all_chains_ordered());
+    }
+}

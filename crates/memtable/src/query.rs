@@ -1,0 +1,301 @@
+//! Snapshot query processing over the Memtable.
+//!
+//! The backup node exists to answer analytical queries; this module gives
+//! them an execution surface: predicate scans, projections, and
+//! aggregates, all evaluated against the MVCC snapshot at a query's
+//! `qts` — so a query admitted by Algorithm 3 computes over exactly the
+//! primary's committed prefix at its arrival time.
+
+use crate::table::Table;
+use aets_common::{ColumnId, Row, RowKey, Timestamp, Value};
+use std::cmp::Ordering;
+
+/// Comparison operator of a filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// A column filter (`col <op> literal`). Rows missing the column never
+/// match.
+#[derive(Debug, Clone)]
+pub struct Filter {
+    /// Filtered column.
+    pub column: ColumnId,
+    /// Comparison.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub value: Value,
+}
+
+impl Filter {
+    /// Whether `row` satisfies the filter.
+    pub fn matches(&self, row: &Row) -> bool {
+        let Some((_, v)) = row.iter().find(|(c, _)| *c == self.column) else {
+            return false;
+        };
+        let Some(ord) = compare_values(v, &self.value) else {
+            return false;
+        };
+        match self.op {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// Compares two values: numerics compare numerically across `Int`/
+/// `Float`; text and bytes compare lexicographically; mixed kinds (and
+/// NULLs) are incomparable.
+pub fn compare_values(a: &Value, b: &Value) -> Option<Ordering> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Some(x.cmp(y)),
+        (Value::Float(x), Value::Float(y)) => x.partial_cmp(y),
+        (Value::Int(x), Value::Float(y)) => (*x as f64).partial_cmp(y),
+        (Value::Float(x), Value::Int(y)) => x.partial_cmp(&(*y as f64)),
+        (Value::Text(x), Value::Text(y)) => Some(x.cmp(y)),
+        (Value::Bytes(x), Value::Bytes(y)) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+/// A snapshot scan over one table.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    /// Snapshot timestamp (a query's `qts`).
+    pub ts: Timestamp,
+    /// Optional inclusive key range (uses the B+Tree's ordered scan).
+    pub key_range: Option<(RowKey, RowKey)>,
+    /// Conjunction of filters.
+    pub filters: Vec<Filter>,
+}
+
+impl Scan {
+    /// Full-table snapshot scan at `ts`.
+    pub fn at(ts: Timestamp) -> Self {
+        Self { ts, key_range: None, filters: Vec::new() }
+    }
+
+    /// Restricts to an inclusive key range.
+    pub fn keys(mut self, lo: RowKey, hi: RowKey) -> Self {
+        self.key_range = Some((lo, hi));
+        self
+    }
+
+    /// Adds a filter.
+    pub fn filter(mut self, column: ColumnId, op: CmpOp, value: Value) -> Self {
+        self.filters.push(Filter { column, op, value });
+        self
+    }
+
+    /// Runs the scan, invoking `f` for every matching row in key order.
+    pub fn for_each<F: FnMut(RowKey, Row)>(&self, table: &Table, mut f: F) {
+        let visit = |k: RowKey, row: Row, f: &mut F| {
+            if self.filters.iter().all(|p| p.matches(&row)) {
+                f(k, row);
+            }
+        };
+        match self.key_range {
+            Some((lo, hi)) => table.scan_range_at(lo, hi, self.ts, |k, row| {
+                visit(k, row, &mut f)
+            }),
+            None => table.scan_at(self.ts, |k, row| visit(k, row, &mut f)),
+        }
+    }
+
+    /// Materializes matching rows.
+    pub fn collect(&self, table: &Table) -> Vec<(RowKey, Row)> {
+        let mut out = Vec::new();
+        self.for_each(table, |k, r| out.push((k, r)));
+        out
+    }
+
+    /// Counts matching rows.
+    pub fn count(&self, table: &Table) -> usize {
+        let mut n = 0;
+        self.for_each(table, |_, _| n += 1);
+        n
+    }
+
+    /// Numeric aggregate over a column of the matching rows. Non-numeric
+    /// and missing column values are skipped; returns `None` when no row
+    /// contributed.
+    pub fn aggregate(&self, table: &Table, column: ColumnId, agg: Aggregate) -> Option<f64> {
+        let mut acc: Option<(f64, usize)> = None;
+        self.for_each(table, |_, row| {
+            let Some(v) = numeric(&row, column) else { return };
+            acc = Some(match (acc, agg) {
+                (None, _) => (v, 1),
+                (Some((a, n)), Aggregate::Sum | Aggregate::Avg) => (a + v, n + 1),
+                (Some((a, n)), Aggregate::Min) => (a.min(v), n + 1),
+                (Some((a, n)), Aggregate::Max) => (a.max(v), n + 1),
+            });
+        });
+        acc.map(|(a, n)| match agg {
+            Aggregate::Avg => a / n as f64,
+            _ => a,
+        })
+    }
+
+    /// Groups matching rows by an integer column and counts each group.
+    pub fn group_count(
+        &self,
+        table: &Table,
+        column: ColumnId,
+    ) -> aets_common::FxHashMap<i64, usize> {
+        let mut groups = aets_common::FxHashMap::default();
+        self.for_each(table, |_, row| {
+            if let Some((_, Value::Int(g))) = row.iter().find(|(c, _)| *c == column) {
+                *groups.entry(*g).or_insert(0) += 1;
+            }
+        });
+        groups
+    }
+}
+
+/// Aggregate kind for [`Scan::aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Sum of values.
+    Sum,
+    /// Arithmetic mean.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+fn numeric(row: &Row, column: ColumnId) -> Option<f64> {
+    row.iter().find(|(c, _)| *c == column).and_then(|(_, v)| match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{OpType, Version};
+    use aets_common::{TableId, TxnId};
+
+    fn table_with_rows() -> Table {
+        let t = Table::new(TableId::new(0));
+        for i in 0..100u64 {
+            t.apply_version(
+                RowKey::new(i),
+                Version {
+                    txn_id: TxnId::new(i + 1),
+                    commit_ts: Timestamp::from_micros((i + 1) * 10),
+                    op: OpType::Insert,
+                    cols: vec![
+                        (ColumnId::new(0), Value::Int(i as i64 % 10)), // group
+                        (ColumnId::new(1), Value::Float(i as f64)),    // amount
+                        (
+                            ColumnId::new(2),
+                            Value::Text(if i % 2 == 0 { "even" } else { "odd" }.into()),
+                        ),
+                    ],
+                },
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn filters_compare_across_numeric_kinds() {
+        let row: Row = vec![(ColumnId::new(0), Value::Int(5))];
+        let f = Filter { column: ColumnId::new(0), op: CmpOp::Gt, value: Value::Float(4.5) };
+        assert!(f.matches(&row));
+        let f2 = Filter { column: ColumnId::new(0), op: CmpOp::Lt, value: Value::Float(4.5) };
+        assert!(!f2.matches(&row));
+        // Missing column and incomparable kinds never match.
+        let f3 = Filter { column: ColumnId::new(9), op: CmpOp::Eq, value: Value::Int(5) };
+        assert!(!f3.matches(&row));
+        let f4 =
+            Filter { column: ColumnId::new(0), op: CmpOp::Eq, value: Value::Text("5".into()) };
+        assert!(!f4.matches(&row));
+    }
+
+    #[test]
+    fn scan_filters_and_counts() {
+        let t = table_with_rows();
+        let all = Scan::at(Timestamp::MAX).count(&t);
+        assert_eq!(all, 100);
+        let evens = Scan::at(Timestamp::MAX)
+            .filter(ColumnId::new(2), CmpOp::Eq, Value::Text("even".into()))
+            .count(&t);
+        assert_eq!(evens, 50);
+        let conj = Scan::at(Timestamp::MAX)
+            .filter(ColumnId::new(2), CmpOp::Eq, Value::Text("even".into()))
+            .filter(ColumnId::new(1), CmpOp::Ge, Value::Int(50))
+            .count(&t);
+        assert_eq!(conj, 25);
+    }
+
+    #[test]
+    fn scan_respects_snapshot_and_key_range() {
+        let t = table_with_rows();
+        // Only the first 30 rows were committed by ts = 305.
+        let early = Scan::at(Timestamp::from_micros(305)).count(&t);
+        assert_eq!(early, 30);
+        let ranged = Scan::at(Timestamp::MAX)
+            .keys(RowKey::new(10), RowKey::new(19))
+            .collect(&t);
+        assert_eq!(ranged.len(), 10);
+        assert_eq!(ranged[0].0, RowKey::new(10));
+        // Range + snapshot compose.
+        let both = Scan::at(Timestamp::from_micros(155))
+            .keys(RowKey::new(10), RowKey::new(19))
+            .count(&t);
+        assert_eq!(both, 5); // keys 10..=14 committed by ts 155
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = table_with_rows();
+        let scan = Scan::at(Timestamp::MAX);
+        let sum = scan.aggregate(&t, ColumnId::new(1), Aggregate::Sum).unwrap();
+        assert_eq!(sum, (0..100).sum::<i64>() as f64);
+        let avg = scan.aggregate(&t, ColumnId::new(1), Aggregate::Avg).unwrap();
+        assert!((avg - 49.5).abs() < 1e-9);
+        assert_eq!(scan.aggregate(&t, ColumnId::new(1), Aggregate::Min), Some(0.0));
+        assert_eq!(scan.aggregate(&t, ColumnId::new(1), Aggregate::Max), Some(99.0));
+        // Aggregating a text column yields no numeric contributions.
+        assert_eq!(scan.aggregate(&t, ColumnId::new(2), Aggregate::Sum), None);
+    }
+
+    #[test]
+    fn group_by_counts() {
+        let t = table_with_rows();
+        let groups = Scan::at(Timestamp::MAX).group_count(&t, ColumnId::new(0));
+        assert_eq!(groups.len(), 10);
+        assert!(groups.values().all(|n| *n == 10));
+    }
+
+    #[test]
+    fn empty_results() {
+        let t = table_with_rows();
+        let none = Scan::at(Timestamp::MAX)
+            .filter(ColumnId::new(1), CmpOp::Gt, Value::Int(1_000_000))
+            .collect(&t);
+        assert!(none.is_empty());
+        assert_eq!(Scan::at(Timestamp::ZERO).count(&t), 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Minimal neural-network substrate for the DTGM forecaster.
+//!
+//! From scratch, within the approved dependency set: dense tensors
+//! ([`tensor::Tensor`]), a reverse-mode autodiff tape ([`graph::Tape`])
+//! with the exact operations Graph-WaveNet-style models need (causal
+//! dilated temporal convolutions, graph-convolution mixing over nodes,
+//! gating, dropout, MAE loss), and an Adam optimizer with step decay
+//! ([`optim::Adam`]). Backward passes are verified against finite
+//! differences in the test suite.
+
+pub mod graph;
+pub mod optim;
+pub mod tensor;
+
+pub use graph::{Gradients, Tape, Var};
+pub use optim::Adam;
+pub use tensor::Tensor;

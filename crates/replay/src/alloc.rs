@@ -1,0 +1,187 @@
+//! Adaptive thread resource allocation (Section IV-B).
+//!
+//! Given `T` replay workers and per-group un-replayed log volume `n_gi`
+//! and urgency `λ_gi`, the paper's equilibrium `λ_gi · n_gi / t_gi = const`
+//! with `Σ t_gi = T` has the closed form `t_gi ∝ λ_gi · n_gi`. Integer
+//! thread counts come from largest-remainder apportionment, with every
+//! group that has pending work guaranteed at least one thread whenever
+//! `T >= #groups-with-work`.
+
+use aets_common::{Error, Result};
+
+/// How the urgency factor `λ` is derived from a group's access rate `r`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UrgencyMode {
+    /// `λ = log(1 + r)` — the paper's choice ("λ is the log(r)", with the
+    /// +1 guard for rates below one). Numerically stable and interpretable.
+    #[default]
+    Log,
+    /// `λ = r` — the naive proportional alternative the paper argues
+    /// against (a rate of 1000 would grab 1000× the threads).
+    Linear,
+    /// `λ = 1` — ignore access rates entirely; allocate purely by log
+    /// volume. This is the paper's **AETS-NOAC** ablation.
+    Ignore,
+}
+
+impl UrgencyMode {
+    /// Computes `λ` for access rate `r >= 0`.
+    pub fn lambda(self, rate: f64) -> f64 {
+        match self {
+            UrgencyMode::Log => (1.0 + rate.max(0.0)).ln(),
+            UrgencyMode::Linear => rate.max(0.0),
+            UrgencyMode::Ignore => 1.0,
+        }
+    }
+}
+
+/// Allocates `total_threads` across groups.
+///
+/// * `pending_bytes[i]` — un-replayed log volume `n_gi` of group `i`.
+/// * `rates[i]` — table access rate `r_gi` of group `i`.
+///
+/// Groups with zero pending work get zero threads. Every group with work
+/// gets at least one thread when `total_threads` allows; remaining threads
+/// follow the `λ·n` weights by largest remainder. If there are more
+/// working groups than threads, the groups with the largest weights win a
+/// thread each and the rest get zero (the engine then lets its commit
+/// thread drain them).
+pub fn allocate_threads(
+    total_threads: usize,
+    pending_bytes: &[u64],
+    rates: &[f64],
+    mode: UrgencyMode,
+) -> Result<Vec<usize>> {
+    if pending_bytes.len() != rates.len() {
+        return Err(Error::Config("pending/rates length mismatch".into()));
+    }
+    if total_threads == 0 {
+        return Err(Error::Config("need at least one replay thread".into()));
+    }
+    let n = pending_bytes.len();
+    let weights: Vec<f64> = pending_bytes
+        .iter()
+        .zip(rates)
+        .map(|(b, r)| {
+            if *b == 0 {
+                0.0
+            } else {
+                // A group with pending work always has positive weight so
+                // apportionment can see it, even at rate 0.
+                (*b as f64) * mode.lambda(*r).max(1e-9)
+            }
+        })
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+    let mut out = vec![0usize; n];
+    if total_weight <= 0.0 {
+        return Ok(out);
+    }
+
+    let working: Vec<usize> = (0..n).filter(|i| weights[*i] > 0.0).collect();
+    if working.len() >= total_threads {
+        // Scarce threads: give one to each of the top-weight groups.
+        let mut by_weight = working.clone();
+        by_weight.sort_by(|a, b| weights[*b].partial_cmp(&weights[*a]).expect("no NaN"));
+        for i in by_weight.into_iter().take(total_threads) {
+            out[i] = 1;
+        }
+        return Ok(out);
+    }
+
+    // One thread per working group, then largest remainder on the rest.
+    for &i in &working {
+        out[i] = 1;
+    }
+    let spare = total_threads - working.len();
+    let quotas: Vec<f64> =
+        weights.iter().map(|w| w / total_weight * spare as f64).collect();
+    let mut assigned = 0usize;
+    for &i in &working {
+        out[i] += quotas[i].floor() as usize;
+        assigned += quotas[i].floor() as usize;
+    }
+    let mut rema: Vec<(usize, f64)> =
+        working.iter().map(|&i| (i, quotas[i] - quotas[i].floor())).collect();
+    rema.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+    for (i, _) in rema.into_iter().take(spare - assigned) {
+        out[i] += 1;
+    }
+    debug_assert_eq!(out.iter().sum::<usize>(), total_threads.min(out.iter().sum()));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_modes_behave_as_documented() {
+        assert!((UrgencyMode::Log.lambda(1000.0) - 1001f64.ln()).abs() < 1e-12);
+        assert_eq!(UrgencyMode::Linear.lambda(7.0), 7.0);
+        assert_eq!(UrgencyMode::Ignore.lambda(7.0), 1.0);
+        // The paper's example: log urgency turns a 1000x rate into ~3x
+        // (natural log of 1001 ≈ 6.9; with log10 it is 3 — either way the
+        // compression property holds).
+        assert!(UrgencyMode::Log.lambda(1000.0) < 10.0);
+    }
+
+    #[test]
+    fn proportional_to_weight() {
+        // Equal rates: allocation follows bytes 3:1.
+        let t = allocate_threads(8, &[300, 100], &[10.0, 10.0], UrgencyMode::Log).unwrap();
+        assert_eq!(t.iter().sum::<usize>(), 8);
+        assert_eq!(t, vec![6, 2]);
+    }
+
+    #[test]
+    fn urgency_shifts_threads_to_hot_groups() {
+        let bytes = [100u64, 100];
+        let base =
+            allocate_threads(10, &bytes, &[1.0, 1.0], UrgencyMode::Log).unwrap();
+        assert_eq!(base, vec![5, 5]);
+        let skew =
+            allocate_threads(10, &bytes, &[1000.0, 1.0], UrgencyMode::Log).unwrap();
+        assert!(skew[0] > skew[1], "hot group must get more threads: {skew:?}");
+        assert_eq!(skew.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn noac_ignores_rates() {
+        let a = allocate_threads(6, &[100, 200], &[999.0, 1.0], UrgencyMode::Ignore).unwrap();
+        assert_eq!(a, vec![2, 4]);
+    }
+
+    #[test]
+    fn zero_pending_groups_get_zero_threads() {
+        let t = allocate_threads(4, &[0, 100, 0], &[5.0, 5.0, 5.0], UrgencyMode::Log).unwrap();
+        assert_eq!(t, vec![0, 4, 0]);
+    }
+
+    #[test]
+    fn every_working_group_gets_a_thread_when_possible() {
+        let t = allocate_threads(4, &[1_000_000, 1, 1, 1], &[1.0; 4], UrgencyMode::Log).unwrap();
+        assert!(t.iter().all(|&x| x >= 1), "{t:?}");
+        assert_eq!(t.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn scarce_threads_prefer_heavy_groups() {
+        let t = allocate_threads(2, &[10, 1000, 500, 20], &[1.0; 4], UrgencyMode::Log).unwrap();
+        assert_eq!(t.iter().sum::<usize>(), 2);
+        assert_eq!(t[1], 1);
+        assert_eq!(t[2], 1);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(allocate_threads(0, &[1], &[1.0], UrgencyMode::Log).is_err());
+        assert!(allocate_threads(1, &[1, 2], &[1.0], UrgencyMode::Log).is_err());
+    }
+
+    #[test]
+    fn all_zero_pending_is_all_zero_threads() {
+        let t = allocate_threads(8, &[0, 0], &[1.0, 1.0], UrgencyMode::Log).unwrap();
+        assert_eq!(t, vec![0, 0]);
+    }
+}

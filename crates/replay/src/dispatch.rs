@@ -1,0 +1,290 @@
+//! Log parser and dispatcher (component ① of the AETS architecture).
+//!
+//! The dispatcher scans an encoded epoch *metadata-only* (it never decodes
+//! data images — that is the workers' job in phase 1), finds transaction
+//! boundaries from BEGIN/COMMIT markers, and splits every transaction into
+//! per-group *mini-transactions*: the subset of its entries that modify
+//! tables of one group. Each group's mini-transactions, in primary commit
+//! order, are simultaneously that group's `commit_order_queue`.
+
+use crate::grouping::TableGrouping;
+use aets_common::{Error, GroupId, Result, Timestamp, TxnId};
+use aets_wal::{EncodedEpoch, MetaScanner};
+use bytes::Bytes;
+use std::ops::Range;
+
+/// The part of one transaction that lands in one table group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiniTxn {
+    /// Owning transaction.
+    pub txn_id: TxnId,
+    /// Commit timestamp of the owning transaction.
+    pub commit_ts: Timestamp,
+    /// Byte ranges of this group's DML entries within the epoch buffer,
+    /// in LSN order. Empty for heartbeat placements.
+    pub entry_ranges: Vec<Range<usize>>,
+    /// Total encoded bytes of those entries (the mini-txn's share of
+    /// `n_gi`).
+    pub bytes: u64,
+}
+
+/// All work routed to one group for one epoch.
+#[derive(Debug, Clone, Default)]
+pub struct GroupWork {
+    /// Mini-transactions in primary commit order (the group's
+    /// `commit_order_queue`).
+    pub mini_txns: Vec<MiniTxn>,
+    /// Sum of entry bytes (`n_gi` for the allocation solver).
+    pub bytes: u64,
+    /// Total entries.
+    pub entries: usize,
+}
+
+/// A dispatched epoch: shared byte buffer plus per-group work lists.
+#[derive(Debug, Clone)]
+pub struct DispatchedEpoch {
+    /// The epoch's encoded bytes (entries are decoded lazily from ranges).
+    pub bytes: Bytes,
+    /// Work per group, indexed by `GroupId`.
+    pub groups: Vec<GroupWork>,
+    /// Commit timestamp of the epoch's last transaction.
+    pub max_commit_ts: Timestamp,
+    /// Number of transactions in the epoch.
+    pub txn_count: usize,
+}
+
+impl DispatchedEpoch {
+    /// Work of `group`.
+    pub fn group(&self, g: GroupId) -> &GroupWork {
+        &self.groups[g.index()]
+    }
+
+    /// Per-group pending byte volumes (input to the allocation solver).
+    pub fn pending_bytes(&self) -> Vec<u64> {
+        self.groups.iter().map(|g| g.bytes).collect()
+    }
+}
+
+/// Scans `epoch` and routes every DML entry to its table group.
+///
+/// Heartbeat transactions (BEGIN/COMMIT with no DML) are placed into
+/// *every* group as empty mini-transactions, per Section V-B, so each
+/// group's commit timestamp advances even when the group gets no writes.
+pub fn dispatch_epoch(
+    epoch: &EncodedEpoch,
+    grouping: &TableGrouping,
+) -> Result<DispatchedEpoch> {
+    let mut groups: Vec<GroupWork> = vec![GroupWork::default(); grouping.num_groups()];
+    // Per-group index of the open mini-txn, or usize::MAX.
+    let mut open_slots: Vec<usize> = vec![usize::MAX; grouping.num_groups()];
+    let mut open_txn: Option<TxnId> = None;
+    let mut txn_count = 0usize;
+    let mut txn_had_dml = false;
+
+    for item in MetaScanner::new(epoch.bytes.clone()) {
+        let (meta, range) = item?;
+        match meta.table {
+            None => {
+                // BEGIN or COMMIT. The scanner cannot distinguish them, but
+                // the protocol can: a marker for a txn we have not opened
+                // is a BEGIN; for the open txn it is the COMMIT.
+                match open_txn {
+                    None => {
+                        open_txn = Some(meta.txn_id);
+                        txn_had_dml = false;
+                        open_slots.fill(usize::MAX);
+                    }
+                    Some(t) if t == meta.txn_id => {
+                        // COMMIT: stamp commit timestamps; place heartbeats.
+                        let commit_ts = meta.ts;
+                        if txn_had_dml {
+                            for (gid, slot) in open_slots.iter().enumerate() {
+                                if *slot != usize::MAX {
+                                    let mt = &mut groups[gid].mini_txns[*slot];
+                                    mt.commit_ts = commit_ts;
+                                }
+                            }
+                        } else {
+                            for g in groups.iter_mut() {
+                                g.mini_txns.push(MiniTxn {
+                                    txn_id: meta.txn_id,
+                                    commit_ts,
+                                    entry_ranges: Vec::new(),
+                                    bytes: 0,
+                                });
+                            }
+                        }
+                        open_txn = None;
+                        txn_count += 1;
+                    }
+                    Some(t) => {
+                        return Err(Error::Protocol(format!(
+                            "marker for {} inside transaction {}",
+                            meta.txn_id, t
+                        )));
+                    }
+                }
+            }
+            Some(table) => {
+                let Some(t) = open_txn else {
+                    return Err(Error::Protocol(format!(
+                        "DML of {} outside BEGIN/COMMIT",
+                        meta.txn_id
+                    )));
+                };
+                if t != meta.txn_id {
+                    return Err(Error::Protocol(format!(
+                        "DML of {} inside transaction {t}",
+                        meta.txn_id
+                    )));
+                }
+                txn_had_dml = true;
+                let gid = grouping.group_of(table).index();
+                let len = (range.end - range.start) as u64;
+                if open_slots[gid] == usize::MAX {
+                    open_slots[gid] = groups[gid].mini_txns.len();
+                    groups[gid].mini_txns.push(MiniTxn {
+                        txn_id: t,
+                        commit_ts: Timestamp::ZERO,
+                        entry_ranges: Vec::new(),
+                        bytes: 0,
+                    });
+                }
+                let mt = &mut groups[gid].mini_txns[open_slots[gid]];
+                mt.entry_ranges.push(range);
+                mt.bytes += len;
+                groups[gid].bytes += len;
+                groups[gid].entries += 1;
+            }
+        }
+    }
+    if let Some(t) = open_txn {
+        return Err(Error::Protocol(format!("transaction {t} never committed")));
+    }
+
+    Ok(DispatchedEpoch {
+        bytes: epoch.bytes.clone(),
+        groups,
+        max_commit_ts: epoch.max_commit_ts,
+        txn_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aets_common::{ColumnId, DmlOp, EpochId, FxHashSet, Lsn, RowKey, TableId, Value};
+    use aets_wal::{encode_epoch, DmlEntry, Epoch, TxnLog};
+
+    fn entry(lsn: u64, txn: u64, table: u32, key: u64) -> DmlEntry {
+        DmlEntry {
+            lsn: Lsn::new(lsn),
+            txn_id: TxnId::new(txn),
+            ts: Timestamp::from_micros(lsn),
+            table: TableId::new(table),
+            op: DmlOp::Insert,
+            key: RowKey::new(key),
+            row_version: 1,
+            cols: vec![(ColumnId::new(0), Value::Int(7))],
+            before: None,
+        }
+    }
+
+    fn make_epoch(txns: Vec<TxnLog>) -> EncodedEpoch {
+        encode_epoch(&Epoch { id: EpochId::new(0), txns })
+    }
+
+    fn grouping2() -> TableGrouping {
+        // Tables 0,1 in group 0 (hot); table 2 in group 1 (cold).
+        let hot: FxHashSet<TableId> = [TableId::new(0)].into_iter().collect();
+        TableGrouping::new(
+            3,
+            vec![vec![TableId::new(0), TableId::new(1)], vec![TableId::new(2)]],
+            vec![10.0, 0.0],
+            &hot,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn splits_txn_across_groups() {
+        let t1 = TxnLog {
+            txn_id: TxnId::new(1),
+            commit_ts: Timestamp::from_micros(100),
+            entries: vec![entry(1, 1, 0, 5), entry(2, 1, 2, 6), entry(3, 1, 1, 7)],
+        };
+        let d = dispatch_epoch(&make_epoch(vec![t1]), &grouping2()).unwrap();
+        assert_eq!(d.txn_count, 1);
+        let g0 = d.group(GroupId::new(0));
+        let g1 = d.group(GroupId::new(1));
+        assert_eq!(g0.mini_txns.len(), 1);
+        assert_eq!(g0.mini_txns[0].entry_ranges.len(), 2);
+        assert_eq!(g0.entries, 2);
+        assert_eq!(g1.mini_txns[0].entry_ranges.len(), 1);
+        assert_eq!(g0.mini_txns[0].commit_ts, Timestamp::from_micros(100));
+        assert!(g0.bytes > 0 && g1.bytes > 0);
+    }
+
+    #[test]
+    fn txn_not_touching_group_is_absent_from_its_queue() {
+        let t1 = TxnLog {
+            txn_id: TxnId::new(1),
+            commit_ts: Timestamp::from_micros(10),
+            entries: vec![entry(1, 1, 0, 5)],
+        };
+        let t2 = TxnLog {
+            txn_id: TxnId::new(2),
+            commit_ts: Timestamp::from_micros(20),
+            entries: vec![entry(2, 2, 2, 6)],
+        };
+        let d = dispatch_epoch(&make_epoch(vec![t1, t2]), &grouping2()).unwrap();
+        assert_eq!(d.group(GroupId::new(0)).mini_txns.len(), 1);
+        assert_eq!(d.group(GroupId::new(1)).mini_txns.len(), 1);
+        assert_eq!(d.group(GroupId::new(1)).mini_txns[0].txn_id, TxnId::new(2));
+    }
+
+    #[test]
+    fn heartbeats_land_in_every_group() {
+        let hb = TxnLog {
+            txn_id: TxnId::new(9),
+            commit_ts: Timestamp::from_micros(99),
+            entries: vec![],
+        };
+        let d = dispatch_epoch(&make_epoch(vec![hb]), &grouping2()).unwrap();
+        for gid in 0..2 {
+            let g = d.group(GroupId::new(gid));
+            assert_eq!(g.mini_txns.len(), 1);
+            assert!(g.mini_txns[0].entry_ranges.is_empty());
+            assert_eq!(g.mini_txns[0].commit_ts, Timestamp::from_micros(99));
+        }
+    }
+
+    #[test]
+    fn commit_order_is_preserved_per_group() {
+        let txns: Vec<TxnLog> = (1..=20)
+            .map(|i| TxnLog {
+                txn_id: TxnId::new(i),
+                commit_ts: Timestamp::from_micros(i * 10),
+                entries: vec![entry(i, i, (i % 3) as u32, i)],
+            })
+            .collect();
+        let d = dispatch_epoch(&make_epoch(txns), &grouping2()).unwrap();
+        for g in &d.groups {
+            assert!(g.mini_txns.windows(2).all(|w| w[0].txn_id < w[1].txn_id));
+        }
+        assert_eq!(d.txn_count, 20);
+    }
+
+    #[test]
+    fn pending_bytes_match_group_totals() {
+        let t1 = TxnLog {
+            txn_id: TxnId::new(1),
+            commit_ts: Timestamp::from_micros(10),
+            entries: vec![entry(1, 1, 0, 1), entry(2, 1, 2, 2)],
+        };
+        let d = dispatch_epoch(&make_epoch(vec![t1]), &grouping2()).unwrap();
+        let pb = d.pending_bytes();
+        assert_eq!(pb.len(), 2);
+        assert_eq!(pb[0], d.group(GroupId::new(0)).bytes);
+    }
+}

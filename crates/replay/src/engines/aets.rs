@@ -1,0 +1,519 @@
+//! The AETS engine: adaptive epoch-based two-stage log replay with TPLR.
+//!
+//! Per epoch (Section III-D):
+//!
+//! 1. the dispatcher routes entries into per-group mini-transactions
+//!    (metadata-only parse);
+//! 2. threads are allocated to groups by `λ·n` weights
+//!    (Section IV-B), optionally refreshed from a per-epoch rate provider
+//!    (the DTGM predictor in the full system);
+//! 3. **stage 1** replays all hot groups: per group, workers run TPLR
+//!    phase 1 (translate entries to uncommitted cells, no locks, no
+//!    dependency tracking) while the group's single commit thread runs
+//!    phase 2 (append cells in `commit_order_queue` order, publish
+//!    `tg_cmt_ts`);
+//! 4. **stage 2** replays the cold groups the same way;
+//! 5. `global_cmt_ts` advances to the epoch's last commit.
+//!
+//! With `two_stage = false` and a single group this is exactly the
+//! ungrouped TPLR baseline of Section VI-A5.
+
+use crate::alloc::{allocate_threads, UrgencyMode};
+use crate::dispatch::{dispatch_epoch, DispatchedEpoch};
+use crate::engines::{commit_cell, translate_entry, Cell, ReplayEngine};
+use crate::grouping::TableGrouping;
+use crate::metrics::ReplayMetrics;
+use crate::visibility::VisibilityBoard;
+use aets_common::{Error, GroupId, Result, TableId};
+use aets_memtable::MemDb;
+use aets_wal::EncodedEpoch;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-epoch group access rates, e.g. from the DTGM predictor.
+pub type RateFn = Arc<dyn Fn(usize) -> Vec<f64> + Send + Sync>;
+
+/// Configuration of the AETS engine.
+#[derive(Clone)]
+pub struct AetsConfig {
+    /// Total replay worker threads `T`.
+    pub threads: usize,
+    /// Urgency factor mode (Log = paper, Ignore = AETS-NOAC ablation).
+    pub urgency: UrgencyMode,
+    /// Replay hot groups in stage 1 before cold groups (the paper's
+    /// two-stage design). `false` collapses to a single stage.
+    pub two_stage: bool,
+    /// Recompute the thread allocation each epoch from pending bytes and
+    /// rates. `false` splits threads evenly across groups with work.
+    pub adaptive: bool,
+    /// Optional per-epoch group-rate provider (predicted access rates);
+    /// when absent, the grouping's static rates are used.
+    pub rate_fn: Option<RateFn>,
+}
+
+impl std::fmt::Debug for AetsConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AetsConfig")
+            .field("threads", &self.threads)
+            .field("urgency", &self.urgency)
+            .field("two_stage", &self.two_stage)
+            .field("adaptive", &self.adaptive)
+            .field("rate_fn", &self.rate_fn.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+impl Default for AetsConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            urgency: UrgencyMode::Log,
+            two_stage: true,
+            adaptive: true,
+            rate_fn: None,
+        }
+    }
+}
+
+/// The AETS replay engine.
+#[derive(Debug)]
+pub struct AetsEngine {
+    cfg: AetsConfig,
+    grouping: TableGrouping,
+}
+
+impl AetsEngine {
+    /// Creates an engine over `grouping`.
+    pub fn new(cfg: AetsConfig, grouping: TableGrouping) -> Result<Self> {
+        if cfg.threads == 0 {
+            return Err(Error::Config("threads must be positive".into()));
+        }
+        Ok(Self { cfg, grouping })
+    }
+
+    /// The ungrouped TPLR baseline: one group, no staging.
+    pub fn tplr_baseline(
+        threads: usize,
+        num_tables: usize,
+        hot_tables: &aets_common::FxHashSet<TableId>,
+    ) -> Result<Self> {
+        let grouping = TableGrouping::single(num_tables, hot_tables);
+        let mut eng = Self::new(
+            AetsConfig { threads, two_stage: false, ..Default::default() },
+            grouping,
+        )?;
+        eng.cfg.adaptive = false;
+        Ok(eng)
+    }
+
+    /// The engine's table grouping.
+    pub fn grouping(&self) -> &TableGrouping {
+        &self.grouping
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_stage(
+        &self,
+        work: &DispatchedEpoch,
+        stage_groups: &[GroupId],
+        alloc: &[usize],
+        db: &MemDb,
+        board: &VisibilityBoard,
+        replay_busy_ns: &AtomicU64,
+        commit_busy_ns: &AtomicU64,
+    ) {
+        std::thread::scope(|scope| {
+            for &gid in stage_groups {
+                let gw = work.group(gid);
+                if gw.mini_txns.is_empty() {
+                    continue;
+                }
+                let workers = alloc[gid.index()];
+                let state = Arc::new(GroupRunState::new(gw.mini_txns.len()));
+                for _ in 0..workers {
+                    let state = state.clone();
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        loop {
+                            let i = state.next_task.fetch_add(1, Ordering::Relaxed);
+                            if i >= gw.mini_txns.len() {
+                                break;
+                            }
+                            let mt = &gw.mini_txns[i];
+                            let cells: Vec<Cell> = mt
+                                .entry_ranges
+                                .iter()
+                                .map(|r| {
+                                    translate_entry(db, &work.bytes, r.clone())
+                                        .expect("dispatched range decodes")
+                                })
+                                .collect();
+                            state.finish(i, cells);
+                        }
+                        replay_busy_ns
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    });
+                }
+                // The group's single commit thread (phase 2).
+                let state_c = state.clone();
+                scope.spawn(move || {
+                    // Busy time excludes blocking on phase-1 workers: the
+                    // Table II breakdown measures work, not waiting.
+                    let mut busy_ns = 0u64;
+                    for i in 0..gw.mini_txns.len() {
+                        let mt = &gw.mini_txns[i];
+                        let cells = if workers == 0 {
+                            // Degenerate path under thread scarcity: the
+                            // commit thread translates inline.
+                            mt.entry_ranges
+                                .iter()
+                                .map(|r| {
+                                    translate_entry(db, &work.bytes, r.clone())
+                                        .expect("dispatched range decodes")
+                                })
+                                .collect()
+                        } else {
+                            state_c.wait_take(i)
+                        };
+                        let t0 = Instant::now();
+                        for cell in cells {
+                            commit_cell(cell, mt.commit_ts);
+                        }
+                        board.publish_group(gid, mt.commit_ts);
+                        busy_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    commit_busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+                });
+            }
+        });
+        // Stage barrier passed: every write this epoch routed to these
+        // groups is installed, so each group is complete up to the epoch's
+        // high-water mark.
+        for &gid in stage_groups {
+            board.publish_group(gid, work.max_commit_ts);
+        }
+    }
+}
+
+/// Shared state of one group's replay within a stage.
+struct GroupRunState {
+    next_task: AtomicUsize,
+    slots: Vec<Slot>,
+    mx: Mutex<()>,
+    cv: Condvar,
+}
+
+struct Slot {
+    ready: AtomicBool,
+    cells: Mutex<Vec<Cell>>,
+}
+
+impl GroupRunState {
+    fn new(n: usize) -> Self {
+        Self {
+            next_task: AtomicUsize::new(0),
+            slots: (0..n)
+                .map(|_| Slot { ready: AtomicBool::new(false), cells: Mutex::new(Vec::new()) })
+                .collect(),
+            mx: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Worker: store translated cells for mini-txn `i` and mark ready.
+    fn finish(&self, i: usize, cells: Vec<Cell>) {
+        *self.slots[i].cells.lock() = cells;
+        self.slots[i].ready.store(true, Ordering::Release);
+        let _g = self.mx.lock();
+        self.cv.notify_all();
+    }
+
+    /// Commit thread: block until mini-txn `i` is translated, then take
+    /// its cells.
+    fn wait_take(&self, i: usize) -> Vec<Cell> {
+        if !self.slots[i].ready.load(Ordering::Acquire) {
+            let mut g = self.mx.lock();
+            while !self.slots[i].ready.load(Ordering::Acquire) {
+                self.cv.wait(&mut g);
+            }
+        }
+        std::mem::take(&mut *self.slots[i].cells.lock())
+    }
+}
+
+impl ReplayEngine for AetsEngine {
+    fn name(&self) -> &'static str {
+        if self.grouping.num_groups() == 1 && !self.cfg.two_stage {
+            "tplr"
+        } else {
+            "aets"
+        }
+    }
+
+    fn board_groups(&self) -> usize {
+        self.grouping.num_groups()
+    }
+
+    fn board_groups_for(&self, tables: &[TableId]) -> Vec<GroupId> {
+        self.grouping.groups_of(tables)
+    }
+
+    fn replay(
+        &self,
+        epochs: &[EncodedEpoch],
+        db: &MemDb,
+        board: &VisibilityBoard,
+    ) -> Result<ReplayMetrics> {
+        if board.num_groups() != self.grouping.num_groups() {
+            return Err(Error::Config("board group count mismatch".into()));
+        }
+        let start = Instant::now();
+        let mut m = ReplayMetrics { engine: self.name(), ..Default::default() };
+        let replay_busy = AtomicU64::new(0);
+        let commit_busy = AtomicU64::new(0);
+
+        for (eidx, epoch) in epochs.iter().enumerate() {
+            let t_dispatch = Instant::now();
+            let work = dispatch_epoch(epoch, &self.grouping)?;
+            m.dispatch_busy += t_dispatch.elapsed();
+
+            // Refresh group rates if a predictor drives them.
+            let rates: Vec<f64> = match &self.cfg.rate_fn {
+                Some(f) => f(eidx),
+                None => (0..self.grouping.num_groups() as u32)
+                    .map(|g| self.grouping.rate(GroupId::new(g)))
+                    .collect(),
+            };
+            if rates.len() != self.grouping.num_groups() {
+                return Err(Error::Config("rate_fn returned wrong length".into()));
+            }
+
+            let pending = work.pending_bytes();
+            let alloc = if self.cfg.adaptive {
+                allocate_threads(self.cfg.threads, &pending, &rates, self.cfg.urgency)?
+            } else {
+                even_allocation(self.cfg.threads, &pending)
+            };
+
+            let stages: Vec<Vec<GroupId>> = if self.cfg.two_stage {
+                vec![self.grouping.hot_groups(), self.grouping.cold_groups()]
+            } else {
+                vec![(0..self.grouping.num_groups() as u32).map(GroupId::new).collect()]
+            };
+
+            for (sidx, stage_groups) in stages.iter().enumerate() {
+                if stage_groups.is_empty() {
+                    continue;
+                }
+                let t_stage = Instant::now();
+                self.run_stage(
+                    &work,
+                    stage_groups,
+                    &alloc,
+                    db,
+                    board,
+                    &replay_busy,
+                    &commit_busy,
+                );
+                if self.cfg.two_stage && sidx == 0 {
+                    m.stage1_wall += t_stage.elapsed();
+                } else {
+                    m.stage2_wall += t_stage.elapsed();
+                }
+            }
+
+            board.publish_global(work.max_commit_ts);
+            m.txns += work.txn_count;
+            m.entries += work.groups.iter().map(|g| g.entries).sum::<usize>();
+            m.bytes += epoch.bytes.len() as u64;
+            m.epochs += 1;
+        }
+
+        m.replay_busy = std::time::Duration::from_nanos(replay_busy.load(Ordering::Relaxed));
+        m.commit_busy = std::time::Duration::from_nanos(commit_busy.load(Ordering::Relaxed));
+        m.wall = start.elapsed();
+        Ok(m)
+    }
+}
+
+/// Even split of threads across groups with pending work (the
+/// non-adaptive baseline allocation).
+fn even_allocation(total: usize, pending: &[u64]) -> Vec<usize> {
+    let working: Vec<usize> =
+        (0..pending.len()).filter(|i| pending[*i] > 0).collect();
+    let mut out = vec![0usize; pending.len()];
+    if working.is_empty() {
+        return out;
+    }
+    let per = (total / working.len()).max(1);
+    let mut left = total;
+    for &i in &working {
+        let n = per.min(left);
+        out[i] = n;
+        left -= n;
+        if left == 0 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::serial::SerialEngine;
+    use aets_common::{FxHashSet, Timestamp};
+    use aets_workloads::tpcc::{self, TpccConfig};
+    use aets_workloads::Workload;
+
+    fn encode(w: &Workload, epoch_size: usize) -> Vec<EncodedEpoch> {
+        aets_wal::batch_into_epochs(w.txns.clone(), epoch_size)
+            .unwrap()
+            .iter()
+            .map(aets_wal::encode_epoch)
+            .collect()
+    }
+
+    fn tpcc_grouping(w: &Workload) -> TableGrouping {
+        let (groups, rates) = tpcc::paper_grouping();
+        TableGrouping::new(w.table_names.len(), groups, rates, &w.analytic_tables).unwrap()
+    }
+
+    #[test]
+    fn aets_matches_serial_oracle() {
+        let w = tpcc::generate(&TpccConfig { num_txns: 800, warehouses: 2, ..Default::default() });
+        let epochs = encode(&w, 128);
+
+        let db_serial = MemDb::new(w.table_names.len());
+        SerialEngine.replay_all(&epochs, &db_serial).unwrap();
+
+        let eng = AetsEngine::new(
+            AetsConfig { threads: 4, ..Default::default() },
+            tpcc_grouping(&w),
+        )
+        .unwrap();
+        let db = MemDb::new(w.table_names.len());
+        let m = eng.replay_all(&epochs, &db).unwrap();
+
+        assert_eq!(m.txns, w.txns.len());
+        assert!(db.all_chains_ordered());
+        assert_eq!(db.digest_at(Timestamp::MAX), db_serial.digest_at(Timestamp::MAX));
+        // Snapshot equality must hold at intermediate timestamps too.
+        let mid = w.txns[w.txns.len() / 2].commit_ts;
+        assert_eq!(db.digest_at(mid), db_serial.digest_at(mid));
+    }
+
+    #[test]
+    fn tplr_baseline_matches_serial() {
+        let w = tpcc::generate(&TpccConfig { num_txns: 600, warehouses: 2, ..Default::default() });
+        let epochs = encode(&w, 200);
+        let db_serial = MemDb::new(w.table_names.len());
+        SerialEngine.replay_all(&epochs, &db_serial).unwrap();
+
+        let eng =
+            AetsEngine::tplr_baseline(4, w.table_names.len(), &w.analytic_tables).unwrap();
+        assert_eq!(eng.name(), "tplr");
+        let db = MemDb::new(w.table_names.len());
+        eng.replay_all(&epochs, &db).unwrap();
+        assert_eq!(db.digest_at(Timestamp::MAX), db_serial.digest_at(Timestamp::MAX));
+    }
+
+    #[test]
+    fn hot_groups_become_visible_before_epoch_ends() {
+        // With two-stage replay, after replay the hot groups' tg_cmt_ts
+        // must equal the last epoch's max commit ts.
+        let w = tpcc::generate(&TpccConfig { num_txns: 400, warehouses: 2, ..Default::default() });
+        let epochs = encode(&w, 100);
+        let eng = AetsEngine::new(
+            AetsConfig { threads: 2, ..Default::default() },
+            tpcc_grouping(&w),
+        )
+        .unwrap();
+        let db = MemDb::new(w.table_names.len());
+        let board = VisibilityBoard::new(eng.board_groups());
+        eng.replay(&epochs, &db, &board).unwrap();
+        let last = epochs.last().unwrap().max_commit_ts;
+        for g in 0..eng.board_groups() as u32 {
+            assert!(board.tg_cmt_ts(GroupId::new(g)) >= last, "group {g} lagging");
+        }
+        assert_eq!(board.global_cmt_ts(), last);
+    }
+
+    #[test]
+    fn single_thread_still_completes() {
+        let w = tpcc::generate(&TpccConfig { num_txns: 300, warehouses: 2, ..Default::default() });
+        let epochs = encode(&w, 64);
+        let eng = AetsEngine::new(
+            AetsConfig { threads: 1, ..Default::default() },
+            tpcc_grouping(&w),
+        )
+        .unwrap();
+        let db = MemDb::new(w.table_names.len());
+        let m = eng.replay_all(&epochs, &db).unwrap();
+        assert_eq!(m.txns, w.txns.len());
+        assert!(db.all_chains_ordered());
+    }
+
+    #[test]
+    fn non_adaptive_and_single_stage_paths_work() {
+        let w = tpcc::generate(&TpccConfig { num_txns: 300, warehouses: 2, ..Default::default() });
+        let epochs = encode(&w, 64);
+        let db_serial = MemDb::new(w.table_names.len());
+        SerialEngine.replay_all(&epochs, &db_serial).unwrap();
+        for (two_stage, adaptive) in [(false, true), (true, false), (false, false)] {
+            let eng = AetsEngine::new(
+                AetsConfig { threads: 3, two_stage, adaptive, ..Default::default() },
+                tpcc_grouping(&w),
+            )
+            .unwrap();
+            let db = MemDb::new(w.table_names.len());
+            eng.replay_all(&epochs, &db).unwrap();
+            assert_eq!(
+                db.digest_at(Timestamp::MAX),
+                db_serial.digest_at(Timestamp::MAX),
+                "two_stage={two_stage} adaptive={adaptive}"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_fn_drives_allocation() {
+        let w = tpcc::generate(&TpccConfig { num_txns: 200, warehouses: 2, ..Default::default() });
+        let epochs = encode(&w, 64);
+        let n_groups = tpcc_grouping(&w).num_groups();
+        let rate_fn: RateFn = Arc::new(move |_eidx| vec![5.0; n_groups]);
+        let eng = AetsEngine::new(
+            AetsConfig { threads: 2, rate_fn: Some(rate_fn), ..Default::default() },
+            tpcc_grouping(&w),
+        )
+        .unwrap();
+        let db = MemDb::new(w.table_names.len());
+        let m = eng.replay_all(&epochs, &db).unwrap();
+        assert!(m.entries > 0);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let hot: FxHashSet<TableId> = FxHashSet::default();
+        let g = TableGrouping::single(2, &hot);
+        assert!(AetsEngine::new(AetsConfig { threads: 0, ..Default::default() }, g).is_err());
+    }
+
+    #[test]
+    fn metrics_breakdown_is_replay_dominated() {
+        let w = tpcc::generate(&TpccConfig { num_txns: 2000, warehouses: 2, ..Default::default() });
+        let epochs = encode(&w, 512);
+        let eng = AetsEngine::new(
+            AetsConfig { threads: 2, ..Default::default() },
+            tpcc_grouping(&w),
+        )
+        .unwrap();
+        let db = MemDb::new(w.table_names.len());
+        let m = eng.replay_all(&epochs, &db).unwrap();
+        let (d, r, _c) = m.breakdown();
+        assert!(r > 0.5, "replay phase should dominate, got {r}");
+        assert!(d < 0.4, "dispatch should be a small share, got {d}");
+    }
+}

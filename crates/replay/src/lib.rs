@@ -1,0 +1,41 @@
+//! The AETS log-replay framework (the paper's primary contribution).
+//!
+//! Pipeline overview, mirroring Figure 3 of the paper:
+//!
+//! ```text
+//!   encoded epochs ──► dispatcher ──► per-group mini-txns (commit_order_queue)
+//!                        (meta parse)        │
+//!        access-rate predictor ──► adaptive thread allocation (λ·n weights)
+//!                                            │
+//!    stage 1: hot groups ─► TPLR phase 1 (translate, lock-free)
+//!                           TPLR phase 2 (per-group commit thread, Alg. 1/2)
+//!    stage 2: cold groups ─► same
+//!                                            │
+//!                              VisibilityBoard (tg_cmt_ts, global_cmt_ts,
+//!                              Algorithm 3 admission for queries)
+//! ```
+//!
+//! The baselines the paper compares against (ATR, C5, ungrouped TPLR, a
+//! serial oracle) live in [`engines`] behind the same [`ReplayEngine`]
+//! trait, so correctness tests can assert state equivalence across all of
+//! them and benchmarks can sweep them uniformly.
+
+pub mod alloc;
+pub mod dispatch;
+pub mod engines;
+pub mod grouping;
+pub mod metrics;
+pub mod runner;
+pub mod visibility;
+
+pub use alloc::{allocate_threads, UrgencyMode};
+pub use dispatch::{dispatch_epoch, DispatchedEpoch, GroupWork, MiniTxn};
+pub use engines::aets::{AetsConfig, AetsEngine, RateFn};
+pub use engines::atr::AtrEngine;
+pub use engines::c5::C5Engine;
+pub use engines::serial::SerialEngine;
+pub use engines::{apply_entry, commit_cell, translate_entry, Cell, ReplayEngine};
+pub use grouping::{dbscan_1d, TableGrouping};
+pub use metrics::ReplayMetrics;
+pub use runner::{run_realtime, RunnerConfig, RunnerOutcome, RunnerQuery};
+pub use visibility::VisibilityBoard;

@@ -1,0 +1,107 @@
+//! Replay metrics: throughput, phase time breakdown (Table II), and
+//! stage-level replay times (Figures 8b/9b).
+
+use std::time::Duration;
+
+/// Measurements collected by one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayMetrics {
+    /// Engine name ("aets", "atr", "c5", "tplr", "serial").
+    pub engine: &'static str,
+    /// Transactions replayed.
+    pub txns: usize,
+    /// DML entries replayed.
+    pub entries: usize,
+    /// Encoded log bytes processed.
+    pub bytes: u64,
+    /// Epochs processed.
+    pub epochs: usize,
+    /// End-to-end wall time of the replay.
+    pub wall: Duration,
+    /// Serial dispatcher busy time (metadata or full-image parse + route).
+    pub dispatch_busy: Duration,
+    /// Aggregate replay-worker busy time (phase 1 / apply).
+    pub replay_busy: Duration,
+    /// Aggregate commit-thread busy time (phase 2 / visibility publish).
+    pub commit_busy: Duration,
+    /// Wall time spent in stage 1 (hot groups). Zero for engines without
+    /// stages.
+    pub stage1_wall: Duration,
+    /// Wall time spent in stage 2 (cold groups).
+    pub stage2_wall: Duration,
+}
+
+impl ReplayMetrics {
+    /// Replayed entries per second of wall time.
+    pub fn entries_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.entries as f64 / s
+        }
+    }
+
+    /// Replayed transactions per second of wall time.
+    pub fn txns_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.txns as f64 / s
+        }
+    }
+
+    /// The Table II breakdown: fractions of busy time spent in
+    /// (dispatch, replay, commit). Sums to 1 when any work was done.
+    pub fn breakdown(&self) -> (f64, f64, f64) {
+        let d = self.dispatch_busy.as_secs_f64();
+        let r = self.replay_busy.as_secs_f64();
+        let c = self.commit_busy.as_secs_f64();
+        let total = d + r + c;
+        if total <= 0.0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (d / total, r / total, c / total)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_wall() {
+        let m = ReplayMetrics::default();
+        assert_eq!(m.entries_per_sec(), 0.0);
+        assert_eq!(m.txns_per_sec(), 0.0);
+        assert_eq!(m.breakdown(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn breakdown_normalizes() {
+        let m = ReplayMetrics {
+            dispatch_busy: Duration::from_millis(10),
+            replay_busy: Duration::from_millis(80),
+            commit_busy: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let (d, r, c) = m.breakdown();
+        assert!((d - 0.1).abs() < 1e-9);
+        assert!((r - 0.8).abs() < 1e-9);
+        assert!((c - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_entries_over_wall() {
+        let m = ReplayMetrics {
+            entries: 1000,
+            txns: 100,
+            wall: Duration::from_secs(2),
+            ..Default::default()
+        };
+        assert_eq!(m.entries_per_sec(), 500.0);
+        assert_eq!(m.txns_per_sec(), 50.0);
+    }
+}

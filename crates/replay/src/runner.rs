@@ -1,0 +1,248 @@
+//! Real-time HTAP runner for the threaded engines.
+//!
+//! Wires the full pipeline the paper deploys: a feeder thread releases
+//! epochs according to the replication timeline (an epoch only becomes
+//! available after its last transaction committed on the primary, plus
+//! network latency); the replay engine consumes them as they arrive; and
+//! query threads issue analytical queries at their arrival timestamps,
+//! blocking on Algorithm 3 until their data is visible. Measured per-query
+//! waits are *wall-clock* visibility delays on the real engine — the
+//! hardware-independent counterpart lives in `aets-simulator`.
+
+use crate::engines::ReplayEngine;
+use crate::metrics::ReplayMetrics;
+use crate::visibility::VisibilityBoard;
+use aets_common::{Error, Result, TableId, Timestamp};
+use aets_memtable::MemDb;
+use aets_wal::EncodedEpoch;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One analytical query to serve during the run.
+#[derive(Debug, Clone)]
+pub struct RunnerQuery {
+    /// Arrival timestamp `qts` on the primary clock.
+    pub arrival: Timestamp,
+    /// Tables the query reads.
+    pub tables: Vec<TableId>,
+}
+
+/// Result of one real-time run.
+#[derive(Debug)]
+pub struct RunnerOutcome {
+    /// Replay engine metrics.
+    pub metrics: ReplayMetrics,
+    /// Wall-clock visibility delay per query, in the order submitted.
+    pub delays: Vec<Duration>,
+    /// Queries that timed out waiting for visibility.
+    pub timed_out: usize,
+}
+
+impl RunnerOutcome {
+    /// Mean visibility delay.
+    pub fn mean_delay(&self) -> Duration {
+        if self.delays.is_empty() {
+            Duration::ZERO
+        } else {
+            self.delays.iter().sum::<Duration>() / self.delays.len() as u32
+        }
+    }
+}
+
+/// Configuration of a real-time run.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Compresses primary time: a primary microsecond takes
+    /// `1 / time_scale` wall microseconds (e.g. `10.0` replays a
+    /// 10-second log in one second).
+    pub time_scale: f64,
+    /// Per-query visibility timeout.
+    pub query_timeout: Duration,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self { time_scale: 1.0, query_timeout: Duration::from_secs(30) }
+    }
+}
+
+/// Runs `engine` against a paced epoch stream while serving `queries`.
+///
+/// Epoch `k` is released to the engine at wall time
+/// `arrival_k / time_scale` after the run starts, where `arrival_k` is the
+/// epoch's replication-timeline arrival. Queries are issued the same way.
+pub fn run_realtime(
+    engine: &dyn ReplayEngine,
+    epochs: &[EncodedEpoch],
+    arrivals: &[Timestamp],
+    db: &MemDb,
+    queries: &[RunnerQuery],
+    cfg: &RunnerConfig,
+) -> Result<RunnerOutcome> {
+    if epochs.len() != arrivals.len() {
+        return Err(Error::Config("one arrival per epoch required".into()));
+    }
+    if cfg.time_scale <= 0.0 {
+        return Err(Error::Config("time_scale must be positive".into()));
+    }
+    let board = Arc::new(VisibilityBoard::new(engine.board_groups()));
+    let start = Instant::now();
+    let to_wall = |ts: Timestamp| -> Duration {
+        Duration::from_secs_f64(ts.as_secs_f64() / cfg.time_scale)
+    };
+
+    std::thread::scope(|scope| -> Result<RunnerOutcome> {
+        // Query threads: sleep until arrival, then block on Algorithm 3.
+        let mut waiters = Vec::with_capacity(queries.len());
+        for q in queries {
+            let board = board.clone();
+            let offset = to_wall(q.arrival);
+            let gids = engine.board_groups_for(&q.tables);
+            let timeout = cfg.query_timeout;
+            waiters.push(scope.spawn(move || {
+                let target = start + offset;
+                if let Some(sleep) = target.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(sleep);
+                }
+                let issued = Instant::now();
+                let ok = board.wait_visible(&gids, q.arrival, timeout);
+                (issued.elapsed(), ok)
+            }));
+        }
+
+        // Feeder + replay on this thread: release epochs one at a time at
+        // their arrival instants and replay each as it lands (the engine
+        // processes epochs strictly in order anyway).
+        let mut metrics = ReplayMetrics { engine: engine.name(), ..Default::default() };
+        for (epoch, arrival) in epochs.iter().zip(arrivals) {
+            let target = start + to_wall(*arrival);
+            if let Some(sleep) = target.checked_duration_since(Instant::now()) {
+                std::thread::sleep(sleep);
+            }
+            let m = engine.replay(std::slice::from_ref(epoch), db, &board)?;
+            metrics.txns += m.txns;
+            metrics.entries += m.entries;
+            metrics.bytes += m.bytes;
+            metrics.epochs += m.epochs;
+            metrics.dispatch_busy += m.dispatch_busy;
+            metrics.replay_busy += m.replay_busy;
+            metrics.commit_busy += m.commit_busy;
+            metrics.stage1_wall += m.stage1_wall;
+            metrics.stage2_wall += m.stage2_wall;
+        }
+        metrics.wall = start.elapsed();
+
+        let mut delays = Vec::with_capacity(waiters.len());
+        let mut timed_out = 0usize;
+        for w in waiters {
+            let (delay, ok) = w.join().map_err(|_| {
+                Error::Replay("query thread panicked".into())
+            })?;
+            if ok {
+                delays.push(delay);
+            } else {
+                timed_out += 1;
+            }
+        }
+        Ok(RunnerOutcome { metrics, delays, timed_out })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::aets::{AetsConfig, AetsEngine};
+    use crate::grouping::TableGrouping;
+    use aets_wal::{batch_into_epochs, encode_epoch, ReplicationTimeline};
+    use aets_workloads::tpcc::{self, TpccConfig};
+
+    fn setup(
+        num_txns: usize,
+    ) -> (aets_workloads::Workload, Vec<EncodedEpoch>, Vec<Timestamp>, AetsEngine) {
+        let w = tpcc::generate(&TpccConfig {
+            num_txns,
+            warehouses: 2,
+            oltp_tps: 20_000.0,
+            ..Default::default()
+        });
+        let raw = batch_into_epochs(w.txns.clone(), 256).unwrap();
+        let tl = ReplicationTimeline::default();
+        let arrivals = tl.arrivals(&raw);
+        let epochs: Vec<_> = raw.iter().map(encode_epoch).collect();
+        let (groups, rates) = tpcc::paper_grouping();
+        let grouping =
+            TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
+        let engine =
+            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping)
+                .unwrap();
+        (w, epochs, arrivals, engine)
+    }
+
+    #[test]
+    fn realtime_run_serves_all_queries() {
+        let (w, epochs, arrivals, engine) = setup(1_000);
+        let db = MemDb::new(w.num_tables());
+        let queries: Vec<RunnerQuery> = w
+            .queries
+            .iter()
+            .take(10)
+            .map(|q| RunnerQuery { arrival: q.arrival, tables: q.tables.clone() })
+            .collect();
+        let outcome = run_realtime(
+            &engine,
+            &epochs,
+            &arrivals,
+            &db,
+            &queries,
+            &RunnerConfig { time_scale: 20.0, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(outcome.metrics.txns, w.txns.len());
+        assert_eq!(outcome.timed_out, 0, "no query may time out");
+        assert_eq!(outcome.delays.len(), queries.len());
+        assert!(outcome.mean_delay() < Duration::from_secs(5));
+        assert!(db.all_chains_ordered());
+    }
+
+    #[test]
+    fn pacing_spreads_replay_over_the_timeline() {
+        let (w, epochs, arrivals, engine) = setup(600);
+        let db = MemDb::new(w.num_tables());
+        // 10x compression: a ~30ms primary window takes >= ~3ms wall.
+        let cfg = RunnerConfig { time_scale: 10.0, ..Default::default() };
+        let expected_min =
+            Duration::from_secs_f64(arrivals.last().unwrap().as_secs_f64() / 10.0);
+        let outcome = run_realtime(&engine, &epochs, &arrivals, &db, &[], &cfg).unwrap();
+        assert!(
+            outcome.metrics.wall >= expected_min,
+            "run finished before the last epoch could arrive: {:?} < {:?}",
+            outcome.metrics.wall,
+            expected_min
+        );
+        assert_eq!(outcome.metrics.txns, w.txns.len());
+    }
+
+    #[test]
+    fn config_validation() {
+        let (w, epochs, arrivals, engine) = setup(100);
+        let db = MemDb::new(w.num_tables());
+        assert!(run_realtime(
+            &engine,
+            &epochs,
+            &arrivals[..arrivals.len() - 1],
+            &db,
+            &[],
+            &RunnerConfig::default(),
+        )
+        .is_err());
+        assert!(run_realtime(
+            &engine,
+            &epochs,
+            &arrivals,
+            &db,
+            &[],
+            &RunnerConfig { time_scale: 0.0, ..Default::default() },
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Visibility at the backup (Algorithm 3).
+//!
+//! Each table group publishes `tg_cmt_ts` — the commit timestamp of its
+//! latest committed transaction — and the engine publishes a global
+//! `global_cmt_ts` high-water mark. A query with arrival timestamp `qts`
+//! over groups `G` proceeds once `min_{g in G} tg_cmt_ts(g) >= qts` or
+//! `global_cmt_ts >= qts`; otherwise it waits for replay to catch up.
+
+use aets_common::{GroupId, Timestamp};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared visibility state between the replay engine (writer) and query
+/// threads (waiters).
+#[derive(Debug)]
+pub struct VisibilityBoard {
+    groups: Vec<AtomicU64>,
+    global: AtomicU64,
+    gate: Mutex<()>,
+    cv: Condvar,
+}
+
+impl VisibilityBoard {
+    /// Creates a board for `num_groups` groups, all at timestamp zero.
+    pub fn new(num_groups: usize) -> Self {
+        Self {
+            groups: (0..num_groups).map(|_| AtomicU64::new(0)).collect(),
+            global: AtomicU64::new(0),
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of groups on the board.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Publishes a (monotone) group commit timestamp and wakes waiters.
+    /// Called by the group's commit thread at the end of Algorithm 1.
+    pub fn publish_group(&self, g: GroupId, ts: Timestamp) {
+        self.groups[g.index()].fetch_max(ts.as_micros(), Ordering::Release);
+        let _guard = self.gate.lock();
+        self.cv.notify_all();
+    }
+
+    /// Publishes the global commit high-water mark.
+    pub fn publish_global(&self, ts: Timestamp) {
+        self.global.fetch_max(ts.as_micros(), Ordering::Release);
+        let _guard = self.gate.lock();
+        self.cv.notify_all();
+    }
+
+    /// Current `tg_cmt_ts` of `g`.
+    pub fn tg_cmt_ts(&self, g: GroupId) -> Timestamp {
+        Timestamp::from_micros(self.groups[g.index()].load(Ordering::Acquire))
+    }
+
+    /// Current `global_cmt_ts`.
+    pub fn global_cmt_ts(&self) -> Timestamp {
+        Timestamp::from_micros(self.global.load(Ordering::Acquire))
+    }
+
+    /// `min_tg_cmt_ts` over a set of groups (`Timestamp::MAX` if empty).
+    pub fn min_over(&self, gids: &[GroupId]) -> Timestamp {
+        gids.iter().map(|g| self.tg_cmt_ts(*g)).min().unwrap_or(Timestamp::MAX)
+    }
+
+    /// The Algorithm 3 admission condition for a query at `qts` over
+    /// `gids`.
+    pub fn is_visible(&self, gids: &[GroupId], qts: Timestamp) -> bool {
+        self.min_over(gids) >= qts || self.global_cmt_ts() >= qts
+    }
+
+    /// Blocks until [`VisibilityBoard::is_visible`] holds or `timeout`
+    /// elapses. Returns `true` if visibility was reached.
+    pub fn wait_visible(&self, gids: &[GroupId], qts: Timestamp, timeout: Duration) -> bool {
+        if self.is_visible(gids, qts) {
+            return true;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.gate.lock();
+        while !self.is_visible(gids, qts) {
+            if self.cv.wait_until(&mut guard, deadline).timed_out() {
+                return self.is_visible(gids, qts);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn g(i: u32) -> GroupId {
+        GroupId::new(i)
+    }
+
+    #[test]
+    fn publishes_are_monotone() {
+        let b = VisibilityBoard::new(2);
+        b.publish_group(g(0), Timestamp::from_micros(100));
+        b.publish_group(g(0), Timestamp::from_micros(50)); // stale, ignored
+        assert_eq!(b.tg_cmt_ts(g(0)), Timestamp::from_micros(100));
+        b.publish_global(Timestamp::from_micros(70));
+        b.publish_global(Timestamp::from_micros(60));
+        assert_eq!(b.global_cmt_ts(), Timestamp::from_micros(70));
+    }
+
+    #[test]
+    fn min_over_takes_the_laggard() {
+        let b = VisibilityBoard::new(3);
+        b.publish_group(g(0), Timestamp::from_micros(100));
+        b.publish_group(g(1), Timestamp::from_micros(10));
+        b.publish_group(g(2), Timestamp::from_micros(200));
+        assert_eq!(b.min_over(&[g(0), g(1)]), Timestamp::from_micros(10));
+        assert_eq!(b.min_over(&[g(0), g(2)]), Timestamp::from_micros(100));
+    }
+
+    #[test]
+    fn global_watermark_unblocks_idle_groups() {
+        let b = VisibilityBoard::new(2);
+        b.publish_group(g(0), Timestamp::from_micros(5)); // group 1 never updated
+        let qts = Timestamp::from_micros(50);
+        assert!(!b.is_visible(&[g(0), g(1)], qts));
+        b.publish_global(Timestamp::from_micros(60));
+        assert!(b.is_visible(&[g(0), g(1)], qts), "global_cmt_ts must admit the query");
+    }
+
+    #[test]
+    fn wait_visible_blocks_until_publish() {
+        let b = Arc::new(VisibilityBoard::new(1));
+        let waiter = {
+            let b = b.clone();
+            thread::spawn(move || {
+                b.wait_visible(&[g(0)], Timestamp::from_micros(100), Duration::from_secs(5))
+            })
+        };
+        thread::sleep(Duration::from_millis(20));
+        b.publish_group(g(0), Timestamp::from_micros(150));
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn wait_visible_times_out() {
+        let b = VisibilityBoard::new(1);
+        let ok = b.wait_visible(
+            &[g(0)],
+            Timestamp::from_micros(100),
+            Duration::from_millis(30),
+        );
+        assert!(!ok);
+    }
+
+    #[test]
+    fn empty_group_set_is_immediately_visible() {
+        let b = VisibilityBoard::new(1);
+        assert!(b.is_visible(&[], Timestamp::MAX));
+    }
+}

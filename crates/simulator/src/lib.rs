@@ -1,0 +1,22 @@
+//! Deterministic analytic simulator of the replay pipelines.
+//!
+//! The paper's performance evaluation needs a 64-core testbed; this crate
+//! substitutes a virtual-clock model so thread-count sweeps (Figure 11),
+//! visibility-delay experiments (Figures 8c/9c/10/12/13), and breakdowns
+//! (Table II) run deterministically anywhere. The model shares the
+//! grouping and thread-allocation code with the real engines in
+//! `aets-replay`; only time comes from the [`CostModel`].
+
+pub mod cost;
+pub mod curve;
+pub mod engines;
+pub mod profile;
+pub mod queries;
+
+pub use cost::CostModel;
+pub use curve::VisibilityCurve;
+pub use engines::{simulate, SimAetsConfig, SimConfig, SimEngineKind, SimOutcome};
+pub use profile::{profile_epochs, EpochProfile, GroupEpochProfile, TxnSlice};
+pub use queries::{
+    evaluate_by_class, evaluate_by_slot, evaluate_queries, query_delay, DelayStats,
+};

@@ -1,0 +1,184 @@
+//! Workload profiles: the per-epoch, per-group shape of a log stream.
+//!
+//! The simulator does not touch encoded bytes; it consumes counts — how
+//! many entries each transaction routes to each group, and each
+//! transaction's commit timestamp. Profiles are derived from the same
+//! `TxnLog` streams and `TableGrouping`s the real engines use, so the two
+//! harnesses cannot drift.
+
+use aets_common::{GroupId, Timestamp, TxnId};
+use aets_replay::TableGrouping;
+use aets_wal::TxnLog;
+
+/// One transaction's footprint in one group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxnSlice {
+    /// Transaction id.
+    pub txn_id: TxnId,
+    /// Commit timestamp on the primary.
+    pub commit_ts: Timestamp,
+    /// Entries this transaction routes to the group.
+    pub entries: u32,
+    /// Encoded bytes of those entries.
+    pub bytes: u64,
+}
+
+/// A group's work for one epoch, in commit order.
+#[derive(Debug, Clone, Default)]
+pub struct GroupEpochProfile {
+    /// Mini-transactions (commit_order_queue), in commit order.
+    pub txns: Vec<TxnSlice>,
+    /// Total entries.
+    pub entries: u64,
+    /// Total bytes.
+    pub bytes: u64,
+}
+
+/// One epoch's profile.
+#[derive(Debug, Clone)]
+pub struct EpochProfile {
+    /// Per-group work, indexed by `GroupId`.
+    pub groups: Vec<GroupEpochProfile>,
+    /// Commit timestamp of the epoch's last transaction.
+    pub max_commit_ts: Timestamp,
+    /// Transactions in the epoch.
+    pub txn_count: usize,
+    /// Total entries in the epoch.
+    pub entries: u64,
+    /// Time the epoch becomes available on the backup (last commit +
+    /// replication latency). `ZERO` for pre-resident replay runs.
+    pub arrival: Timestamp,
+}
+
+/// Builds per-epoch profiles from a committed transaction stream.
+///
+/// `paced` controls arrival times: `true` models real-time replication
+/// (epoch arrives `replication_latency_us` after its last commit), `false`
+/// models the RQ2 setup where all logs are pre-resident in backup memory.
+pub fn profile_epochs(
+    txns: &[TxnLog],
+    epoch_size: usize,
+    grouping: &TableGrouping,
+    replication_latency_us: u64,
+    paced: bool,
+) -> Vec<EpochProfile> {
+    assert!(epoch_size > 0, "epoch_size must be positive");
+    let num_groups = grouping.num_groups();
+    let mut out = Vec::with_capacity(txns.len() / epoch_size + 1);
+    for chunk in txns.chunks(epoch_size) {
+        let mut groups: Vec<GroupEpochProfile> =
+            vec![GroupEpochProfile::default(); num_groups];
+        let mut entries_total = 0u64;
+        for t in chunk {
+            // Count per group.
+            let mut counts = vec![(0u32, 0u64); num_groups];
+            for e in &t.entries {
+                let g = grouping.group_of(e.table).index();
+                counts[g].0 += 1;
+                counts[g].1 += e.wire_size() as u64;
+                entries_total += 1;
+            }
+            for (g, (n, b)) in counts.into_iter().enumerate() {
+                if n > 0 || t.entries.is_empty() {
+                    // Heartbeats land in every group.
+                    groups[g].txns.push(TxnSlice {
+                        txn_id: t.txn_id,
+                        commit_ts: t.commit_ts,
+                        entries: n,
+                        bytes: b,
+                    });
+                    groups[g].entries += n as u64;
+                    groups[g].bytes += b;
+                }
+            }
+        }
+        let max_commit_ts = chunk.last().expect("non-empty chunk").commit_ts;
+        let arrival = if paced {
+            max_commit_ts.saturating_add(replication_latency_us)
+        } else {
+            Timestamp::ZERO
+        };
+        out.push(EpochProfile {
+            groups,
+            max_commit_ts,
+            txn_count: chunk.len(),
+            entries: entries_total,
+            arrival,
+        });
+    }
+    out
+}
+
+impl EpochProfile {
+    /// Per-group pending bytes (`n_gi` for the allocation solver).
+    pub fn pending_bytes(&self) -> Vec<u64> {
+        self.groups.iter().map(|g| g.bytes).collect()
+    }
+
+    /// Work of one group.
+    pub fn group(&self, g: GroupId) -> &GroupEpochProfile {
+        &self.groups[g.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aets_common::FxHashSet;
+    use aets_workloads::tpcc::{self, TpccConfig};
+
+    fn setup() -> (Vec<TxnLog>, TableGrouping) {
+        let w = tpcc::generate(&TpccConfig { num_txns: 1000, warehouses: 2, ..Default::default() });
+        let (groups, rates) = tpcc::paper_grouping();
+        let g = TableGrouping::new(w.table_names.len(), groups, rates, &w.analytic_tables)
+            .unwrap();
+        (w.txns, g)
+    }
+
+    #[test]
+    fn profiles_preserve_totals() {
+        let (txns, g) = setup();
+        let total_entries: usize = txns.iter().map(|t| t.entries.len()).sum();
+        let profiles = profile_epochs(&txns, 256, &g, 500, true);
+        assert_eq!(profiles.len(), 4);
+        let sum: u64 = profiles.iter().map(|p| p.entries).sum();
+        assert_eq!(sum as usize, total_entries);
+        let txn_sum: usize = profiles.iter().map(|p| p.txn_count).sum();
+        assert_eq!(txn_sum, txns.len());
+    }
+
+    #[test]
+    fn group_queues_are_in_commit_order() {
+        let (txns, g) = setup();
+        let profiles = profile_epochs(&txns, 128, &g, 500, true);
+        for p in &profiles {
+            for gp in &p.groups {
+                assert!(gp.txns.windows(2).all(|w| w[0].txn_id < w[1].txn_id));
+                let n: u64 = gp.txns.iter().map(|t| t.entries as u64).sum();
+                assert_eq!(n, gp.entries);
+            }
+        }
+    }
+
+    #[test]
+    fn paced_arrivals_follow_commits() {
+        let (txns, g) = setup();
+        let paced = profile_epochs(&txns, 128, &g, 500, true);
+        for p in &paced {
+            assert_eq!(p.arrival, p.max_commit_ts.saturating_add(500));
+        }
+        let resident = profile_epochs(&txns, 128, &g, 500, false);
+        assert!(resident.iter().all(|p| p.arrival == Timestamp::ZERO));
+    }
+
+    #[test]
+    fn single_grouping_routes_everything_to_group_zero() {
+        let (txns, _) = setup();
+        let g = TableGrouping::single(9, &FxHashSet::default());
+        let profiles = profile_epochs(&txns, 512, &g, 0, false);
+        for p in &profiles {
+            assert_eq!(p.groups.len(), 1);
+            assert_eq!(p.groups[0].entries, p.entries);
+        }
+    }
+}

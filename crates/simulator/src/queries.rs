@@ -1,0 +1,222 @@
+//! Visibility-delay evaluation of analytical query streams (Algorithm 3
+//! on the virtual clock).
+
+use crate::engines::SimOutcome;
+use aets_common::{GroupId, TableId, Timestamp};
+use aets_workloads::QueryInstance;
+
+/// Delay statistics for a set of queries.
+#[derive(Debug, Clone, Default)]
+pub struct DelayStats {
+    /// Per-query delays in µs (order matches the evaluated stream).
+    pub delays: Vec<u64>,
+    /// Queries whose data was never replayed within the run (excluded
+    /// from the aggregate statistics).
+    pub unresolved: usize,
+}
+
+impl DelayStats {
+    /// Mean delay in µs.
+    pub fn mean(&self) -> f64 {
+        if self.delays.is_empty() {
+            0.0
+        } else {
+            self.delays.iter().sum::<u64>() as f64 / self.delays.len() as f64
+        }
+    }
+
+    /// p-th percentile delay in µs (p in [0, 100]).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.delays.is_empty() {
+            return 0;
+        }
+        let mut v = self.delays.clone();
+        v.sort_unstable();
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[idx.min(v.len() - 1)]
+    }
+
+    /// Maximum delay in µs.
+    pub fn max(&self) -> u64 {
+        self.delays.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes the visibility delay of one query: the time between its
+/// arrival `qts` and the moment Algorithm 3 admits it (all its groups
+/// reach `qts`, or the global watermark does). `None` if the run ended
+/// before the data became visible.
+pub fn query_delay(
+    outcome: &SimOutcome,
+    gids: &[GroupId],
+    qts: Timestamp,
+) -> Option<u64> {
+    // All groups must reach qts: the admission time is the max over
+    // groups of each group's first-reach time.
+    let mut group_wall: u64 = 0;
+    for g in gids {
+        match outcome.group_curves[g.index()].first_time_reaching(qts) {
+            Some(w) => group_wall = group_wall.max(w),
+            None => group_wall = u64::MAX,
+        }
+    }
+    if gids.is_empty() {
+        group_wall = 0;
+    }
+    let global_wall = outcome.global_curve.first_time_reaching(qts).unwrap_or(u64::MAX);
+    let admitted = group_wall.min(global_wall);
+    if admitted == u64::MAX {
+        return None;
+    }
+    Some(admitted.saturating_sub(qts.as_micros()))
+}
+
+/// Evaluates a whole query stream. `map_groups` translates a query's
+/// table footprint to the engine's board groups (the grouping's
+/// `groups_of` for AETS; the constant `[0]` for ungrouped baselines).
+pub fn evaluate_queries(
+    outcome: &SimOutcome,
+    queries: &[QueryInstance],
+    mut map_groups: impl FnMut(&[TableId]) -> Vec<GroupId>,
+) -> DelayStats {
+    let mut stats = DelayStats::default();
+    for q in queries {
+        let gids = map_groups(&q.tables);
+        match query_delay(outcome, &gids, q.arrival) {
+            Some(d) => stats.delays.push(d),
+            None => stats.unresolved += 1,
+        }
+    }
+    stats
+}
+
+/// Evaluates a query stream bucketed by query class (CH-benCHmark's
+/// per-query Figure 10). Returns `(class, stats)` sorted by class.
+pub fn evaluate_by_class(
+    outcome: &SimOutcome,
+    queries: &[QueryInstance],
+    mut map_groups: impl FnMut(&[TableId]) -> Vec<GroupId>,
+) -> Vec<(u32, DelayStats)> {
+    let mut by_class: std::collections::BTreeMap<u32, DelayStats> =
+        std::collections::BTreeMap::new();
+    for q in queries {
+        let gids = map_groups(&q.tables);
+        let entry = by_class.entry(q.class).or_default();
+        match query_delay(outcome, &gids, q.arrival) {
+            Some(d) => entry.delays.push(d),
+            None => entry.unresolved += 1,
+        }
+    }
+    by_class.into_iter().collect()
+}
+
+/// Evaluates a query stream bucketed by time slot of length
+/// `slot_len_us` (Figure 13's per-minute series). Returns mean delay per
+/// slot; empty slots yield 0.
+pub fn evaluate_by_slot(
+    outcome: &SimOutcome,
+    queries: &[QueryInstance],
+    slot_len_us: u64,
+    num_slots: usize,
+    mut map_groups: impl FnMut(&[TableId]) -> Vec<GroupId>,
+) -> Vec<f64> {
+    let mut sums = vec![0u64; num_slots];
+    let mut counts = vec![0u64; num_slots];
+    for q in queries {
+        let slot = (q.arrival.as_micros() / slot_len_us.max(1)) as usize;
+        if slot >= num_slots {
+            continue;
+        }
+        let gids = map_groups(&q.tables);
+        if let Some(d) = query_delay(outcome, &gids, q.arrival) {
+            sums[slot] += d;
+            counts[slot] += 1;
+        }
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(s, c)| if *c == 0 { 0.0 } else { *s as f64 / *c as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::VisibilityCurve;
+
+    fn outcome_with(groups: Vec<VisibilityCurve>, global: VisibilityCurve) -> SimOutcome {
+        SimOutcome {
+            name: "test",
+            group_curves: groups,
+            global_curve: global,
+            wall_us: 1000,
+            entries: 0,
+            txns: 0,
+            dispatch_busy: 0.0,
+            replay_busy: 0.0,
+            commit_busy: 0.0,
+            stage1_wall: 0.0,
+            stage2_wall: 0.0,
+        }
+    }
+
+    fn ts(us: u64) -> Timestamp {
+        Timestamp::from_micros(us)
+    }
+
+    #[test]
+    fn delay_waits_for_the_slowest_group() {
+        let mut fast = VisibilityCurve::new();
+        fast.push(50, ts(100));
+        let mut slow = VisibilityCurve::new();
+        slow.push(400, ts(100));
+        let o = outcome_with(vec![fast, slow], VisibilityCurve::new());
+        let d = query_delay(&o, &[GroupId::new(0), GroupId::new(1)], ts(100)).unwrap();
+        assert_eq!(d, 300); // admitted at wall 400, arrived at 100
+        let d0 = query_delay(&o, &[GroupId::new(0)], ts(100)).unwrap();
+        assert_eq!(d0, 0); // wall 50 < qts 100: already visible on arrival
+    }
+
+    #[test]
+    fn global_watermark_rescues_idle_groups() {
+        let idle = VisibilityCurve::new(); // group never publishes
+        let mut global = VisibilityCurve::new();
+        global.push(700, ts(500));
+        let o = outcome_with(vec![idle], global);
+        let d = query_delay(&o, &[GroupId::new(0)], ts(500)).unwrap();
+        assert_eq!(d, 200);
+    }
+
+    #[test]
+    fn unresolved_when_never_visible() {
+        let o = outcome_with(vec![VisibilityCurve::new()], VisibilityCurve::new());
+        assert_eq!(query_delay(&o, &[GroupId::new(0)], ts(1)), None);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let mut s = DelayStats::default();
+        s.delays = vec![10, 20, 30, 40, 100];
+        assert_eq!(s.mean(), 40.0);
+        assert_eq!(s.percentile(50.0), 30);
+        assert_eq!(s.percentile(100.0), 100);
+        assert_eq!(s.max(), 100);
+        assert_eq!(DelayStats::default().percentile(99.0), 0);
+    }
+
+    #[test]
+    fn slot_bucketing() {
+        let mut g = VisibilityCurve::new();
+        g.push(150, ts(100));
+        g.push(1100, ts(1000));
+        let o = outcome_with(vec![g], VisibilityCurve::new());
+        let queries = vec![
+            QueryInstance { id: 0, class: 0, arrival: ts(100), tables: vec![] },
+            QueryInstance { id: 1, class: 0, arrival: ts(1000), tables: vec![] },
+        ];
+        let slots = evaluate_by_slot(&o, &queries, 500, 3, |_| vec![GroupId::new(0)]);
+        assert_eq!(slots.len(), 3);
+        assert_eq!(slots[0], 50.0); // admitted 150, arrival 100
+        assert_eq!(slots[2], 100.0); // admitted 1100, arrival 1000
+    }
+}

@@ -1,0 +1,462 @@
+//! Binary codec for the replicated value log.
+//!
+//! A deliberately simple little-endian framing: each record starts with a
+//! one-byte type tag. DML payloads are length-prefixed. The codec is the
+//! boundary between the "primary" (workload generators) and the backup's
+//! log parser; the dispatch-cost distinction the paper draws between
+//! metadata-only parsing (ATR/AETS) and full-data-image parsing (C5) maps
+//! onto [`decode_meta`] vs [`decode_record`].
+
+use crate::entry::{DmlEntry, LogRecord};
+use aets_common::{ColumnId, DmlOp, Error, Lsn, Result, Row, RowKey, TableId, Timestamp, TxnId, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const TAG_BEGIN: u8 = 0xB0;
+const TAG_COMMIT: u8 = 0xC0;
+const TAG_DML: u8 = 0xD0;
+
+const VTAG_NULL: u8 = 0;
+const VTAG_INT: u8 = 1;
+const VTAG_FLOAT: u8 = 2;
+const VTAG_TEXT: u8 = 3;
+const VTAG_BYTES: u8 = 4;
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(VTAG_NULL),
+        Value::Int(i) => {
+            buf.put_u8(VTAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(VTAG_FLOAT);
+            buf.put_f64_le(*f);
+        }
+        Value::Text(s) => {
+            buf.put_u8(VTAG_TEXT);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            buf.put_u8(VTAG_BYTES);
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(b);
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Result<Value> {
+    if buf.remaining() < 1 {
+        return Err(Error::Codec("truncated value tag".into()));
+    }
+    match buf.get_u8() {
+        VTAG_NULL => Ok(Value::Null),
+        VTAG_INT => {
+            need(buf, 8)?;
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        VTAG_FLOAT => {
+            need(buf, 8)?;
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        VTAG_TEXT => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, n)?;
+            let raw = buf.split_to(n);
+            String::from_utf8(raw.to_vec())
+                .map(Value::Text)
+                .map_err(|_| Error::Codec("invalid utf-8 in text value".into()))
+        }
+        VTAG_BYTES => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, n)?;
+            Ok(Value::Bytes(buf.split_to(n).to_vec()))
+        }
+        t => Err(Error::Codec(format!("unknown value tag {t}"))),
+    }
+}
+
+fn put_row(buf: &mut BytesMut, row: &Row) {
+    buf.put_u16_le(row.len() as u16);
+    for (cid, v) in row {
+        buf.put_u16_le(cid.raw());
+        put_value(buf, v);
+    }
+}
+
+fn get_row(buf: &mut Bytes) -> Result<Row> {
+    need(buf, 2)?;
+    let n = buf.get_u16_le() as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(buf, 2)?;
+        let cid = ColumnId::new(buf.get_u16_le());
+        row.push((cid, get_value(buf)?));
+    }
+    Ok(row)
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        Err(Error::Codec(format!("truncated record: need {n} more bytes")))
+    } else {
+        Ok(())
+    }
+}
+
+/// Encodes one record, appending to `buf`.
+pub fn encode_record(buf: &mut BytesMut, rec: &LogRecord) {
+    match rec {
+        LogRecord::Begin { lsn, txn_id, ts } => {
+            buf.put_u8(TAG_BEGIN);
+            buf.put_u64_le(lsn.raw());
+            buf.put_u64_le(txn_id.raw());
+            buf.put_u64_le(ts.as_micros());
+        }
+        LogRecord::Commit { lsn, txn_id, ts } => {
+            buf.put_u8(TAG_COMMIT);
+            buf.put_u64_le(lsn.raw());
+            buf.put_u64_le(txn_id.raw());
+            buf.put_u64_le(ts.as_micros());
+        }
+        LogRecord::Dml(d) => {
+            buf.put_u8(TAG_DML);
+            buf.put_u64_le(d.lsn.raw());
+            buf.put_u64_le(d.txn_id.raw());
+            buf.put_u64_le(d.ts.as_micros());
+            buf.put_u32_le(d.table.raw());
+            buf.put_u8(d.op.tag());
+            buf.put_u64_le(d.key.raw());
+            buf.put_u64_le(d.row_version);
+            buf.put_u8(u8::from(d.before.is_some()));
+            put_row(buf, &d.cols);
+            if let Some(before) = &d.before {
+                put_row(buf, before);
+            }
+        }
+    }
+}
+
+/// Decodes one record from the front of `buf`, consuming it.
+pub fn decode_record(buf: &mut Bytes) -> Result<LogRecord> {
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    match tag {
+        TAG_BEGIN | TAG_COMMIT => {
+            need(buf, 24)?;
+            let lsn = Lsn::new(buf.get_u64_le());
+            let txn_id = TxnId::new(buf.get_u64_le());
+            let ts = Timestamp::from_micros(buf.get_u64_le());
+            Ok(if tag == TAG_BEGIN {
+                LogRecord::Begin { lsn, txn_id, ts }
+            } else {
+                LogRecord::Commit { lsn, txn_id, ts }
+            })
+        }
+        TAG_DML => {
+            // lsn(8) + txn(8) + ts(8) + table(4) + op(1) + key(8) +
+            // row_version(8) + before-flag(1)
+            need(buf, 46)?;
+            let lsn = Lsn::new(buf.get_u64_le());
+            let txn_id = TxnId::new(buf.get_u64_le());
+            let ts = Timestamp::from_micros(buf.get_u64_le());
+            let table = TableId::new(buf.get_u32_le());
+            let op = DmlOp::from_tag(buf.get_u8())
+                .ok_or_else(|| Error::Codec("unknown dml op tag".into()))?;
+            let key = RowKey::new(buf.get_u64_le());
+            let row_version = buf.get_u64_le();
+            let has_before = buf.get_u8() != 0;
+            let cols = get_row(buf)?;
+            let before = if has_before { Some(get_row(buf)?) } else { None };
+            Ok(LogRecord::Dml(DmlEntry {
+                lsn, txn_id, ts, table, op, key, row_version, cols, before,
+            }))
+        }
+        t => Err(Error::Codec(format!("unknown record tag {t:#x}"))),
+    }
+}
+
+/// Metadata of a DML entry decoded without touching the data image.
+///
+/// This is what ATR and AETS parse at dispatch time ("only need to parse
+/// the log metadata", Section VI-B); C5 must decode the full record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordMeta {
+    /// Record LSN.
+    pub lsn: Lsn,
+    /// Producing transaction.
+    pub txn_id: TxnId,
+    /// Entry creation timestamp.
+    pub ts: Timestamp,
+    /// Table id for DML records; `None` for BEGIN/COMMIT markers.
+    pub table: Option<TableId>,
+}
+
+/// Decodes only the metadata of the record at the front of `buf`, skipping
+/// the data image, and consumes the full record.
+pub fn decode_meta(buf: &mut Bytes) -> Result<RecordMeta> {
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    need(buf, 24)?;
+    let lsn = Lsn::new(buf.get_u64_le());
+    let txn_id = TxnId::new(buf.get_u64_le());
+    let ts = Timestamp::from_micros(buf.get_u64_le());
+    match tag {
+        TAG_BEGIN | TAG_COMMIT => Ok(RecordMeta { lsn, txn_id, ts, table: None }),
+        TAG_DML => {
+            need(buf, 21)?;
+            let table = TableId::new(buf.get_u32_le());
+            let _op = buf.get_u8();
+            let _key = buf.get_u64_le();
+            let _row_version = buf.get_u64_le();
+            need(buf, 1)?;
+            let has_before = buf.get_u8() != 0;
+            skip_row(buf)?;
+            if has_before {
+                skip_row(buf)?;
+            }
+            Ok(RecordMeta { lsn, txn_id, ts, table: Some(table) })
+        }
+        t => Err(Error::Codec(format!("unknown record tag {t:#x}"))),
+    }
+}
+
+fn skip_row(buf: &mut Bytes) -> Result<()> {
+    need(buf, 2)?;
+    let n = buf.get_u16_le() as usize;
+    for _ in 0..n {
+        need(buf, 3)?;
+        buf.advance(2); // column id
+        let vtag = buf.get_u8();
+        let skip = match vtag {
+            VTAG_NULL => 0,
+            VTAG_INT | VTAG_FLOAT => 8,
+            VTAG_TEXT | VTAG_BYTES => {
+                need(buf, 4)?;
+                buf.get_u32_le() as usize
+            }
+            t => return Err(Error::Codec(format!("unknown value tag {t}"))),
+        };
+        need(buf, skip)?;
+        buf.advance(skip);
+    }
+    Ok(())
+}
+
+/// Scans a buffer record-by-record, yielding each record's metadata and
+/// its byte range, without decoding data images.
+///
+/// This is the dispatcher's view in ATR and AETS: route on metadata, let a
+/// replay worker decode the full record later from the recorded range.
+#[derive(Debug, Clone)]
+pub struct MetaScanner {
+    buf: Bytes,
+    pos: usize,
+}
+
+impl MetaScanner {
+    /// Creates a scanner over `buf`.
+    pub fn new(buf: Bytes) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Iterator for MetaScanner {
+    type Item = Result<(RecordMeta, std::ops::Range<usize>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        let mut rest = self.buf.slice(self.pos..);
+        let before = rest.remaining();
+        match decode_meta(&mut rest) {
+            Ok(meta) => {
+                let consumed = before - rest.remaining();
+                let range = self.pos..self.pos + consumed;
+                self.pos += consumed;
+                Some(Ok((meta, range)))
+            }
+            Err(e) => {
+                self.pos = self.buf.len(); // stop iteration after an error
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Decodes the full record stored at `range` of `buf` (a range previously
+/// produced by [`MetaScanner`]).
+pub fn decode_at(buf: &Bytes, range: std::ops::Range<usize>) -> Result<LogRecord> {
+    let mut slice = buf.slice(range);
+    decode_record(&mut slice)
+}
+
+/// Encodes a batch of records into one buffer.
+pub fn encode_batch(records: &[LogRecord]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(records.len() * 64);
+    for r in records {
+        encode_record(&mut buf, r);
+    }
+    buf.freeze()
+}
+
+/// Decodes a whole buffer into records.
+pub fn decode_batch(mut buf: Bytes) -> Result<Vec<LogRecord>> {
+    let mut out = Vec::new();
+    while buf.has_remaining() {
+        out.push(decode_record(&mut buf)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_dml() -> LogRecord {
+        LogRecord::Dml(DmlEntry {
+            lsn: Lsn::new(42),
+            txn_id: TxnId::new(7),
+            ts: Timestamp::from_micros(123456),
+            table: TableId::new(3),
+            op: DmlOp::Update,
+            key: RowKey::new(99),
+            row_version: 7,
+            cols: vec![
+                (ColumnId::new(0), Value::Int(-5)),
+                (ColumnId::new(2), Value::Text("hello".into())),
+                (ColumnId::new(4), Value::Null),
+                (ColumnId::new(5), Value::Float(2.25)),
+                (ColumnId::new(6), Value::Bytes(vec![1, 2, 3])),
+            ],
+            before: Some(vec![(ColumnId::new(0), Value::Int(4))]),
+        })
+    }
+
+    #[test]
+    fn round_trip_all_record_kinds() {
+        let records = vec![
+            LogRecord::Begin {
+                lsn: Lsn::new(1),
+                txn_id: TxnId::new(7),
+                ts: Timestamp::from_micros(5),
+            },
+            sample_dml(),
+            LogRecord::Commit {
+                lsn: Lsn::new(43),
+                txn_id: TxnId::new(7),
+                ts: Timestamp::from_micros(123460),
+            },
+        ];
+        let buf = encode_batch(&records);
+        let decoded = decode_batch(buf).unwrap();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn meta_decode_skips_payload_and_consumes_record() {
+        let records = vec![sample_dml(), sample_dml()];
+        let mut buf = encode_batch(&records);
+        let m1 = decode_meta(&mut buf).unwrap();
+        assert_eq!(m1.lsn, Lsn::new(42));
+        assert_eq!(m1.table, Some(TableId::new(3)));
+        // Second record must decode cleanly from the same position.
+        let m2 = decode_meta(&mut buf).unwrap();
+        assert_eq!(m2.txn_id, TxnId::new(7));
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn truncated_buffers_error_not_panic() {
+        let full = encode_batch(&[sample_dml()]);
+        for cut in 0..full.len() {
+            let mut b = full.slice(..cut);
+            assert!(decode_record(&mut b).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let mut b = Bytes::from_static(&[0xFFu8; 32][..]);
+        assert!(matches!(decode_record(&mut b), Err(Error::Codec(_))));
+        let mut b2 = Bytes::from_static(&[0xFFu8; 32][..]);
+        assert!(decode_meta(&mut b2).is_err());
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<i64>().prop_map(Value::Int),
+            (-1e12f64..1e12).prop_map(Value::Float),
+            "[a-zA-Z0-9]{0,40}".prop_map(Value::Text),
+            prop::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+        ]
+    }
+
+    fn arb_row() -> impl Strategy<Value = Row> {
+        prop::collection::vec((any::<u16>().prop_map(ColumnId::new), arb_value()), 0..8)
+    }
+
+    proptest! {
+        #[test]
+        fn dml_round_trips(
+            lsn in any::<u64>(),
+            txn in any::<u64>(),
+            ts in any::<u64>(),
+            table in any::<u32>(),
+            op in prop_oneof![Just(DmlOp::Insert), Just(DmlOp::Update), Just(DmlOp::Delete)],
+            key in any::<u64>(),
+            row_version in any::<u64>(),
+            cols in arb_row(),
+            before in prop::option::of(arb_row()),
+        ) {
+            let rec = LogRecord::Dml(DmlEntry {
+                lsn: Lsn::new(lsn),
+                txn_id: TxnId::new(txn),
+                ts: Timestamp::from_micros(ts),
+                table: TableId::new(table),
+                op,
+                key: RowKey::new(key),
+                row_version,
+                cols,
+                before,
+            });
+            let mut buf = BytesMut::new();
+            encode_record(&mut buf, &rec);
+            let mut bytes = buf.freeze();
+            let back = decode_record(&mut bytes).unwrap();
+            prop_assert_eq!(back, rec);
+            prop_assert!(!bytes.has_remaining());
+        }
+
+        #[test]
+        fn meta_and_full_decode_agree(
+            cols in arb_row(),
+            before in prop::option::of(arb_row()),
+        ) {
+            let rec = LogRecord::Dml(DmlEntry {
+                lsn: Lsn::new(1), txn_id: TxnId::new(2), ts: Timestamp::from_micros(3),
+                table: TableId::new(4), op: DmlOp::Insert, key: RowKey::new(5),
+                row_version: 1, cols, before,
+            });
+            let mut buf = BytesMut::new();
+            encode_record(&mut buf, &rec);
+            let mut b1 = buf.clone().freeze();
+            let mut b2 = buf.freeze();
+            let meta = decode_meta(&mut b1).unwrap();
+            let full = decode_record(&mut b2).unwrap();
+            prop_assert_eq!(meta.lsn, full.lsn());
+            prop_assert_eq!(meta.txn_id, full.txn_id());
+            prop_assert_eq!(b1.remaining(), b2.remaining());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! The replicated value log of the AETS pipeline.
+//!
+//! Implements the SiloR-style value-log of Section III-A: the record format
+//! ([`entry`]), a binary codec with both full-record and metadata-only
+//! decoding ([`codec`]), transaction assembly and epoch batching
+//! ([`epoch`]), and the primary replication timeline with heartbeat
+//! insertion ([`stream`]).
+
+pub mod codec;
+pub mod entry;
+pub mod epoch;
+pub mod stream;
+
+pub use codec::{
+    decode_at, decode_batch, decode_meta, decode_record, encode_batch, encode_record,
+    MetaScanner, RecordMeta,
+};
+pub use entry::{DmlEntry, LogRecord, TxnLog};
+pub use epoch::{assemble_txns, batch_into_epochs, encode_epoch, heartbeat_txn, EncodedEpoch, Epoch};
+pub use stream::{insert_heartbeats, ReplicationTimeline};

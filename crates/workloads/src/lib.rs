@@ -1,0 +1,17 @@
+//! HTAP benchmark generators for the AETS reproduction.
+//!
+//! Each generator plays the *primary node*: it executes a benchmark's
+//! read-write transaction mix and emits the committed value-log stream,
+//! plus the analytical query stream that the backup serves. Provided
+//! workloads: TPC-C, BusTracker (synthetic reconstruction of the QB5000
+//! trace), CH-benCHmark, and SEATS (Table I statistics only).
+
+pub mod bustracker;
+pub mod chbench;
+pub mod seats;
+pub mod spec;
+pub mod stats;
+pub mod tpcc;
+
+pub use spec::{poisson_query_stream, QueryInstance, TxnFactory, Workload};
+pub use stats::{table_one_row, table_one_row_for_class, TableOneRow};

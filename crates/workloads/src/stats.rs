@@ -1,0 +1,91 @@
+//! Workload-characteristic statistics (Table I of the paper).
+
+use crate::spec::Workload;
+use aets_common::FxHashSet;
+
+/// One row of Table I for a benchmark (or one of its query classes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableOneRow {
+    /// Benchmark (and optional query-class) label.
+    pub label: String,
+    /// `num(T)`: tables written by OLTP.
+    pub num_written: usize,
+    /// `num(A)`: tables accessed by the analytical queries.
+    pub num_analytic: usize,
+    /// `num(A ∩ T)`.
+    pub num_intersection: usize,
+    /// Fraction of log entries on hot tables.
+    pub ratio: f64,
+}
+
+/// Computes the Table I row for a whole workload (hot = the union of all
+/// query-class footprints).
+pub fn table_one_row(w: &Workload) -> TableOneRow {
+    let written = w.written_tables();
+    let inter = w.analytic_tables.iter().filter(|t| written.contains(t)).count();
+    TableOneRow {
+        label: w.name.to_string(),
+        num_written: written.len(),
+        num_analytic: w.analytic_tables.len(),
+        num_intersection: inter,
+        ratio: w.hot_entry_ratio(),
+    }
+}
+
+/// Computes a Table I row for one query class of a workload: hot tables
+/// are just that class's footprint (this is how the paper reports
+/// CH-benCHmark Q1..Q6 separately).
+pub fn table_one_row_for_class(w: &Workload, class: u32) -> Option<TableOneRow> {
+    let footprint: FxHashSet<_> = w
+        .queries
+        .iter()
+        .find(|q| q.class == class)?
+        .tables
+        .iter()
+        .copied()
+        .collect();
+    let written = w.written_tables();
+    let inter = footprint.iter().filter(|t| written.contains(t)).count();
+    let mut hot = 0usize;
+    let mut total = 0usize;
+    for t in &w.txns {
+        for e in &t.entries {
+            total += 1;
+            if footprint.contains(&e.table) {
+                hot += 1;
+            }
+        }
+    }
+    Some(TableOneRow {
+        label: format!("{} Q{}", w.name, class),
+        num_written: written.len(),
+        num_analytic: footprint.len(),
+        num_intersection: inter,
+        ratio: if total == 0 { 0.0 } else { hot as f64 / total as f64 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcc::{self, TpccConfig};
+
+    #[test]
+    fn tpcc_row_matches_paper_shape() {
+        let w = tpcc::generate(&TpccConfig { num_txns: 3000, warehouses: 4, ..Default::default() });
+        let row = table_one_row(&w);
+        assert_eq!(row.num_written, 8);
+        assert_eq!(row.num_analytic, 5);
+        assert_eq!(row.num_intersection, 5);
+        assert!(row.ratio > 0.85);
+    }
+
+    #[test]
+    fn class_row_restricts_footprint() {
+        let w = tpcc::generate(&TpccConfig { num_txns: 2000, warehouses: 4, ..Default::default() });
+        let row = table_one_row_for_class(&w, 1).expect("class 1 exists");
+        assert_eq!(row.num_analytic, 3); // StockLevel footprint
+        assert!(row.ratio < table_one_row(&w).ratio);
+        assert!(table_one_row_for_class(&w, 99).is_none());
+    }
+}

@@ -1,0 +1,71 @@
+//! BusTracker end-to-end: forecast table access rates with DTGM and let
+//! the adaptive allocator follow the morning rush.
+//!
+//! ```sh
+//! cargo run --release --example bus_tracker
+//! ```
+
+use aets_suite::forecast::{Dtgm, DtgmConfig, Forecaster, Ha, RateSeries};
+use aets_suite::replay::{allocate_threads, UrgencyMode};
+use aets_suite::workloads::bustracker;
+
+fn main() {
+    // Ground truth: two weeks of per-table access rates, then today.
+    let days = 8usize;
+    let train = RateSeries::bustracker_hot(days * bustracker::DAY_SLOTS, 0.1, 11);
+    println!(
+        "training DTGM on {} slots x {} hot tables of access-rate history...",
+        train.len(),
+        train.width()
+    );
+    let dtgm = Dtgm::fit(
+        &train,
+        &bustracker::access_graph(),
+        DtgmConfig { epochs: 30, steps_per_epoch: 12, max_horizon: 1, ..Default::default() },
+    );
+    let ha = Ha { window: 60 };
+
+    // Walk through "today", predicting each slot one step ahead and
+    // allocating 32 replay threads over the three busiest tables + rest.
+    println!("\nslot  table            truth  DTGM   HA     threads(DTGM)");
+    let mut dtgm_err = 0.0f64;
+    let mut ha_err = 0.0f64;
+    let mut count = 0usize;
+    for slot in 0..bustracker::DAY_SLOTS {
+        let mut hist = train.values.clone();
+        hist.extend((0..slot).map(|s| {
+            (0..bustracker::NUM_HOT).map(|t| bustracker::access_rate(t, s)).collect::<Vec<_>>()
+        }));
+        let pred = &dtgm.forecast(&hist, 1)[0];
+        let pred_ha = &ha.forecast(&hist, 1)[0];
+
+        // Thread allocation across the 14 hot tables (equal pending logs
+        // for illustration) driven by predicted rates.
+        let pending = vec![1_000u64; bustracker::NUM_HOT];
+        let alloc = allocate_threads(32, &pending, pred, UrgencyMode::Log)
+            .expect("valid allocation inputs");
+
+        // Report the regime-shift table (m.calendar, table 1): watch DTGM
+        // anticipate the afternoon jump that a trailing average misses.
+        let t = 1usize;
+        let truth = bustracker::access_rate(t, slot);
+        dtgm_err += ((pred[t] - truth) / truth).abs();
+        ha_err += ((pred_ha[t] - truth) / truth).abs();
+        count += 1;
+        if slot % 3 == 0 {
+            println!(
+                "{slot:<5} {:<16} {truth:<6.1} {:<6.1} {:<6.1} {}",
+                bustracker::HOT_NAMES[t],
+                pred[t],
+                pred_ha[t],
+                alloc[t]
+            );
+        }
+    }
+    println!(
+        "\nMAPE on m.calendar across the day: DTGM {:.1}% vs trailing-average {:.1}%",
+        dtgm_err / count as f64 * 100.0,
+        ha_err / count as f64 * 100.0
+    );
+    println!("lower error means threads land on the right table groups before the rush hits.");
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the AETS reproduction workspace.
+//!
+//! Re-exports the public surface of every sub-crate so that examples and
+//! integration tests can use a single dependency. Downstream users should
+//! depend on the individual crates (`aets-replay`, `aets-memtable`, ...).
+
+pub use aets_common as common;
+pub use aets_forecast as forecast;
+pub use aets_memtable as memtable;
+pub use aets_neural as neural;
+pub use aets_replay as replay;
+pub use aets_simulator as simulator;
+pub use aets_wal as wal;
+pub use aets_workloads as workloads;

@@ -1,0 +1,119 @@
+//! Cross-crate integration: every parallel replay engine must converge to
+//! exactly the serial oracle's MVCC state, on every workload, at every
+//! snapshot.
+
+use aets_suite::common::{FxHashSet, TableId, Timestamp};
+use aets_suite::memtable::MemDb;
+use aets_suite::replay::{
+    AetsConfig, AetsEngine, AtrEngine, C5Engine, ReplayEngine, SerialEngine, TableGrouping,
+};
+use aets_suite::wal::{batch_into_epochs, encode_epoch, EncodedEpoch};
+use aets_suite::workloads::{bustracker, chbench, tpcc, Workload};
+
+fn encode(w: &Workload, epoch_size: usize) -> Vec<EncodedEpoch> {
+    batch_into_epochs(w.txns.clone(), epoch_size)
+        .unwrap()
+        .iter()
+        .map(encode_epoch)
+        .collect()
+}
+
+fn engines_for(w: &Workload) -> Vec<Box<dyn ReplayEngine>> {
+    let n = w.num_tables();
+    let hot = w.analytic_tables.clone();
+    let written: FxHashSet<TableId> = w.written_tables();
+    let per_table = TableGrouping::per_table(n, &hot, |t| {
+        if written.contains(&t) {
+            50.0
+        } else {
+            1.0
+        }
+    });
+    vec![
+        Box::new(
+            AetsEngine::new(AetsConfig { threads: 3, ..Default::default() }, per_table)
+                .unwrap(),
+        ),
+        Box::new(AetsEngine::tplr_baseline(3, n, &hot).unwrap()),
+        Box::new(AtrEngine::new(3).unwrap()),
+        Box::new(C5Engine::new(3).unwrap()),
+    ]
+}
+
+fn check_workload(w: Workload, epoch_size: usize) {
+    let epochs = encode(&w, epoch_size);
+    let n = w.num_tables();
+    let oracle = MemDb::new(n);
+    SerialEngine.replay_all(&epochs, &oracle).unwrap();
+
+    // Snapshot timestamps to compare: start, several interior, end.
+    let probes: Vec<Timestamp> = {
+        let mut v = vec![Timestamp::ZERO, Timestamp::MAX];
+        for frac in [4usize, 2, 4 * 3 / 4] {
+            let idx = (w.txns.len() / 4 * frac / 4).min(w.txns.len() - 1);
+            v.push(w.txns[idx].commit_ts);
+        }
+        v
+    };
+    let want: Vec<u64> = probes.iter().map(|ts| oracle.digest_at(*ts)).collect();
+
+    for engine in engines_for(&w) {
+        let db = MemDb::new(n);
+        let m = engine.replay_all(&epochs, &db).unwrap();
+        assert_eq!(m.txns, w.txns.len(), "{} txn count", engine.name());
+        assert!(db.all_chains_ordered(), "{} version order", engine.name());
+        assert_eq!(
+            db.total_versions(),
+            oracle.total_versions(),
+            "{} version count",
+            engine.name()
+        );
+        for (ts, expect) in probes.iter().zip(&want) {
+            assert_eq!(
+                db.digest_at(*ts),
+                *expect,
+                "{} snapshot at {ts} diverged",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tpcc_all_engines_match_oracle() {
+    let w = tpcc::generate(&tpcc::TpccConfig {
+        num_txns: 2_000,
+        warehouses: 2,
+        ..Default::default()
+    });
+    check_workload(w, 512);
+}
+
+#[test]
+fn bustracker_all_engines_match_oracle() {
+    let w = bustracker::generate(&bustracker::BusTrackerConfig {
+        num_txns: 2_000,
+        ..Default::default()
+    });
+    check_workload(w, 256);
+}
+
+#[test]
+fn chbench_all_engines_match_oracle() {
+    let w = chbench::generate(&tpcc::TpccConfig {
+        num_txns: 2_000,
+        warehouses: 2,
+        ..Default::default()
+    });
+    check_workload(w, 700); // deliberately not a power of two
+}
+
+#[test]
+fn tiny_epochs_still_converge() {
+    let w = tpcc::generate(&tpcc::TpccConfig {
+        num_txns: 300,
+        warehouses: 2,
+        ..Default::default()
+    });
+    check_workload(w, 7);
+}

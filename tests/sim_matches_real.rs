@@ -1,0 +1,107 @@
+//! The virtual-clock simulator and the real threaded engines are two
+//! views of one design. This test pins the invariants that keep them from
+//! drifting: identical work accounting (transactions, entries, epochs),
+//! the same grouping code, and qualitatively matching breakdowns.
+
+use aets_suite::common::Timestamp;
+use aets_suite::memtable::MemDb;
+use aets_suite::replay::{AetsConfig, AetsEngine, ReplayEngine, TableGrouping};
+use aets_suite::simulator::{
+    profile_epochs, simulate, CostModel, SimAetsConfig, SimConfig, SimEngineKind,
+};
+use aets_suite::wal::{batch_into_epochs, encode_epoch};
+use aets_suite::workloads::tpcc::{self, TpccConfig};
+
+#[test]
+fn simulator_and_real_engine_account_identical_work() {
+    let w = tpcc::generate(&TpccConfig {
+        num_txns: 2_000,
+        warehouses: 2,
+        ..Default::default()
+    });
+    let (groups, rates) = tpcc::paper_grouping();
+    let grouping =
+        TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
+
+    // Real engine.
+    let epochs: Vec<_> = batch_into_epochs(w.txns.clone(), 512)
+        .unwrap()
+        .iter()
+        .map(encode_epoch)
+        .collect();
+    let engine = AetsEngine::new(
+        AetsConfig { threads: 2, ..Default::default() },
+        grouping.clone(),
+    )
+    .unwrap();
+    let db = MemDb::new(w.num_tables());
+    let real = engine.replay_all(&epochs, &db).unwrap();
+
+    // Simulator over the same stream and grouping.
+    let profiles = profile_epochs(&w.txns, 512, &grouping, 500, false);
+    let sim = simulate(
+        &profiles,
+        &grouping,
+        &SimConfig {
+            kind: SimEngineKind::TwoPhase(SimAetsConfig::default()),
+            threads: 2,
+            cost: CostModel::default(),
+        },
+        None,
+    );
+
+    assert_eq!(real.txns, sim.txns, "transaction counts");
+    assert_eq!(real.entries as u64, sim.entries, "entry counts");
+    assert_eq!(real.epochs, profiles.len(), "epoch counts");
+    assert_eq!(
+        sim.global_curve.final_ts(),
+        w.txns.last().unwrap().commit_ts,
+        "final visibility timestamp"
+    );
+
+    // Both views must be replay-dominated (Table II's shape).
+    let (_d, real_replay, _c) = real.breakdown();
+    let (_d2, sim_replay, _c2) = sim.breakdown();
+    
+    assert!(real_replay > 0.5, "real replay share {real_replay}");
+    assert!(sim_replay > 0.9, "sim replay share {sim_replay}");
+
+    // The database actually contains every version.
+    assert_eq!(db.total_versions(), w.total_entries());
+    assert!(db.table(tpcc::tables::ORDERS).count_at(Timestamp::MAX) > 0);
+}
+
+#[test]
+fn simulator_visibility_respects_epoch_order() {
+    // Epoch k+1's transactions must never become visible before epoch k's
+    // final transaction — strict epoch ordering (Section III-B).
+    let w = tpcc::generate(&TpccConfig {
+        num_txns: 1_500,
+        warehouses: 2,
+        ..Default::default()
+    });
+    let (groups, rates) = tpcc::paper_grouping();
+    let grouping =
+        TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
+    let profiles = profile_epochs(&w.txns, 256, &grouping, 500, true);
+    let sim = simulate(
+        &profiles,
+        &grouping,
+        &SimConfig {
+            kind: SimEngineKind::TwoPhase(SimAetsConfig::default()),
+            threads: 4,
+            cost: CostModel::default(),
+        },
+        None,
+    );
+    // The global watermark reaches epoch k's max before epoch k+1's max.
+    let mut last_wall = 0u64;
+    for p in &profiles {
+        let wall = sim
+            .global_curve
+            .first_time_reaching(p.max_commit_ts)
+            .expect("every epoch completes");
+        assert!(wall >= last_wall, "epoch visibility out of order");
+        last_wall = wall;
+    }
+}
