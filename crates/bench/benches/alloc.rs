@@ -10,13 +10,7 @@ fn bench_alloc(c: &mut Criterion) {
     let rates: Vec<f64> = (0..64).map(|i| (i as f64 * 13.7) % 900.0).collect();
     c.bench_function("allocate_threads_64_groups", |b| {
         b.iter(|| {
-            allocate_threads(
-                std::hint::black_box(32),
-                &pending,
-                &rates,
-                UrgencyMode::Log,
-            )
-            .unwrap()
+            allocate_threads(std::hint::black_box(32), &pending, &rates, UrgencyMode::Log).unwrap()
         })
     });
 
@@ -28,9 +22,7 @@ fn bench_alloc(c: &mut Criterion) {
 
     let hot: FxHashSet<TableId> = (0..14u32).map(TableId::new).collect();
     c.bench_function("dbscan_grouping_65_tables", |b| {
-        b.iter(|| {
-            TableGrouping::dbscan(65, &hot, |t| (t.raw() as f64 * 7.3) % 300.0, 0.3)
-        })
+        b.iter(|| TableGrouping::dbscan(65, &hot, |t| (t.raw() as f64 * 7.3) % 300.0, 0.3))
     });
 }
 

@@ -13,9 +13,7 @@ fn bench_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("codec");
     g.throughput(Throughput::Elements(entries));
 
-    g.bench_function("encode_epoch", |b| {
-        b.iter(|| encode_epoch(std::hint::black_box(&epochs[0])))
-    });
+    g.bench_function("encode_epoch", |b| b.iter(|| encode_epoch(std::hint::black_box(&epochs[0]))));
 
     let encoded = encode_epoch(&epochs[0]);
     g.bench_function("decode_full", |b| {
@@ -24,9 +22,10 @@ fn bench_codec(c: &mut Criterion) {
 
     g.bench_function("scan_meta", |b| {
         b.iter(|| {
-            MetaScanner::new(std::hint::black_box(encoded.bytes.clone()))
-                .map(|r| r.unwrap())
-                .count()
+            MetaScanner::new(std::hint::black_box(encoded.bytes.clone())).fold(0usize, |n, r| {
+                r.unwrap();
+                n + 1
+            })
         })
     });
     g.finish();

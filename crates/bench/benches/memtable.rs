@@ -61,10 +61,8 @@ fn bench_versions(c: &mut Criterion) {
         let mut k = 0u64;
         b.iter(|| {
             k = (k + 37) % 1_000;
-            table.read_row(
-                RowKey::new(std::hint::black_box(k)),
-                Timestamp::from_micros(k * 40 + 20),
-            )
+            table
+                .read_row(RowKey::new(std::hint::black_box(k)), Timestamp::from_micros(k * 40 + 20))
         })
     });
     g.finish();

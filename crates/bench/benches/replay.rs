@@ -12,8 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 fn bench_replay(c: &mut Criterion) {
     let w = tpcc::generate(&TpccConfig { num_txns: 2_000, warehouses: 2, ..Default::default() });
     let (groups, rates) = tpcc::paper_grouping();
-    let grouping =
-        TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
+    let grouping = TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
     let epochs: Vec<_> = aets_wal::batch_into_epochs(w.txns.clone(), 2_048)
         .unwrap()
         .iter()
@@ -47,16 +46,39 @@ fn bench_replay(c: &mut Criterion) {
 
     g.throughput(Throughput::Elements(entries));
     g.bench_function("aets_full_replay_2t", |b| {
-        let engine = AetsEngine::new(
-            AetsConfig { threads: 2, ..Default::default() },
-            grouping.clone(),
-        )
-        .unwrap();
+        let engine =
+            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping.clone())
+                .unwrap();
         b.iter(|| {
             let db = MemDb::new(w.num_tables());
             engine.replay_all(std::hint::black_box(&epochs), &db).unwrap()
         })
     });
+
+    // Pipelined vs inline dispatch over a multi-epoch stream. Same run,
+    // same stream: the delta isolates what the dispatcher thread hides —
+    // with `n` epochs, up to `(n-1)/n` of total dispatch time overlaps
+    // replay.
+    let small_epochs: Vec<_> = aets_wal::batch_into_epochs(w.txns.clone(), 256)
+        .unwrap()
+        .iter()
+        .map(encode_epoch)
+        .collect();
+    for (label, depth) in
+        [("aets_multi_epoch_2t_pipelined", 2usize), ("aets_multi_epoch_2t_inline_dispatch", 0)]
+    {
+        g.bench_function(label, |b| {
+            let engine = AetsEngine::new(
+                AetsConfig { threads: 2, pipeline_depth: depth, ..Default::default() },
+                grouping.clone(),
+            )
+            .unwrap();
+            b.iter(|| {
+                let db = MemDb::new(w.num_tables());
+                engine.replay_all(std::hint::black_box(&small_epochs), &db).unwrap()
+            })
+        });
+    }
     g.finish();
 }
 

@@ -1,9 +1,10 @@
 //! One function per paper table/figure. Each prints the same rows/series
 //! the paper reports and writes a JSON blob under `results/`.
 
+use crate::json;
 use crate::{
-    bustracker_bench, chbench_bench, delay_summary, map_groups, ms, run_with_delays,
-    slot_len_us, tpcc_bench, write_json, Bench, EngineSel, TextTable,
+    bustracker_bench, chbench_bench, delay_summary, map_groups, ms, run_with_delays, slot_len_us,
+    tpcc_bench, write_json, Bench, EngineSel, TextTable,
 };
 use aets_forecast::{evaluate, Arima, Dtgm, DtgmConfig, Forecaster, Ha, Qb5000, RateSeries};
 use aets_replay::UrgencyMode;
@@ -11,7 +12,6 @@ use aets_simulator::{
     evaluate_by_class, evaluate_by_slot, simulate, SimAetsConfig, SimConfig, SimEngineKind,
 };
 use aets_workloads::bustracker;
-use serde_json::json;
 
 /// Scale knobs for one full run.
 #[derive(Debug, Clone, Copy)]
@@ -119,7 +119,10 @@ pub fn fig7(_scale: Scale) {
         }
     }
     println!("{}", t.render());
-    write_json("fig7", &json!({ "tables": ["m.trip", "m.calendar", "m.estimate"], "series": series }));
+    write_json(
+        "fig7",
+        &json!({ "tables": ["m.trip", "m.calendar", "m.estimate"], "series": series }),
+    );
 }
 
 fn perf_panels(name: &str, bench: &Bench, scale_txns: usize) {
@@ -196,10 +199,7 @@ fn perf_panels(name: &str, bench: &Bench, scale_txns: usize) {
     println!("-- ({name}c) visibility delay @ {THREADS} threads (paced replication) --");
     println!("{}", tc.render());
     if aets_mean > 0.0 {
-        println!(
-            "   ATR/AETS mean delay ratio: {:.2}x (paper: ~1.3x)\n",
-            atr_mean / aets_mean
-        );
+        println!("   ATR/AETS mean delay ratio: {:.2}x (paper: ~1.3x)\n", atr_mean / aets_mean);
     }
     write_json(
         &format!("fig{name}"),
@@ -232,10 +232,9 @@ pub fn fig10(scale: Scale) {
     for sel in [EngineSel::Aets, EngineSel::Atr, EngineSel::C5] {
         let outcome = bench.run(sel, THREADS, EPOCH, &cost, true);
         let grouping = bench.grouping_for(sel);
-        let by_class =
-            evaluate_by_class(&outcome, &bench.workload.queries, |tables| {
-                map_groups(grouping, sel, tables)
-            });
+        let by_class = evaluate_by_class(&outcome, &bench.workload.queries, |tables| {
+            map_groups(grouping, sel, tables)
+        });
         let mut means = [0.0f64; 23];
         for (class, stats) in &by_class {
             if (*class as usize) < means.len() {
@@ -356,9 +355,7 @@ pub fn fig13(scale: Scale) {
     // Ground truth rates per slot (by table), and the history the
     // predictors see: previous "days" of the same process.
     let truth: Vec<Vec<f64>> = (0..slots)
-        .map(|s| (0..bench.workload.num_tables())
-            .map(|t| bustracker::access_rate(t, s))
-            .collect())
+        .map(|s| (0..bench.workload.num_tables()).map(|t| bustracker::access_rate(t, s)).collect())
         .collect();
     // History: whole previous "days" of the same process, so the history
     // length stays phase-aligned with the evaluation day.
@@ -397,11 +394,7 @@ pub fn fig13(scale: Scale) {
             // phase-aligned.
             let mut hist = train.values.clone();
             // The model is trained on the 14 hot tables only.
-            hist.extend(
-                truth[..s]
-                    .iter()
-                    .map(|row| row[..bustracker::NUM_HOT].to_vec()),
-            );
+            hist.extend(truth[..s].iter().map(|row| row[..bustracker::NUM_HOT].to_vec()));
             let pred = dtgm.forecast(&hist, 1);
             let mut by_table = vec![0.0; bench.workload.num_tables()];
             for (t, v) in pred[0].iter().enumerate() {
@@ -436,6 +429,7 @@ pub fn fig13(scale: Scale) {
             two_stage: true,
             adaptive: true,
             urgency,
+            ..Default::default()
         });
         let rate_fn = |eidx: usize| -> Vec<f64> {
             match rates {
@@ -449,25 +443,17 @@ pub fn fig13(scale: Scale) {
             &SimConfig { kind, threads: THREADS, cost: cost.clone() },
             Some(&rate_fn),
         );
-        let per_slot = evaluate_by_slot(
-            &outcome,
-            &bench.workload.queries,
-            slot_us,
-            slots,
-            |tables| map_groups(&bench.grouping, EngineSel::Aets, tables),
-        );
+        let per_slot =
+            evaluate_by_slot(&outcome, &bench.workload.queries, slot_us, slots, |tables| {
+                map_groups(&bench.grouping, EngineSel::Aets, tables)
+            });
         blob.push(json!({ "series": label, "per_slot_mean_us": per_slot }));
         series.push(per_slot);
         let _ = label;
     }
     #[allow(clippy::needless_range_loop)]
     for s in 5..slots {
-        table.row(vec![
-            (s - 5).to_string(),
-            ms(series[0][s]),
-            ms(series[1][s]),
-            ms(series[2][s]),
-        ]);
+        table.row(vec![(s - 5).to_string(), ms(series[0][s]), ms(series[1][s]), ms(series[2][s])]);
     }
     println!("{}", table.render());
     let avg = |v: &[f64]| v[5..].iter().sum::<f64>() / (slots - 5) as f64;
@@ -594,9 +580,7 @@ pub fn fig14(scale: Scale) {
 /// every engine must converge to the serial oracle's state.
 pub fn validate(scale: Scale) {
     use aets_memtable::MemDb;
-    use aets_replay::{
-        AetsConfig, AetsEngine, AtrEngine, C5Engine, ReplayEngine, SerialEngine,
-    };
+    use aets_replay::{AetsConfig, AetsEngine, AtrEngine, C5Engine, ReplayEngine, SerialEngine};
     println!("== Cross-engine state validation (real threaded engines) ==");
     let txns = scale.txns.min(5_000);
     for (name, bench) in [

@@ -32,11 +32,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let scale = if fast { Scale::fast() } else { Scale::full() };
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let selected: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
 
     if selected.is_empty() {
         eprintln!("usage: repro [--fast] <experiment|all>...");

@@ -8,8 +8,17 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// Errors surfaced by the log codec, replay engines, and model training.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
-    /// A log buffer could not be decoded (truncated, bad tag, ...).
+    /// A log buffer could not be decoded (context in the message).
     Codec(String),
+    /// A log buffer ended before a complete record or value could be read.
+    ///
+    /// Static variant for the decoder's bounds checks, which sit on the
+    /// per-entry hot path: constructing it never allocates or formats.
+    CodecTruncated,
+    /// A record or value carried an unknown type tag.
+    ///
+    /// Static hot-path variant, like [`Error::CodecTruncated`].
+    CodecBadTag,
     /// A log stream violated a protocol invariant (e.g. a DML entry outside
     /// a BEGIN/COMMIT pair, or epochs out of order).
     Protocol(String),
@@ -25,7 +34,7 @@ impl Error {
     /// Short machine-friendly category name.
     pub fn kind(&self) -> &'static str {
         match self {
-            Error::Codec(_) => "codec",
+            Error::Codec(_) | Error::CodecTruncated | Error::CodecBadTag => "codec",
             Error::Protocol(_) => "protocol",
             Error::Replay(_) => "replay",
             Error::Config(_) => "config",
@@ -38,6 +47,8 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::CodecTruncated => f.write_str("codec error: truncated record"),
+            Error::CodecBadTag => f.write_str("codec error: unknown record or value tag"),
             Error::Protocol(m) => write!(f, "protocol error: {m}"),
             Error::Replay(m) => write!(f, "replay error: {m}"),
             Error::Config(m) => write!(f, "config error: {m}"),
@@ -58,5 +69,9 @@ mod tests {
         assert_eq!(e.kind(), "codec");
         assert_eq!(e.to_string(), "codec error: bad tag");
         assert_eq!(Error::Config("x".into()).kind(), "config");
+        assert_eq!(Error::CodecTruncated.kind(), "codec");
+        assert_eq!(Error::CodecTruncated.to_string(), "codec error: truncated record");
+        assert_eq!(Error::CodecBadTag.kind(), "codec");
+        assert!(Error::CodecBadTag.to_string().contains("unknown"));
     }
 }

@@ -4,16 +4,12 @@
 //! order-comparable, and hash quickly, while making it impossible to mix a
 //! transaction id with a table id at a call site.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $inner:ty) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
         pub struct $name(pub $inner);
 
         impl $name {
@@ -91,9 +87,7 @@ id_type!(
 /// The reproduction uses 64-bit surrogate keys: every benchmark schema maps
 /// its composite primary keys onto a packed `u64` (e.g. TPC-C `order_line`
 /// packs `(w_id, d_id, o_id, ol_number)`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RowKey(pub u64);
 
 impl RowKey {
@@ -129,9 +123,7 @@ impl From<u64> for RowKey {
 /// timestamp stamped on every transaction by the primary, which determines
 /// visibility; and (b) query arrival timestamps (`qts`). Both live on the
 /// primary's clock, so they are directly comparable.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {

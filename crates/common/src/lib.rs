@@ -11,10 +11,12 @@ pub mod fxhash;
 pub mod ids;
 pub mod ops;
 pub mod rng;
+pub mod text;
 pub mod value;
 
 pub use error::{Error, Result};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use ids::{ColumnId, EpochId, GroupId, Lsn, RowKey, TableId, Timestamp, TxnId};
 pub use ops::DmlOp;
+pub use text::Utf8Bytes;
 pub use value::{Row, Value};

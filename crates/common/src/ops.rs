@@ -1,10 +1,8 @@
 //! DML operation kinds shared by the value-log format and the Memtable.
 
-use serde::{Deserialize, Serialize};
-
 /// The three row operations of the value-log format (Section III-A):
 /// *insert*, *update*, and *delete*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DmlOp {
     /// Full-row insert: the payload is the complete row image.
     Insert,

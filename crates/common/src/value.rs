@@ -1,7 +1,7 @@
 //! Column values carried by value-log entries and stored in version chains.
 
 use crate::ids::ColumnId;
-use serde::{Deserialize, Serialize};
+use crate::text::Utf8Bytes;
 use std::fmt;
 
 /// A single column value.
@@ -10,7 +10,12 @@ use std::fmt;
 /// *new* values; this enum is the in-memory representation of one such
 /// value. Variants cover what the benchmark schemas need; `Bytes` doubles
 /// as an opaque payload for synthetic wide columns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Text` and `Bytes` are backed by shared [`bytes::Bytes`] storage: the
+/// log decoder hands out slices of the epoch buffer, so decoding a text or
+/// blob column copies nothing and cloning a value is a reference-count
+/// bump. The epoch buffer stays alive as long as any decoded value does.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// SQL NULL.
     Null,
@@ -18,10 +23,10 @@ pub enum Value {
     Int(i64),
     /// 64-bit float (never NaN in generated workloads).
     Float(f64),
-    /// UTF-8 string.
-    Text(String),
-    /// Opaque byte payload.
-    Bytes(Vec<u8>),
+    /// UTF-8 string (shared-buffer view).
+    Text(Utf8Bytes),
+    /// Opaque byte payload (shared-buffer view).
+    Bytes(bytes::Bytes),
 }
 
 impl Value {
@@ -56,7 +61,7 @@ impl Value {
     /// Returns the text payload if this is `Text`.
     pub fn as_text(&self) -> Option<&str> {
         match self {
-            Value::Text(s) => Some(s),
+            Value::Text(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -88,13 +93,19 @@ impl From<f64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_owned())
+        Value::Text(v.into())
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Text(v)
+        Value::Text(v.into())
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v.into())
     }
 }
 
@@ -119,7 +130,7 @@ mod tests {
         assert_eq!(Value::Null.wire_size(), 1);
         assert_eq!(Value::Int(0).wire_size(), 9);
         assert_eq!(Value::Text("abc".into()).wire_size(), 8);
-        assert_eq!(Value::Bytes(vec![0; 10]).wire_size(), 15);
+        assert_eq!(Value::from(vec![0u8; 10]).wire_size(), 15);
     }
 
     #[test]
@@ -132,10 +143,8 @@ mod tests {
 
     #[test]
     fn row_wire_size_sums_columns() {
-        let row: Row = vec![
-            (ColumnId::new(0), Value::Int(1)),
-            (ColumnId::new(1), Value::Text("hi".into())),
-        ];
+        let row: Row =
+            vec![(ColumnId::new(0), Value::Int(1)), (ColumnId::new(1), Value::Text("hi".into()))];
         assert_eq!(row_wire_size(&row), (2 + 9) + (2 + 7));
     }
 }

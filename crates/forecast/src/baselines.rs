@@ -29,9 +29,8 @@ impl Forecaster for Ha {
         let n = history.last().map_or(0, Vec::len);
         let lookback = history.len().min(self.window);
         let tail = &history[history.len() - lookback..];
-        let means: Vec<f64> = (0..n)
-            .map(|j| tail.iter().map(|r| r[j]).sum::<f64>() / lookback as f64)
-            .collect();
+        let means: Vec<f64> =
+            (0..n).map(|j| tail.iter().map(|r| r[j]).sum::<f64>() / lookback as f64).collect();
         (0..t_f).map(|_| means.clone()).collect()
     }
 }
@@ -169,9 +168,8 @@ fn normalized_window(input: &[Vec<f64>], table: usize) -> (Vec<f64>, f64) {
 /// feed timestamp features alongside lags.
 fn phase_features(t: usize) -> [f64; 6] {
     let day = aets_workloads::bustracker::DAY_SLOTS as f64;
-    let ang = 2.0 * std::f64::consts::PI
-        * ((t % aets_workloads::bustracker::DAY_SLOTS) as f64)
-        / day;
+    let ang =
+        2.0 * std::f64::consts::PI * ((t % aets_workloads::bustracker::DAY_SLOTS) as f64) / day;
     [
         ang.sin(),
         ang.cos(),
@@ -182,7 +180,12 @@ fn phase_features(t: usize) -> [f64; 6] {
     ]
 }
 
-fn lag_phase_features(input: &[Vec<f64>], table: usize, origin: usize, t_in: usize) -> (Vec<f64>, f64) {
+fn lag_phase_features(
+    input: &[Vec<f64>],
+    table: usize,
+    origin: usize,
+    t_in: usize,
+) -> (Vec<f64>, f64) {
     let window = &input[input.len().saturating_sub(t_in)..];
     let (mut feats, mean) = normalized_window(window, table);
     while feats.len() < t_in {
@@ -258,8 +261,7 @@ impl Forecaster for KernelRegression {
             let mut wsum = 0.0;
             let mut acc = vec![0.0; t_f];
             for (ex, fut) in &self.exemplars[j] {
-                let d2: f64 =
-                    feats.iter().zip(ex).map(|(a, b)| (a - b) * (a - b)).sum();
+                let d2: f64 = feats.iter().zip(ex).map(|(a, b)| (a - b) * (a - b)).sum();
                 let k = (-d2 * inv2b2).exp();
                 if k < 1e-12 {
                     continue;
@@ -270,11 +272,7 @@ impl Forecaster for KernelRegression {
                 }
             }
             for h in 0..t_f {
-                out[h][j] = if wsum > 0.0 {
-                    (acc[h] / wsum * mean).max(0.0)
-                } else {
-                    mean
-                };
+                out[h][j] = if wsum > 0.0 { (acc[h] / wsum * mean).max(0.0) } else { mean };
             }
         }
         out
@@ -312,10 +310,7 @@ mod tests {
         let ha = Ha { window: 60 };
         let e_arima = evaluate(&arima, &full, SPLIT, 5);
         let e_ha = evaluate(&ha, &full, SPLIT, 5);
-        assert!(
-            e_arima < e_ha,
-            "ARIMA {e_arima} should beat HA {e_ha} at short horizon"
-        );
+        assert!(e_arima < e_ha, "ARIMA {e_arima} should beat HA {e_ha} at short horizon");
     }
 
     #[test]
@@ -332,7 +327,7 @@ mod tests {
         let kr = KernelRegression::fit(&train, 12, 10, 0.5);
         let e = evaluate(&kr, &full, SPLIT, 5);
         assert!(e < 0.4, "KR MAPE {e}");
-        let pred = kr.forecast(&full.values[..30].to_vec(), 5);
+        let pred = kr.forecast(&full.values[..30], 5);
         assert!(pred.iter().flatten().all(|v| *v >= 0.0));
     }
 

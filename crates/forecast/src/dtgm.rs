@@ -112,9 +112,8 @@ const IN_CHANNELS: usize = 3;
 
 fn phase_channels(slot: usize) -> (f32, f32) {
     let day = aets_workloads::bustracker::DAY_SLOTS as f64;
-    let ang = 2.0 * std::f64::consts::PI
-        * ((slot % aets_workloads::bustracker::DAY_SLOTS) as f64)
-        / day;
+    let ang =
+        2.0 * std::f64::consts::PI * ((slot % aets_workloads::bustracker::DAY_SLOTS) as f64) / day;
     (ang.sin() as f32, ang.cos() as f32)
 }
 
@@ -141,7 +140,11 @@ pub struct Dtgm {
 }
 
 impl Dtgm {
-    fn build_params(cfg: &DtgmConfig, rng: &mut rand::rngs::StdRng, hops: usize) -> (Vec<Tensor>, Layout) {
+    fn build_params(
+        cfg: &DtgmConfig,
+        rng: &mut rand::rngs::StdRng,
+        hops: usize,
+    ) -> (Vec<Tensor>, Layout) {
         let h = cfg.hidden;
         let mut params = Vec::new();
         let init = |rng: &mut rand::rngs::StdRng, shape: &[usize]| {
@@ -223,8 +226,7 @@ impl Dtgm {
         // so a global scale would let the largest table dominate the loss.
         let scale: Vec<f64> = (0..n)
             .map(|j| {
-                (train.values.iter().map(|r| r[j]).sum::<f64>() / train.len() as f64)
-                    .max(1e-6)
+                (train.values.iter().map(|r| r[j]).sum::<f64>() / train.len() as f64).max(1e-6)
             })
             .collect();
         let mut model = Self { cfg, adj, params, layout, scale, final_loss: f32::NAN };
@@ -240,8 +242,7 @@ impl Dtgm {
             for &wi in order.iter().take(model.cfg.steps_per_epoch) {
                 let (input, target) = &windows[wi];
                 let mut tape = Tape::new();
-                let pvars: Vec<Var> =
-                    model.params.iter().map(|p| tape.leaf(p.clone())).collect();
+                let pvars: Vec<Var> = model.params.iter().map(|p| tape.leaf(p.clone())).collect();
                 let x = input_tensor(input, n, model.cfg.t_in, wi, &model.scale);
                 let x = tape.leaf(x);
                 // Inverted dropout masks per layer.
@@ -252,13 +253,7 @@ impl Dtgm {
                         Tensor::new(
                             &[model.cfg.hidden, n, model.cfg.t_in],
                             (0..len)
-                                .map(|_| {
-                                    if rng.gen::<f32>() < keep {
-                                        1.0 / keep
-                                    } else {
-                                        0.0
-                                    }
-                                })
+                                .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
                                 .collect(),
                         )
                     })
@@ -267,17 +262,13 @@ impl Dtgm {
                 let tdata: Vec<f32> = target
                     .iter()
                     .flat_map(|row| {
-                        row.iter()
-                            .enumerate()
-                            .map(|(j, v)| (*v / model.scale[j]) as f32)
+                        row.iter().enumerate().map(|(j, v)| (*v / model.scale[j]) as f32)
                     })
                     .collect();
-                let loss = tape
-                    .mae_loss(pred, Tensor::new(&[model.cfg.max_horizon, n], tdata));
+                let loss = tape.mae_loss(pred, Tensor::new(&[model.cfg.max_horizon, n], tdata));
                 model.final_loss = tape.value(loss).item();
                 let grads = tape.backward(loss);
-                let grad_refs: Vec<Option<&Tensor>> =
-                    pvars.iter().map(|v| grads.get(*v)).collect();
+                let grad_refs: Vec<Option<&Tensor>> = pvars.iter().map(|v| grads.get(*v)).collect();
                 opt.step(&mut model.params, &grad_refs);
             }
         }
@@ -335,11 +326,7 @@ impl Forecaster for Dtgm {
         let pred = self.forward(&mut tape, &pvars, x, None);
         let pv = tape.value(pred);
         (0..t_f)
-            .map(|h| {
-                (0..n)
-                    .map(|j| (pv.at2(h, j) as f64 * self.scale[j]).max(0.0))
-                    .collect()
-            })
+            .map(|h| (0..n).map(|j| (pv.at2(h, j) as f64 * self.scale[j]).max(0.0)).collect())
             .collect()
     }
 }
@@ -410,7 +397,7 @@ mod tests {
         let full = RateSeries::bustracker_hot(100, 0.05, 5);
         let (train, _) = full.split(80);
         let model = Dtgm::fit(&train, &bustracker::access_graph(), small_cfg());
-        let pred = model.forecast(&full.values[..10].to_vec(), 5);
+        let pred = model.forecast(&full.values[..10], 5);
         assert_eq!(pred.len(), 5);
         assert_eq!(pred[0].len(), 14);
         assert!(pred.iter().flatten().all(|v| *v >= 0.0 && v.is_finite()));

@@ -96,9 +96,7 @@ mod tests {
     #[test]
     fn ridge_recovers_linear_relationship() {
         // y = 3 x0 - 2 x1 + 5.
-        let xs: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![(i % 7) as f64, (i % 5) as f64])
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![(i % 7) as f64, (i % 5) as f64]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 5.0).collect();
         let w = ridge_fit(&xs, &ys, 1e-9).unwrap();
         assert!((w[0] - 3.0).abs() < 1e-6, "{w:?}");

@@ -126,36 +126,27 @@ impl Lstm {
                 let (input, target) = &windows[wi];
                 let means: Vec<f64> = (0..n)
                     .map(|j| {
-                        (input.iter().map(|r| r[j]).sum::<f64>() / input.len() as f64)
-                            .max(1e-6)
+                        (input.iter().map(|r| r[j]).sum::<f64>() / input.len() as f64).max(1e-6)
                     })
                     .collect();
                 let mut tape = Tape::new();
-                let pvars: Vec<Var> =
-                    model.params.iter().map(|p| tape.leaf(p.clone())).collect();
+                let pvars: Vec<Var> = model.params.iter().map(|p| tape.leaf(p.clone())).collect();
                 let xs: Vec<Var> = input
                     .iter()
                     .map(|row| {
-                        let data: Vec<f32> = row
-                            .iter()
-                            .zip(&means)
-                            .map(|(v, m)| (v / m) as f32)
-                            .collect();
+                        let data: Vec<f32> =
+                            row.iter().zip(&means).map(|(v, m)| (v / m) as f32).collect();
                         tape.leaf(Tensor::new(&[1, n], data))
                     })
                     .collect();
                 let pred = model.forward(&mut tape, &pvars, &xs, n);
                 let tgt: Vec<f32> = target
                     .iter()
-                    .flat_map(|row| {
-                        row.iter().zip(&means).map(|(v, m)| (v / m) as f32)
-                    })
+                    .flat_map(|row| row.iter().zip(&means).map(|(v, m)| (v / m) as f32))
                     .collect();
-                let loss =
-                    tape.mae_loss(pred, Tensor::new(&[model.cfg.max_horizon, n], tgt));
+                let loss = tape.mae_loss(pred, Tensor::new(&[model.cfg.max_horizon, n], tgt));
                 let grads = tape.backward(loss);
-                let grad_refs: Vec<Option<&Tensor>> =
-                    pvars.iter().map(|v| grads.get(*v)).collect();
+                let grad_refs: Vec<Option<&Tensor>> = pvars.iter().map(|v| grads.get(*v)).collect();
                 opt.step(&mut model.params, &grad_refs);
             }
         }
@@ -173,28 +164,21 @@ impl Forecaster for Lstm {
         let t_f = t_f.min(self.cfg.max_horizon);
         let window = &history[history.len().saturating_sub(self.cfg.t_in)..];
         let means: Vec<f64> = (0..n)
-            .map(|j| {
-                (window.iter().map(|r| r[j]).sum::<f64>() / window.len() as f64).max(1e-6)
-            })
+            .map(|j| (window.iter().map(|r| r[j]).sum::<f64>() / window.len() as f64).max(1e-6))
             .collect();
         let mut tape = Tape::new();
         let pvars: Vec<Var> = self.params.iter().map(|p| tape.leaf(p.clone())).collect();
         let xs: Vec<Var> = window
             .iter()
             .map(|row| {
-                let data: Vec<f32> =
-                    row.iter().zip(&means).map(|(v, m)| (v / m) as f32).collect();
+                let data: Vec<f32> = row.iter().zip(&means).map(|(v, m)| (v / m) as f32).collect();
                 tape.leaf(Tensor::new(&[1, n], data))
             })
             .collect();
         let pred = self.forward(&mut tape, &pvars, &xs, n);
         let pv = tape.value(pred);
         (0..t_f)
-            .map(|h| {
-                (0..n)
-                    .map(|j| (pv.at2(h, j) as f64 * means[j]).max(0.0))
-                    .collect()
-            })
+            .map(|h| (0..n).map(|j| (pv.at2(h, j) as f64 * means[j]).max(0.0)).collect())
             .collect()
     }
 }
@@ -220,7 +204,7 @@ mod tests {
         let e = evaluate(&lstm, &full, 90, 5);
         assert!(e.is_finite());
         assert!(e < 0.8, "LSTM MAPE {e} should be sane");
-        let pred = lstm.forecast(&full.values[..20].to_vec(), 5);
+        let pred = lstm.forecast(&full.values[..20], 5);
         assert_eq!(pred.len(), 5);
         assert_eq!(pred[0].len(), 14);
         assert!(pred.iter().flatten().all(|v| v.is_finite() && *v >= 0.0));

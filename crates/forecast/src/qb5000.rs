@@ -16,10 +16,7 @@ impl Qb5000 {
     /// Trains all three members on the training series.
     pub fn fit(train: &RateSeries, t_in: usize, max_horizon: usize, seed: u64) -> Self {
         let lr = LinearRegression::fit(train, t_in, max_horizon);
-        let lstm = Lstm::fit(
-            train,
-            LstmConfig { t_in, max_horizon, seed, ..Default::default() },
-        );
+        let lstm = Lstm::fit(train, LstmConfig { t_in, max_horizon, seed, ..Default::default() });
         let kr = KernelRegression::fit(train, t_in, max_horizon, 0.5);
         Self { lr, lstm, kr }
     }
@@ -38,11 +35,7 @@ impl Forecaster for Qb5000 {
             .zip(&b)
             .zip(&c)
             .map(|((ra, rb), rc)| {
-                ra.iter()
-                    .zip(rb)
-                    .zip(rc)
-                    .map(|((x, y), z)| (x + y + z) / 3.0)
-                    .collect()
+                ra.iter().zip(rb).zip(rc).map(|((x, y), z)| (x + y + z) / 3.0).collect()
             })
             .collect()
     }
@@ -69,7 +62,7 @@ mod tests {
         let full = RateSeries::bustracker_hot(120, 0.05, 17);
         let (train, _) = full.split(100);
         let qb = Qb5000::fit(&train, 12, 5, 17);
-        let pred = qb.forecast(&full.values[..30].to_vec(), 5);
+        let pred = qb.forecast(&full.values[..30], 5);
         assert_eq!(pred.len(), 5);
         assert_eq!(pred[0].len(), 14);
     }

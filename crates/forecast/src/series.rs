@@ -15,10 +15,7 @@ impl RateSeries {
     /// Wraps a rate matrix. All rows must have equal length.
     pub fn new(values: Vec<Vec<f64>>) -> Self {
         if let Some(first) = values.first() {
-            assert!(
-                values.iter().all(|r| r.len() == first.len()),
-                "ragged rate matrix"
-            );
+            assert!(values.iter().all(|r| r.len() == first.len()), "ragged rate matrix");
         }
         Self { values }
     }
@@ -60,18 +57,12 @@ impl RateSeries {
     /// Splits into `(train, test)` at `at`.
     pub fn split(&self, at: usize) -> (RateSeries, RateSeries) {
         assert!(at <= self.len(), "split point out of range");
-        (
-            RateSeries::new(self.values[..at].to_vec()),
-            RateSeries::new(self.values[at..].to_vec()),
-        )
+        (RateSeries::new(self.values[..at].to_vec()), RateSeries::new(self.values[at..].to_vec()))
     }
 
     /// Maximum value (for normalization); at least 1.
     pub fn max_value(&self) -> f64 {
-        self.values
-            .iter()
-            .flatten()
-            .fold(1.0f64, |m, v| m.max(*v))
+        self.values.iter().flatten().fold(1.0f64, |m, v| m.max(*v))
     }
 
     /// Sliding windows `(input, target)` where the input covers
@@ -131,16 +122,8 @@ pub trait Forecaster {
 /// the full history `series[..t]` (each model slices the lookback it
 /// needs — HA its 60-slot window, ARIMA its lag order, DTGM its input
 /// window) and is scored on the next `t_f` slots. Returns mean MAPE.
-pub fn evaluate(
-    f: &dyn Forecaster,
-    series: &RateSeries,
-    min_history: usize,
-    t_f: usize,
-) -> f64 {
-    assert!(
-        series.len() > min_history + t_f,
-        "series too short for evaluation"
-    );
+pub fn evaluate(f: &dyn Forecaster, series: &RateSeries, min_history: usize, t_f: usize) -> f64 {
+    assert!(series.len() > min_history + t_f, "series too short for evaluation");
     let mut total = 0.0;
     let mut count = 0usize;
     for t in min_history..=series.len() - t_f {

@@ -60,10 +60,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
                         let rkeys = keys.split_off(mid);
                         let rvals = vals.split_off(mid);
                         let sep = rkeys[0].clone();
-                        InsertResult::Split(
-                            sep,
-                            Box::new(Node::Leaf { keys: rkeys, vals: rvals }),
-                        )
+                        InsertResult::Split(sep, Box::new(Node::Leaf { keys: rkeys, vals: rvals }))
                     } else {
                         InsertResult::Done(None)
                     }
@@ -155,10 +152,7 @@ impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
 impl<K: Ord + Clone, V> BPlusTree<K, V> {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        Self {
-            root: Box::new(Node::Leaf { keys: Vec::new(), vals: Vec::new() }),
-            len: 0,
-        }
+        Self { root: Box::new(Node::Leaf { keys: Vec::new(), vals: Vec::new() }), len: 0 }
     }
 
     /// Number of key/value pairs.
@@ -189,10 +183,8 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                 self.len += 1;
                 let placeholder = Node::Leaf { keys: Vec::new(), vals: Vec::new() };
                 let old_root = mem::replace(&mut *self.root, placeholder);
-                *self.root = Node::Internal {
-                    keys: vec![sep],
-                    children: vec![Box::new(old_root), right],
-                };
+                *self.root =
+                    Node::Internal { keys: vec![sep], children: vec![Box::new(old_root), right] };
                 None
             }
         }

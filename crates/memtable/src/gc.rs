@@ -105,10 +105,7 @@ mod tests {
             txn_id: TxnId::new(txn),
             commit_ts: Timestamp::from_micros(ts),
             op,
-            cols: cols
-                .into_iter()
-                .map(|(c, v)| (ColumnId::new(c), Value::Int(v)))
-                .collect(),
+            cols: cols.into_iter().map(|(c, v)| (ColumnId::new(c), Value::Int(v))).collect(),
         }
     }
 
@@ -171,10 +168,7 @@ mod tests {
         // Full consolidated image: col0 = 4 (last update), col1 = 300.
         assert_eq!(
             row,
-            vec![
-                (ColumnId::new(0), Value::Int(4)),
-                (ColumnId::new(1), Value::Int(300)),
-            ]
+            vec![(ColumnId::new(0), Value::Int(4)), (ColumnId::new(1), Value::Int(300)),]
         );
     }
 

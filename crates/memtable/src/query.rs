@@ -111,9 +111,7 @@ impl Scan {
             }
         };
         match self.key_range {
-            Some((lo, hi)) => table.scan_range_at(lo, hi, self.ts, |k, row| {
-                visit(k, row, &mut f)
-            }),
+            Some((lo, hi)) => table.scan_range_at(lo, hi, self.ts, |k, row| visit(k, row, &mut f)),
             None => table.scan_at(self.ts, |k, row| visit(k, row, &mut f)),
         }
     }
@@ -228,8 +226,7 @@ mod tests {
         // Missing column and incomparable kinds never match.
         let f3 = Filter { column: ColumnId::new(9), op: CmpOp::Eq, value: Value::Int(5) };
         assert!(!f3.matches(&row));
-        let f4 =
-            Filter { column: ColumnId::new(0), op: CmpOp::Eq, value: Value::Text("5".into()) };
+        let f4 = Filter { column: ColumnId::new(0), op: CmpOp::Eq, value: Value::Text("5".into()) };
         assert!(!f4.matches(&row));
     }
 
@@ -255,15 +252,12 @@ mod tests {
         // Only the first 30 rows were committed by ts = 305.
         let early = Scan::at(Timestamp::from_micros(305)).count(&t);
         assert_eq!(early, 30);
-        let ranged = Scan::at(Timestamp::MAX)
-            .keys(RowKey::new(10), RowKey::new(19))
-            .collect(&t);
+        let ranged = Scan::at(Timestamp::MAX).keys(RowKey::new(10), RowKey::new(19)).collect(&t);
         assert_eq!(ranged.len(), 10);
         assert_eq!(ranged[0].0, RowKey::new(10));
         // Range + snapshot compose.
-        let both = Scan::at(Timestamp::from_micros(155))
-            .keys(RowKey::new(10), RowKey::new(19))
-            .count(&t);
+        let both =
+            Scan::at(Timestamp::from_micros(155)).keys(RowKey::new(10), RowKey::new(19)).count(&t);
         assert_eq!(both, 5); // keys 10..=14 committed by ts 155
     }
 

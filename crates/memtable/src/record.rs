@@ -116,10 +116,8 @@ impl RecordNode {
         // Updates without a preceding visible insert: the record predates
         // the replayed log (e.g. loaded base data). Treat the merged
         // updates as the visible image.
-        let mut row: Row = merged
-            .into_iter()
-            .filter_map(|(c, v)| v.map(|v| (c, v.clone())))
-            .collect();
+        let mut row: Row =
+            merged.into_iter().filter_map(|(c, v)| v.map(|v| (c, v.clone()))).collect();
         row.sort_by_key(|(c, _)| *c);
         Some(row)
     }
@@ -128,11 +126,7 @@ impl RecordNode {
     /// consolidated boundary version built by `make_boundary`. Used by
     /// the garbage collector; no-op when nothing is at-or-below the
     /// watermark. Holds the exclusive lock for the swap only.
-    pub fn replace_prefix(
-        &self,
-        watermark: Timestamp,
-        make_boundary: impl FnOnce() -> Version,
-    ) {
+    pub fn replace_prefix(&self, watermark: Timestamp, make_boundary: impl FnOnce() -> Version) {
         let mut chain = self.versions.write();
         let end = chain.partition_point(|v| v.commit_ts <= watermark);
         if end == 0 {
@@ -169,10 +163,7 @@ mod tests {
             txn_id: TxnId::new(txn),
             commit_ts: Timestamp::from_micros(ts),
             op,
-            cols: cols
-                .into_iter()
-                .map(|(c, v)| (ColumnId::new(c), Value::Int(v)))
-                .collect(),
+            cols: cols.into_iter().map(|(c, v)| (ColumnId::new(c), Value::Int(v))).collect(),
         }
     }
 
@@ -193,9 +184,7 @@ mod tests {
 
         let at = |ts| n.read_at(Timestamp::from_micros(ts)).unwrap();
         let get = |row: &Row, c: u16| {
-            row.iter()
-                .find(|(cid, _)| *cid == ColumnId::new(c))
-                .map(|(_, v)| v.clone())
+            row.iter().find(|(cid, _)| *cid == ColumnId::new(c)).map(|(_, v)| v.clone())
         };
 
         let r10 = at(10);

@@ -168,9 +168,7 @@ pub struct MemDb {
 impl MemDb {
     /// Creates a database with tables `0..num_tables`.
     pub fn new(num_tables: usize) -> Self {
-        Self {
-            tables: (0..num_tables).map(|i| Table::new(TableId::new(i as u32))).collect(),
-        }
+        Self { tables: (0..num_tables).map(|i| Table::new(TableId::new(i as u32))).collect() }
     }
 
     /// Number of tables.

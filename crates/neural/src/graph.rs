@@ -301,8 +301,7 @@ impl Tape {
                     let inner: usize = xv.shape()[1..].iter().product();
                     let mut gb = Tensor::zeros(&[c]);
                     for ci in 0..c {
-                        gb.data_mut()[ci] =
-                            g.data()[ci * inner..(ci + 1) * inner].iter().sum();
+                        gb.data_mut()[ci] = g.data()[ci * inner..(ci + 1) * inner].iter().sum();
                     }
                     accumulate(&mut grads, *b, &gb);
                 }
@@ -448,11 +447,7 @@ mod tests {
     /// Finite-difference check of dLoss/dparam for a scalar-loss graph
     /// builder. `build` must construct the same graph for given leaf
     /// values each call.
-    fn finite_diff_check(
-        param: Tensor,
-        build: impl Fn(&mut Tape, Var) -> Var,
-        tol: f32,
-    ) {
+    fn finite_diff_check(param: Tensor, build: impl Fn(&mut Tape, Var) -> Var, tol: f32) {
         let mut tape = Tape::new();
         let p = tape.leaf(param.clone());
         let loss = build(&mut tape, p);

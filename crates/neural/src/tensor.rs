@@ -151,10 +151,7 @@ impl Tensor {
     /// Elementwise combination of same-shape tensors.
     pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "zip shape mismatch");
-        Tensor::new(
-            &self.shape,
-            self.data.iter().zip(&rhs.data).map(|(a, b)| f(*a, *b)).collect(),
-        )
+        Tensor::new(&self.shape, self.data.iter().zip(&rhs.data).map(|(a, b)| f(*a, *b)).collect())
     }
 
     /// In-place accumulate `self += rhs`.

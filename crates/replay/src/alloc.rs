@@ -94,8 +94,7 @@ pub fn allocate_threads(
         out[i] = 1;
     }
     let spare = total_threads - working.len();
-    let quotas: Vec<f64> =
-        weights.iter().map(|w| w / total_weight * spare as f64).collect();
+    let quotas: Vec<f64> = weights.iter().map(|w| w / total_weight * spare as f64).collect();
     let mut assigned = 0usize;
     for &i in &working {
         out[i] += quotas[i].floor() as usize;
@@ -137,11 +136,9 @@ mod tests {
     #[test]
     fn urgency_shifts_threads_to_hot_groups() {
         let bytes = [100u64, 100];
-        let base =
-            allocate_threads(10, &bytes, &[1.0, 1.0], UrgencyMode::Log).unwrap();
+        let base = allocate_threads(10, &bytes, &[1.0, 1.0], UrgencyMode::Log).unwrap();
         assert_eq!(base, vec![5, 5]);
-        let skew =
-            allocate_threads(10, &bytes, &[1000.0, 1.0], UrgencyMode::Log).unwrap();
+        let skew = allocate_threads(10, &bytes, &[1000.0, 1.0], UrgencyMode::Log).unwrap();
         assert!(skew[0] > skew[1], "hot group must get more threads: {skew:?}");
         assert_eq!(skew.iter().sum::<usize>(), 10);
     }

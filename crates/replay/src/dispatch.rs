@@ -70,10 +70,7 @@ impl DispatchedEpoch {
 /// Heartbeat transactions (BEGIN/COMMIT with no DML) are placed into
 /// *every* group as empty mini-transactions, per Section V-B, so each
 /// group's commit timestamp advances even when the group gets no writes.
-pub fn dispatch_epoch(
-    epoch: &EncodedEpoch,
-    grouping: &TableGrouping,
-) -> Result<DispatchedEpoch> {
+pub fn dispatch_epoch(epoch: &EncodedEpoch, grouping: &TableGrouping) -> Result<DispatchedEpoch> {
     let mut groups: Vec<GroupWork> = vec![GroupWork::default(); grouping.num_groups()];
     // Per-group index of the open mini-txn, or usize::MAX.
     let mut open_slots: Vec<usize> = vec![usize::MAX; grouping.num_groups()];

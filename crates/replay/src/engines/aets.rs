@@ -3,7 +3,11 @@
 //! Per epoch (Section III-D):
 //!
 //! 1. the dispatcher routes entries into per-group mini-transactions
-//!    (metadata-only parse);
+//!    (metadata-only parse). With `pipeline_depth > 0` this runs on its
+//!    own thread, feeding dispatched epochs to the replay loop through a
+//!    bounded channel so the metadata scan of epoch `e+1` overlaps the
+//!    stage-1/stage-2 replay of epoch `e` (see DESIGN.md, "Replay
+//!    datapath");
 //! 2. threads are allocated to groups by `λ·n` weights
 //!    (Section IV-B), optionally refreshed from a per-epoch rate provider
 //!    (the DTGM predictor in the full system);
@@ -20,6 +24,7 @@
 
 use crate::alloc::{allocate_threads, UrgencyMode};
 use crate::dispatch::{dispatch_epoch, DispatchedEpoch};
+use crate::engines::pool::CellPool;
 use crate::engines::{commit_cell, translate_entry, Cell, ReplayEngine};
 use crate::grouping::TableGrouping;
 use crate::metrics::ReplayMetrics;
@@ -51,6 +56,15 @@ pub struct AetsConfig {
     /// Optional per-epoch group-rate provider (predicted access rates);
     /// when absent, the grouping's static rates are used.
     pub rate_fn: Option<RateFn>,
+    /// Depth of the dispatch pipeline: how many dispatched epochs may sit
+    /// between the dispatcher thread and the replay loop. `0` disables
+    /// pipelining (epochs are dispatched inline, the pre-pipeline serial
+    /// datapath); `n > 0` runs the dispatcher on its own thread behind a
+    /// bounded channel of capacity `n`, overlapping the metadata scan of
+    /// epoch `e+1` with the replay of epoch `e`. The epoch-barrier
+    /// invariant is unaffected: the replay loop consumes epochs strictly
+    /// in order and only ever commits the epoch at the channel head.
+    pub pipeline_depth: usize,
 }
 
 impl std::fmt::Debug for AetsConfig {
@@ -61,6 +75,7 @@ impl std::fmt::Debug for AetsConfig {
             .field("two_stage", &self.two_stage)
             .field("adaptive", &self.adaptive)
             .field("rate_fn", &self.rate_fn.as_ref().map(|_| "<fn>"))
+            .field("pipeline_depth", &self.pipeline_depth)
             .finish()
     }
 }
@@ -73,6 +88,7 @@ impl Default for AetsConfig {
             two_stage: true,
             adaptive: true,
             rate_fn: None,
+            pipeline_depth: 2,
         }
     }
 }
@@ -100,10 +116,8 @@ impl AetsEngine {
         hot_tables: &aets_common::FxHashSet<TableId>,
     ) -> Result<Self> {
         let grouping = TableGrouping::single(num_tables, hot_tables);
-        let mut eng = Self::new(
-            AetsConfig { threads, two_stage: false, ..Default::default() },
-            grouping,
-        )?;
+        let mut eng =
+            Self::new(AetsConfig { threads, two_stage: false, ..Default::default() }, grouping)?;
         eng.cfg.adaptive = false;
         Ok(eng)
     }
@@ -119,6 +133,7 @@ impl AetsEngine {
         work: &DispatchedEpoch,
         stage_groups: &[GroupId],
         alloc: &[usize],
+        pools: &[CellPool],
         db: &MemDb,
         board: &VisibilityBoard,
         replay_busy_ns: &AtomicU64,
@@ -131,6 +146,7 @@ impl AetsEngine {
                     continue;
                 }
                 let workers = alloc[gid.index()];
+                let pool = &pools[gid.index()];
                 let state = Arc::new(GroupRunState::new(gw.mini_txns.len()));
                 for _ in 0..workers {
                     let state = state.clone();
@@ -142,18 +158,16 @@ impl AetsEngine {
                                 break;
                             }
                             let mt = &gw.mini_txns[i];
-                            let cells: Vec<Cell> = mt
-                                .entry_ranges
-                                .iter()
-                                .map(|r| {
+                            let mut cells = pool.take(mt.entry_ranges.len());
+                            for r in &mt.entry_ranges {
+                                cells.push(
                                     translate_entry(db, &work.bytes, r.clone())
-                                        .expect("dispatched range decodes")
-                                })
-                                .collect();
+                                        .expect("dispatched range decodes"),
+                                );
+                            }
                             state.finish(i, cells);
                         }
-                        replay_busy_ns
-                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        replay_busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     });
                 }
                 // The group's single commit thread (phase 2).
@@ -164,25 +178,29 @@ impl AetsEngine {
                     let mut busy_ns = 0u64;
                     for i in 0..gw.mini_txns.len() {
                         let mt = &gw.mini_txns[i];
-                        let cells = if workers == 0 {
+                        let mut cells = if workers == 0 {
                             // Degenerate path under thread scarcity: the
                             // commit thread translates inline.
-                            mt.entry_ranges
-                                .iter()
-                                .map(|r| {
+                            let mut cells = pool.take(mt.entry_ranges.len());
+                            for r in &mt.entry_ranges {
+                                cells.push(
                                     translate_entry(db, &work.bytes, r.clone())
-                                        .expect("dispatched range decodes")
-                                })
-                                .collect()
+                                        .expect("dispatched range decodes"),
+                                );
+                            }
+                            cells
                         } else {
                             state_c.wait_take(i)
                         };
                         let t0 = Instant::now();
-                        for cell in cells {
+                        for cell in cells.drain(..) {
                             commit_cell(cell, mt.commit_ts);
                         }
                         board.publish_group(gid, mt.commit_ts);
                         busy_ns += t0.elapsed().as_nanos() as u64;
+                        // The drained buffer goes back to the group's free
+                        // list for the next epoch's phase-1 workers.
+                        pool.put(cells);
                     }
                     commit_busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
                 });
@@ -194,6 +212,67 @@ impl AetsEngine {
         for &gid in stage_groups {
             board.publish_group(gid, work.max_commit_ts);
         }
+    }
+
+    /// Replays one dispatched epoch: rate refresh, thread allocation, the
+    /// two replay stages, and the global visibility publish. This is the
+    /// consumer side of the dispatch pipeline; calling it strictly in
+    /// epoch order is what upholds the epoch-barrier invariant.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_epoch(
+        &self,
+        eidx: usize,
+        work: &DispatchedEpoch,
+        pools: &[CellPool],
+        db: &MemDb,
+        board: &VisibilityBoard,
+        replay_busy: &AtomicU64,
+        commit_busy: &AtomicU64,
+        m: &mut ReplayMetrics,
+    ) -> Result<()> {
+        // Refresh group rates if a predictor drives them.
+        let rates: Vec<f64> = match &self.cfg.rate_fn {
+            Some(f) => f(eidx),
+            None => (0..self.grouping.num_groups() as u32)
+                .map(|g| self.grouping.rate(GroupId::new(g)))
+                .collect(),
+        };
+        if rates.len() != self.grouping.num_groups() {
+            return Err(Error::Config("rate_fn returned wrong length".into()));
+        }
+
+        let pending = work.pending_bytes();
+        let alloc = if self.cfg.adaptive {
+            allocate_threads(self.cfg.threads, &pending, &rates, self.cfg.urgency)?
+        } else {
+            even_allocation(self.cfg.threads, &pending)
+        };
+
+        let stages: Vec<Vec<GroupId>> = if self.cfg.two_stage {
+            vec![self.grouping.hot_groups(), self.grouping.cold_groups()]
+        } else {
+            vec![(0..self.grouping.num_groups() as u32).map(GroupId::new).collect()]
+        };
+
+        for (sidx, stage_groups) in stages.iter().enumerate() {
+            if stage_groups.is_empty() {
+                continue;
+            }
+            let t_stage = Instant::now();
+            self.run_stage(work, stage_groups, &alloc, pools, db, board, replay_busy, commit_busy);
+            if self.cfg.two_stage && sidx == 0 {
+                m.stage1_wall += t_stage.elapsed();
+            } else {
+                m.stage2_wall += t_stage.elapsed();
+            }
+        }
+
+        board.publish_global(work.max_commit_ts);
+        m.txns += work.txn_count;
+        m.entries += work.groups.iter().map(|g| g.entries).sum::<usize>();
+        m.bytes += work.bytes.len() as u64;
+        m.epochs += 1;
+        Ok(())
     }
 }
 
@@ -273,64 +352,82 @@ impl ReplayEngine for AetsEngine {
         let mut m = ReplayMetrics { engine: self.name(), ..Default::default() };
         let replay_busy = AtomicU64::new(0);
         let commit_busy = AtomicU64::new(0);
+        let pools: Vec<CellPool> =
+            (0..self.grouping.num_groups()).map(|_| CellPool::new()).collect();
 
-        for (eidx, epoch) in epochs.iter().enumerate() {
-            let t_dispatch = Instant::now();
-            let work = dispatch_epoch(epoch, &self.grouping)?;
-            m.dispatch_busy += t_dispatch.elapsed();
-
-            // Refresh group rates if a predictor drives them.
-            let rates: Vec<f64> = match &self.cfg.rate_fn {
-                Some(f) => f(eidx),
-                None => (0..self.grouping.num_groups() as u32)
-                    .map(|g| self.grouping.rate(GroupId::new(g)))
-                    .collect(),
-            };
-            if rates.len() != self.grouping.num_groups() {
-                return Err(Error::Config("rate_fn returned wrong length".into()));
-            }
-
-            let pending = work.pending_bytes();
-            let alloc = if self.cfg.adaptive {
-                allocate_threads(self.cfg.threads, &pending, &rates, self.cfg.urgency)?
-            } else {
-                even_allocation(self.cfg.threads, &pending)
-            };
-
-            let stages: Vec<Vec<GroupId>> = if self.cfg.two_stage {
-                vec![self.grouping.hot_groups(), self.grouping.cold_groups()]
-            } else {
-                vec![(0..self.grouping.num_groups() as u32).map(GroupId::new).collect()]
-            };
-
-            for (sidx, stage_groups) in stages.iter().enumerate() {
-                if stage_groups.is_empty() {
-                    continue;
-                }
-                let t_stage = Instant::now();
-                self.run_stage(
+        if self.cfg.pipeline_depth == 0 {
+            // Serial datapath: dispatch each epoch inline before replaying
+            // it. Kept as the oracle the pipelined path is tested against.
+            for (eidx, epoch) in epochs.iter().enumerate() {
+                let t_dispatch = Instant::now();
+                let work = dispatch_epoch(epoch, &self.grouping)?;
+                m.dispatch_busy += t_dispatch.elapsed();
+                self.replay_epoch(
+                    eidx,
                     &work,
-                    stage_groups,
-                    &alloc,
+                    &pools,
                     db,
                     board,
                     &replay_busy,
                     &commit_busy,
-                );
-                if self.cfg.two_stage && sidx == 0 {
-                    m.stage1_wall += t_stage.elapsed();
-                } else {
-                    m.stage2_wall += t_stage.elapsed();
-                }
+                    &mut m,
+                )?;
             }
-
-            board.publish_global(work.max_commit_ts);
-            m.txns += work.txn_count;
-            m.entries += work.groups.iter().map(|g| g.entries).sum::<usize>();
-            m.bytes += epoch.bytes.len() as u64;
-            m.epochs += 1;
+        } else {
+            // Pipelined datapath: a dispatcher thread scans epochs ahead of
+            // the replay loop, bounded by `pipeline_depth` in-flight
+            // dispatched epochs. The channel is FIFO and the loop below
+            // finishes epoch e (both stages + global publish) before
+            // receiving e+1's work, so no entry of epoch e+1 can commit
+            // before epoch e is fully replayed — the dispatcher overlap
+            // never weakens the epoch barrier.
+            let mut result: Result<()> = Ok(());
+            std::thread::scope(|scope| {
+                let (tx, rx) = crossbeam::channel::bounded(self.cfg.pipeline_depth);
+                scope.spawn(move || {
+                    for epoch in epochs {
+                        let t_dispatch = Instant::now();
+                        let work = dispatch_epoch(epoch, &self.grouping);
+                        let stop = work.is_err();
+                        // A send error means the replay loop bailed out and
+                        // dropped the receiver; a dispatch error is
+                        // forwarded first, then the dispatcher stops.
+                        if tx.send((work, t_dispatch.elapsed())).is_err() || stop {
+                            break;
+                        }
+                    }
+                });
+                for (eidx, (work, dispatch_time)) in rx.iter().enumerate() {
+                    // Dispatcher busy time is now overlapped with replay;
+                    // it still counts as busy time in the Table II
+                    // breakdown, which measures work, not the critical
+                    // path.
+                    m.dispatch_busy += dispatch_time;
+                    let step = work.and_then(|work| {
+                        self.replay_epoch(
+                            eidx,
+                            &work,
+                            &pools,
+                            db,
+                            board,
+                            &replay_busy,
+                            &commit_busy,
+                            &mut m,
+                        )
+                    });
+                    if let Err(e) = step {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                // Dropping the receiver (scope end) unblocks a dispatcher
+                // stuck in `send` after an early exit above.
+            });
+            result?;
         }
 
+        m.cell_buffers_recycled = pools.iter().map(|p| p.recycled()).sum();
+        m.cell_buffers_allocated = pools.iter().map(|p| p.allocated()).sum();
         m.replay_busy = std::time::Duration::from_nanos(replay_busy.load(Ordering::Relaxed));
         m.commit_busy = std::time::Duration::from_nanos(commit_busy.load(Ordering::Relaxed));
         m.wall = start.elapsed();
@@ -341,8 +438,7 @@ impl ReplayEngine for AetsEngine {
 /// Even split of threads across groups with pending work (the
 /// non-adaptive baseline allocation).
 fn even_allocation(total: usize, pending: &[u64]) -> Vec<usize> {
-    let working: Vec<usize> =
-        (0..pending.len()).filter(|i| pending[*i] > 0).collect();
+    let working: Vec<usize> = (0..pending.len()).filter(|i| pending[*i] > 0).collect();
     let mut out = vec![0usize; pending.len()];
     if working.is_empty() {
         return out;
@@ -389,11 +485,9 @@ mod tests {
         let db_serial = MemDb::new(w.table_names.len());
         SerialEngine.replay_all(&epochs, &db_serial).unwrap();
 
-        let eng = AetsEngine::new(
-            AetsConfig { threads: 4, ..Default::default() },
-            tpcc_grouping(&w),
-        )
-        .unwrap();
+        let eng =
+            AetsEngine::new(AetsConfig { threads: 4, ..Default::default() }, tpcc_grouping(&w))
+                .unwrap();
         let db = MemDb::new(w.table_names.len());
         let m = eng.replay_all(&epochs, &db).unwrap();
 
@@ -412,8 +506,7 @@ mod tests {
         let db_serial = MemDb::new(w.table_names.len());
         SerialEngine.replay_all(&epochs, &db_serial).unwrap();
 
-        let eng =
-            AetsEngine::tplr_baseline(4, w.table_names.len(), &w.analytic_tables).unwrap();
+        let eng = AetsEngine::tplr_baseline(4, w.table_names.len(), &w.analytic_tables).unwrap();
         assert_eq!(eng.name(), "tplr");
         let db = MemDb::new(w.table_names.len());
         eng.replay_all(&epochs, &db).unwrap();
@@ -426,11 +519,9 @@ mod tests {
         // must equal the last epoch's max commit ts.
         let w = tpcc::generate(&TpccConfig { num_txns: 400, warehouses: 2, ..Default::default() });
         let epochs = encode(&w, 100);
-        let eng = AetsEngine::new(
-            AetsConfig { threads: 2, ..Default::default() },
-            tpcc_grouping(&w),
-        )
-        .unwrap();
+        let eng =
+            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, tpcc_grouping(&w))
+                .unwrap();
         let db = MemDb::new(w.table_names.len());
         let board = VisibilityBoard::new(eng.board_groups());
         eng.replay(&epochs, &db, &board).unwrap();
@@ -445,11 +536,9 @@ mod tests {
     fn single_thread_still_completes() {
         let w = tpcc::generate(&TpccConfig { num_txns: 300, warehouses: 2, ..Default::default() });
         let epochs = encode(&w, 64);
-        let eng = AetsEngine::new(
-            AetsConfig { threads: 1, ..Default::default() },
-            tpcc_grouping(&w),
-        )
-        .unwrap();
+        let eng =
+            AetsEngine::new(AetsConfig { threads: 1, ..Default::default() }, tpcc_grouping(&w))
+                .unwrap();
         let db = MemDb::new(w.table_names.len());
         let m = eng.replay_all(&epochs, &db).unwrap();
         assert_eq!(m.txns, w.txns.len());
@@ -502,14 +591,77 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_and_serial_datapaths_match() {
+        // The pipelined dispatcher (any depth) must produce state
+        // identical to the inline-dispatch serial datapath and to the
+        // serial oracle.
+        let w = tpcc::generate(&TpccConfig { num_txns: 600, warehouses: 2, ..Default::default() });
+        let epochs = encode(&w, 96);
+        let db_oracle = MemDb::new(w.table_names.len());
+        SerialEngine.replay_all(&epochs, &db_oracle).unwrap();
+        let oracle = db_oracle.digest_at(Timestamp::MAX);
+
+        for depth in [0usize, 1, 4] {
+            let eng = AetsEngine::new(
+                AetsConfig { threads: 3, pipeline_depth: depth, ..Default::default() },
+                tpcc_grouping(&w),
+            )
+            .unwrap();
+            let db = MemDb::new(w.table_names.len());
+            let m = eng.replay_all(&epochs, &db).unwrap();
+            assert_eq!(m.txns, w.txns.len(), "depth={depth}");
+            assert!(db.all_chains_ordered(), "depth={depth}");
+            assert_eq!(db.digest_at(Timestamp::MAX), oracle, "depth={depth}");
+        }
+    }
+
+    #[test]
+    fn cell_pool_recycles_buffers_across_epochs() {
+        // With many epochs, steady-state phase 1 must be served from the
+        // free list: recycled takes dominate fresh allocations.
+        let w = tpcc::generate(&TpccConfig { num_txns: 1200, warehouses: 2, ..Default::default() });
+        let epochs = encode(&w, 64);
+        assert!(epochs.len() > 10);
+        let eng =
+            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, tpcc_grouping(&w))
+                .unwrap();
+        let db = MemDb::new(w.table_names.len());
+        let m = eng.replay_all(&epochs, &db).unwrap();
+        assert!(m.cell_buffers_allocated > 0);
+        assert!(
+            m.cell_buffers_recycled > m.cell_buffers_allocated,
+            "recycled {} should exceed allocated {}",
+            m.cell_buffers_recycled,
+            m.cell_buffers_allocated
+        );
+    }
+
+    #[test]
+    fn pipelined_dispatch_surfaces_decode_errors() {
+        let w = tpcc::generate(&TpccConfig { num_txns: 200, warehouses: 2, ..Default::default() });
+        let mut epochs = encode(&w, 64);
+        // Truncate the last epoch mid-record: the dispatcher must forward
+        // the decode error through the pipeline instead of hanging.
+        let last = epochs.last().unwrap();
+        let mut b = last.bytes.clone();
+        let cut = b.split_to(b.len() - 3);
+        let corrupt = aets_wal::EncodedEpoch { bytes: cut, ..last.clone() };
+        *epochs.last_mut().unwrap() = corrupt;
+        let eng =
+            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, tpcc_grouping(&w))
+                .unwrap();
+        let db = MemDb::new(w.table_names.len());
+        let err = eng.replay_all(&epochs, &db).unwrap_err();
+        assert!(matches!(err.kind(), "codec" | "protocol"), "got {err}");
+    }
+
+    #[test]
     fn metrics_breakdown_is_replay_dominated() {
         let w = tpcc::generate(&TpccConfig { num_txns: 2000, warehouses: 2, ..Default::default() });
         let epochs = encode(&w, 512);
-        let eng = AetsEngine::new(
-            AetsConfig { threads: 2, ..Default::default() },
-            tpcc_grouping(&w),
-        )
-        .unwrap();
+        let eng =
+            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, tpcc_grouping(&w))
+                .unwrap();
         let db = MemDb::new(w.table_names.len());
         let m = eng.replay_all(&epochs, &db).unwrap();
         let (d, r, _c) = m.breakdown();

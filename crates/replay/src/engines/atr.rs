@@ -15,9 +15,7 @@ use crate::engines::{apply_entry, ReplayEngine};
 use crate::grouping::TableGrouping;
 use crate::metrics::ReplayMetrics;
 use crate::visibility::VisibilityBoard;
-use aets_common::{
-    Error, FxHashMap, FxHashSet, GroupId, Result, RowKey, TableId,
-};
+use aets_common::{Error, FxHashMap, FxHashSet, GroupId, Result, RowKey, TableId};
 use aets_memtable::MemDb;
 use aets_wal::{decode_at, EncodedEpoch, LogRecord};
 use parking_lot::Mutex;
@@ -104,8 +102,7 @@ impl ReplayEngine for AtrEngine {
             let work = dispatch_epoch(epoch, &single)?;
             m.dispatch_busy += t_dispatch.elapsed();
             let txns: &[MiniTxn] = &work.group(GroupId::new(0)).mini_txns;
-            let done: Vec<AtomicBool> =
-                (0..txns.len()).map(|_| AtomicBool::new(false)).collect();
+            let done: Vec<AtomicBool> = (0..txns.len()).map(|_| AtomicBool::new(false)).collect();
 
             std::thread::scope(|scope| {
                 for wid in 0..self.threads {
@@ -141,8 +138,7 @@ impl ReplayEngine for AtrEngine {
                             }
                             done[i].store(true, Ordering::Release);
                         }
-                        replay_busy
-                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        replay_busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     });
                 }
                 // Single visibility thread: publish in commit order.
@@ -183,11 +179,7 @@ mod tests {
     use aets_workloads::tpcc::{self, TpccConfig};
 
     fn encode(txns: Vec<aets_wal::TxnLog>, sz: usize) -> Vec<EncodedEpoch> {
-        aets_wal::batch_into_epochs(txns, sz)
-            .unwrap()
-            .iter()
-            .map(aets_wal::encode_epoch)
-            .collect()
+        aets_wal::batch_into_epochs(txns, sz).unwrap().iter().map(aets_wal::encode_epoch).collect()
     }
 
     #[test]

@@ -81,8 +81,7 @@ impl ReplayEngine for C5Engine {
             // Row-based dispatch: full decode of every record (C5's higher
             // parsing cost lives here, on the single dispatcher thread).
             let t_dispatch = Instant::now();
-            let mut queues: Vec<Vec<RowTask>> =
-                (0..self.threads).map(|_| Vec::new()).collect();
+            let mut queues: Vec<Vec<RowTask>> = (0..self.threads).map(|_| Vec::new()).collect();
             let mut commit_ts_by_seq: Vec<Timestamp> = Vec::new();
             let mut buf = epoch.bytes.clone();
             let mut open: Vec<DmlEntry> = Vec::new();
@@ -141,8 +140,7 @@ impl ReplayEngine for C5Engine {
                             apply_entry(db, &task.entry, task.commit_ts);
                         }
                         frontiers[wid].store(usize::MAX, Ordering::Release);
-                        replay_busy
-                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        replay_busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     });
                 }
                 // Snapshot publisher: runs until every queue is drained.
@@ -161,10 +159,7 @@ impl ReplayEngine for C5Engine {
                         if min_frontier > 0 {
                             let upto = min_frontier.min(total_txns);
                             if upto > 0 {
-                                board.publish_group(
-                                    GroupId::new(0),
-                                    commit_ts_by_seq[upto - 1],
-                                );
+                                board.publish_group(GroupId::new(0), commit_ts_by_seq[upto - 1]);
                             }
                         }
                         if min_frontier == usize::MAX {
@@ -198,11 +193,7 @@ mod tests {
     use aets_workloads::tpcc::{self, TpccConfig};
 
     fn encode(txns: Vec<aets_wal::TxnLog>, sz: usize) -> Vec<EncodedEpoch> {
-        aets_wal::batch_into_epochs(txns, sz)
-            .unwrap()
-            .iter()
-            .map(aets_wal::encode_epoch)
-            .collect()
+        aets_wal::batch_into_epochs(txns, sz).unwrap().iter().map(aets_wal::encode_epoch).collect()
     }
 
     #[test]

@@ -20,6 +20,7 @@
 pub mod aets;
 pub mod atr;
 pub mod c5;
+pub mod pool;
 pub mod serial;
 
 use crate::metrics::ReplayMetrics;
@@ -91,9 +92,7 @@ pub fn translate_entry(db: &MemDb, buf: &Bytes, range: Range<usize>) -> Result<C
             let node = db.table(entry.table).node_or_insert(entry.key);
             Ok(Cell { node, entry })
         }
-        other => Err(Error::Replay(format!(
-            "expected DML entry in range, found {other:?}"
-        ))),
+        other => Err(Error::Replay(format!("expected DML entry in range, found {other:?}"))),
     }
 }
 
@@ -125,4 +124,3 @@ pub fn apply_entry(db: &MemDb, entry: &DmlEntry, commit_ts: aets_common::Timesta
         cols: entry.cols.clone(),
     });
 }
-

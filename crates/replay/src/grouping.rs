@@ -66,10 +66,8 @@ impl TableGrouping {
             .enumerate()
             .map(|(t, g)| g.ok_or_else(|| Error::Config(format!("table {t} unassigned"))))
             .collect::<Result<_>>()?;
-        let hot = groups
-            .iter()
-            .map(|members| members.iter().any(|t| hot_tables.contains(t)))
-            .collect();
+        let hot =
+            groups.iter().map(|members| members.iter().any(|t| hot_tables.contains(t))).collect();
         Ok(Self { groups, hot, rates, table_to_group })
     }
 
@@ -118,15 +116,10 @@ impl TableGrouping {
             groups[*l].push(*t);
             sums[*l] += *r;
         }
-        let mut rates: Vec<f64> = sums
-            .iter()
-            .zip(&groups)
-            .map(|(s, g)| s / g.len() as f64)
-            .collect();
-        let cold: Vec<TableId> = (0..num_tables as u32)
-            .map(TableId::new)
-            .filter(|t| !hot_tables.contains(t))
-            .collect();
+        let mut rates: Vec<f64> =
+            sums.iter().zip(&groups).map(|(s, g)| s / g.len() as f64).collect();
+        let cold: Vec<TableId> =
+            (0..num_tables as u32).map(TableId::new).filter(|t| !hot_tables.contains(t)).collect();
         if !cold.is_empty() {
             groups.push(cold);
             rates.push(0.0);
@@ -171,18 +164,12 @@ impl TableGrouping {
 
     /// Group ids of all hot groups.
     pub fn hot_groups(&self) -> Vec<GroupId> {
-        (0..self.groups.len() as u32)
-            .map(GroupId::new)
-            .filter(|g| self.is_hot(*g))
-            .collect()
+        (0..self.groups.len() as u32).map(GroupId::new).filter(|g| self.is_hot(*g)).collect()
     }
 
     /// Group ids of all cold groups.
     pub fn cold_groups(&self) -> Vec<GroupId> {
-        (0..self.groups.len() as u32)
-            .map(GroupId::new)
-            .filter(|g| !self.is_hot(*g))
-            .collect()
+        (0..self.groups.len() as u32).map(GroupId::new).filter(|g| !self.is_hot(*g)).collect()
     }
 
     /// Groups accessed by a query footprint.
@@ -245,13 +232,9 @@ mod tests {
     #[test]
     fn rejects_missing_and_duplicate_tables() {
         // Table 1 unassigned.
-        assert!(TableGrouping::new(
-            2,
-            vec![vec![TableId::new(0)]],
-            vec![1.0],
-            &hotset(&[]),
-        )
-        .is_err());
+        assert!(
+            TableGrouping::new(2, vec![vec![TableId::new(0)]], vec![1.0], &hotset(&[]),).is_err()
+        );
         // Table 0 twice.
         assert!(TableGrouping::new(
             2,
@@ -293,12 +276,7 @@ mod tests {
         // Tables 0-2 hot with similar rates, 3 hot with a very different
         // rate, 4-5 cold.
         let rates = [10.0, 11.0, 10.5, 500.0, 0.0, 0.0];
-        let g = TableGrouping::dbscan(
-            6,
-            &hotset(&[0, 1, 2, 3]),
-            |t| rates[t.index()],
-            0.3,
-        );
+        let g = TableGrouping::dbscan(6, &hotset(&[0, 1, 2, 3]), |t| rates[t.index()], 0.3);
         // Expect: one cluster {0,1,2}, one {3}, one cold {4,5}.
         assert_eq!(g.num_groups(), 3);
         assert_eq!(g.group_of(TableId::new(0)), g.group_of(TableId::new(2)));

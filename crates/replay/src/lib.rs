@@ -33,6 +33,7 @@ pub use dispatch::{dispatch_epoch, DispatchedEpoch, GroupWork, MiniTxn};
 pub use engines::aets::{AetsConfig, AetsEngine, RateFn};
 pub use engines::atr::AtrEngine;
 pub use engines::c5::C5Engine;
+pub use engines::pool::CellPool;
 pub use engines::serial::SerialEngine;
 pub use engines::{apply_entry, commit_cell, translate_entry, Cell, ReplayEngine};
 pub use grouping::{dbscan_1d, TableGrouping};

@@ -29,6 +29,11 @@ pub struct ReplayMetrics {
     pub stage1_wall: Duration,
     /// Wall time spent in stage 2 (cold groups).
     pub stage2_wall: Duration,
+    /// Phase-1 cell buffers served from the per-group free-list pools
+    /// (zero for engines without cell pooling).
+    pub cell_buffers_recycled: u64,
+    /// Phase-1 cell buffers that had to be freshly allocated.
+    pub cell_buffers_allocated: u64,
 }
 
 impl ReplayMetrics {

@@ -87,9 +87,8 @@ pub fn run_realtime(
     }
     let board = Arc::new(VisibilityBoard::new(engine.board_groups()));
     let start = Instant::now();
-    let to_wall = |ts: Timestamp| -> Duration {
-        Duration::from_secs_f64(ts.as_secs_f64() / cfg.time_scale)
-    };
+    let to_wall =
+        |ts: Timestamp| -> Duration { Duration::from_secs_f64(ts.as_secs_f64() / cfg.time_scale) };
 
     std::thread::scope(|scope| -> Result<RunnerOutcome> {
         // Query threads: sleep until arrival, then block on Algorithm 3.
@@ -135,9 +134,8 @@ pub fn run_realtime(
         let mut delays = Vec::with_capacity(waiters.len());
         let mut timed_out = 0usize;
         for w in waiters {
-            let (delay, ok) = w.join().map_err(|_| {
-                Error::Replay("query thread panicked".into())
-            })?;
+            let (delay, ok) =
+                w.join().map_err(|_| Error::Replay("query thread panicked".into()))?;
             if ok {
                 delays.push(delay);
             } else {
@@ -173,8 +171,7 @@ mod tests {
         let grouping =
             TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
         let engine =
-            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping)
-                .unwrap();
+            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping).unwrap();
         (w, epochs, arrivals, engine)
     }
 
@@ -210,8 +207,7 @@ mod tests {
         let db = MemDb::new(w.num_tables());
         // 10x compression: a ~30ms primary window takes >= ~3ms wall.
         let cfg = RunnerConfig { time_scale: 10.0, ..Default::default() };
-        let expected_min =
-            Duration::from_secs_f64(arrivals.last().unwrap().as_secs_f64() / 10.0);
+        let expected_min = Duration::from_secs_f64(arrivals.last().unwrap().as_secs_f64() / 10.0);
         let outcome = run_realtime(&engine, &epochs, &arrivals, &db, &[], &cfg).unwrap();
         assert!(
             outcome.metrics.wall >= expected_min,

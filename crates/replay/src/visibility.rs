@@ -148,11 +148,7 @@ mod tests {
     #[test]
     fn wait_visible_times_out() {
         let b = VisibilityBoard::new(1);
-        let ok = b.wait_visible(
-            &[g(0)],
-            Timestamp::from_micros(100),
-            Duration::from_millis(30),
-        );
+        let ok = b.wait_visible(&[g(0)], Timestamp::from_micros(100), Duration::from_millis(30));
         assert!(!ok);
     }
 

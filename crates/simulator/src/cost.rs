@@ -17,6 +17,14 @@
 //! * TPLR/AETS phase-1 translate dominates; the commit phase only links
 //!   pre-materialized cells (Table II: replay >= 98 %, commit < 1 %).
 //!
+//! The per-entry decode costs (`translate`, `atr_entry`, `c5_entry`) are
+//! calibrated against the zero-copy codec: `Text`/`Bytes` values are
+//! shared slices of the epoch buffer, so decoding no longer pays a heap
+//! copy per value and all three dropped by the same ~15 % relative to
+//! the original owned-`String` codec (the criterion `codec` benches in
+//! `results/BENCH_pipeline.json` are the measured source). The metadata
+//! scan was already copy-free, so `meta_parse` is unchanged.
+//!
 //! Every figure regenerated from this model is labelled as model-derived
 //! in EXPERIMENTS.md; the ratios, not the absolute microseconds, are the
 //! reproduction target.
@@ -57,12 +65,12 @@ impl Default for CostModel {
         Self {
             meta_parse: 0.008,
             c5_route: 0.020,
-            translate: 1.0,
+            translate: 0.85,
             append: 0.008,
             commit_txn: 0.04,
-            atr_entry: 1.12,
+            atr_entry: 0.97,
             atr_sync_per_thread: 0.00025,
-            c5_entry: 1.78,
+            c5_entry: 1.55,
             queue_contention_per_thread: 0.006,
             stage_setup: 30.0,
             replication_latency: 500.0,

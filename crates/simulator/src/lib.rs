@@ -17,6 +17,4 @@ pub use cost::CostModel;
 pub use curve::VisibilityCurve;
 pub use engines::{simulate, SimAetsConfig, SimConfig, SimEngineKind, SimOutcome};
 pub use profile::{profile_epochs, EpochProfile, GroupEpochProfile, TxnSlice};
-pub use queries::{
-    evaluate_by_class, evaluate_by_slot, evaluate_queries, query_delay, DelayStats,
-};
+pub use queries::{evaluate_by_class, evaluate_by_slot, evaluate_queries, query_delay, DelayStats};

@@ -66,8 +66,7 @@ pub fn profile_epochs(
     let num_groups = grouping.num_groups();
     let mut out = Vec::with_capacity(txns.len() / epoch_size + 1);
     for chunk in txns.chunks(epoch_size) {
-        let mut groups: Vec<GroupEpochProfile> =
-            vec![GroupEpochProfile::default(); num_groups];
+        let mut groups: Vec<GroupEpochProfile> = vec![GroupEpochProfile::default(); num_groups];
         let mut entries_total = 0u64;
         for t in chunk {
             // Count per group.
@@ -130,8 +129,7 @@ mod tests {
     fn setup() -> (Vec<TxnLog>, TableGrouping) {
         let w = tpcc::generate(&TpccConfig { num_txns: 1000, warehouses: 2, ..Default::default() });
         let (groups, rates) = tpcc::paper_grouping();
-        let g = TableGrouping::new(w.table_names.len(), groups, rates, &w.analytic_tables)
-            .unwrap();
+        let g = TableGrouping::new(w.table_names.len(), groups, rates, &w.analytic_tables).unwrap();
         (w.txns, g)
     }
 

@@ -46,11 +46,7 @@ impl DelayStats {
 /// arrival `qts` and the moment Algorithm 3 admits it (all its groups
 /// reach `qts`, or the global watermark does). `None` if the run ended
 /// before the data became visible.
-pub fn query_delay(
-    outcome: &SimOutcome,
-    gids: &[GroupId],
-    qts: Timestamp,
-) -> Option<u64> {
+pub fn query_delay(outcome: &SimOutcome, gids: &[GroupId], qts: Timestamp) -> Option<u64> {
     // All groups must reach qts: the admission time is the max over
     // groups of each group's first-reach time.
     let mut group_wall: u64 = 0;
@@ -195,8 +191,7 @@ mod tests {
 
     #[test]
     fn stats_aggregate() {
-        let mut s = DelayStats::default();
-        s.delays = vec![10, 20, 30, 40, 100];
+        let s = DelayStats { delays: vec![10, 20, 30, 40, 100], ..Default::default() };
         assert_eq!(s.mean(), 40.0);
         assert_eq!(s.percentile(50.0), 30);
         assert_eq!(s.percentile(100.0), 100);

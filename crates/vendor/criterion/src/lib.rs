@@ -1,0 +1,299 @@
+//! Minimal benchmark harness exposing the `criterion` API surface used by
+//! this workspace, for offline builds.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs
+//! `sample_size` samples where each sample executes enough iterations to
+//! cover a fixed slice of the measurement budget. The median sample is
+//! reported in ns/iter plus derived element throughput. `--test` (the
+//! `cargo bench -- --test` smoke mode) runs every benchmark exactly once
+//! and skips timing, matching upstream semantics.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation used to derive rate numbers from iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How the harness was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement.
+    Measure,
+    /// `--test`: run each benchmark body once, no timing.
+    Test,
+}
+
+/// Top-level harness state, handed to each `criterion_group!` function.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Measure,
+            filter: None,
+            measurement_time: Duration::from_millis(900),
+            warm_up_time: Duration::from_millis(150),
+            default_sample_size: 12,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from CLI args (`--test`, optional name filter).
+    /// Unrecognized flags (e.g. `--bench`, passed by cargo) are ignored.
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.mode = Mode::Test,
+                s if s.starts_with("--") => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(id, None, sample_size, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.mode == Mode::Test {
+            let mut b = Bencher { mode: Mode::Test, iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+
+        // Warm-up: discover a per-sample iteration count that fills the
+        // per-sample budget.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut iters: u64 = 1;
+        let mut per_iter;
+        loop {
+            let mut b = Bencher { mode: Mode::Measure, iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter = b.elapsed.max(Duration::from_nanos(1)) / iters as u32;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+            iters = iters.saturating_mul(2).min(1 << 24);
+        }
+        let sample_budget = self.measurement_time / sample_size as u32;
+        let iters_per_sample = (sample_budget.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1 << 24) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b =
+                Bencher { mode: Mode::Measure, iters: iters_per_sample, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(" {:>12}/s", fmt_rate(n as f64 * 1e9 / median)),
+            Throughput::Bytes(n) => format!(" {:>10}B/s", fmt_rate(n as f64 * 1e9 / median)),
+        });
+        println!(
+            "{id:<40} time: [{} {} {}]{}",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi),
+            rate.unwrap_or_default(),
+        );
+    }
+
+    /// Prints the closing summary (upstream prints report pointers here).
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec < 1_000.0 {
+        format!("{per_sec:.1}")
+    } else if per_sec < 1_000_000.0 {
+        format!("{:.2}K", per_sec / 1_000.0)
+    } else if per_sec < 1_000_000_000.0 {
+        format!("{:.2}M", per_sec / 1_000_000.0)
+    } else {
+        format!("{:.2}G", per_sec / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks sharing throughput / sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, self.throughput, sample_size, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group: a runner function invoking each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion { mode: Mode::Test, ..Criterion::default() };
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn group_settings_apply() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(2),
+            ..Criterion::default()
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.sample_size(3);
+        let mut total = 0u64;
+        g.bench_function("count", |b| b.iter(|| total += 1));
+        g.finish();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filter: Some("match-me".to_string()),
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("yes-match-me", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

@@ -8,7 +8,9 @@
 //! onto [`decode_meta`] vs [`decode_record`].
 
 use crate::entry::{DmlEntry, LogRecord};
-use aets_common::{ColumnId, DmlOp, Error, Lsn, Result, Row, RowKey, TableId, Timestamp, TxnId, Value};
+use aets_common::{
+    ColumnId, DmlOp, Error, Lsn, Result, Row, RowKey, TableId, Timestamp, TxnId, Value,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const TAG_BEGIN: u8 = 0xB0;
@@ -47,7 +49,7 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
 
 fn get_value(buf: &mut Bytes) -> Result<Value> {
     if buf.remaining() < 1 {
-        return Err(Error::Codec("truncated value tag".into()));
+        return Err(Error::CodecTruncated);
     }
     match buf.get_u8() {
         VTAG_NULL => Ok(Value::Null),
@@ -63,8 +65,9 @@ fn get_value(buf: &mut Bytes) -> Result<Value> {
             need(buf, 4)?;
             let n = buf.get_u32_le() as usize;
             need(buf, n)?;
-            let raw = buf.split_to(n);
-            String::from_utf8(raw.to_vec())
+            // Zero-copy: the value is a refcounted slice of the epoch
+            // buffer; only UTF-8 validation touches the payload.
+            aets_common::Utf8Bytes::from_utf8(buf.split_to(n))
                 .map(Value::Text)
                 .map_err(|_| Error::Codec("invalid utf-8 in text value".into()))
         }
@@ -72,9 +75,9 @@ fn get_value(buf: &mut Bytes) -> Result<Value> {
             need(buf, 4)?;
             let n = buf.get_u32_le() as usize;
             need(buf, n)?;
-            Ok(Value::Bytes(buf.split_to(n).to_vec()))
+            Ok(Value::Bytes(buf.split_to(n)))
         }
-        t => Err(Error::Codec(format!("unknown value tag {t}"))),
+        _ => Err(Error::CodecBadTag),
     }
 }
 
@@ -100,7 +103,7 @@ fn get_row(buf: &mut Bytes) -> Result<Row> {
 
 fn need(buf: &Bytes, n: usize) -> Result<()> {
     if buf.remaining() < n {
-        Err(Error::Codec(format!("truncated record: need {n} more bytes")))
+        Err(Error::CodecTruncated)
     } else {
         Ok(())
     }
@@ -163,18 +166,25 @@ pub fn decode_record(buf: &mut Bytes) -> Result<LogRecord> {
             let txn_id = TxnId::new(buf.get_u64_le());
             let ts = Timestamp::from_micros(buf.get_u64_le());
             let table = TableId::new(buf.get_u32_le());
-            let op = DmlOp::from_tag(buf.get_u8())
-                .ok_or_else(|| Error::Codec("unknown dml op tag".into()))?;
+            let op = DmlOp::from_tag(buf.get_u8()).ok_or(Error::CodecBadTag)?;
             let key = RowKey::new(buf.get_u64_le());
             let row_version = buf.get_u64_le();
             let has_before = buf.get_u8() != 0;
             let cols = get_row(buf)?;
             let before = if has_before { Some(get_row(buf)?) } else { None };
             Ok(LogRecord::Dml(DmlEntry {
-                lsn, txn_id, ts, table, op, key, row_version, cols, before,
+                lsn,
+                txn_id,
+                ts,
+                table,
+                op,
+                key,
+                row_version,
+                cols,
+                before,
             }))
         }
-        t => Err(Error::Codec(format!("unknown record tag {t:#x}"))),
+        _ => Err(Error::CodecBadTag),
     }
 }
 
@@ -219,7 +229,7 @@ pub fn decode_meta(buf: &mut Bytes) -> Result<RecordMeta> {
             }
             Ok(RecordMeta { lsn, txn_id, ts, table: Some(table) })
         }
-        t => Err(Error::Codec(format!("unknown record tag {t:#x}"))),
+        _ => Err(Error::CodecBadTag),
     }
 }
 
@@ -237,7 +247,7 @@ fn skip_row(buf: &mut Bytes) -> Result<()> {
                 need(buf, 4)?;
                 buf.get_u32_le() as usize
             }
-            t => return Err(Error::Codec(format!("unknown value tag {t}"))),
+            _ => return Err(Error::CodecBadTag),
         };
         need(buf, skip)?;
         buf.advance(skip);
@@ -336,7 +346,7 @@ mod tests {
                 (ColumnId::new(2), Value::Text("hello".into())),
                 (ColumnId::new(4), Value::Null),
                 (ColumnId::new(5), Value::Float(2.25)),
-                (ColumnId::new(6), Value::Bytes(vec![1, 2, 3])),
+                (ColumnId::new(6), Value::from(vec![1u8, 2, 3])),
             ],
             before: Some(vec![(ColumnId::new(0), Value::Int(4))]),
         })
@@ -387,7 +397,7 @@ mod tests {
     #[test]
     fn unknown_tags_are_rejected() {
         let mut b = Bytes::from_static(&[0xFFu8; 32][..]);
-        assert!(matches!(decode_record(&mut b), Err(Error::Codec(_))));
+        assert!(matches!(decode_record(&mut b), Err(Error::CodecBadTag)));
         let mut b2 = Bytes::from_static(&[0xFFu8; 32][..]);
         assert!(decode_meta(&mut b2).is_err());
     }
@@ -397,8 +407,8 @@ mod tests {
             Just(Value::Null),
             any::<i64>().prop_map(Value::Int),
             (-1e12f64..1e12).prop_map(Value::Float),
-            "[a-zA-Z0-9]{0,40}".prop_map(Value::Text),
-            prop::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+            "[a-zA-Z0-9]{0,40}".prop_map(Value::from),
+            prop::collection::vec(any::<u8>(), 0..64).prop_map(Value::from),
         ]
     }
 

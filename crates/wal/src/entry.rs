@@ -44,7 +44,13 @@ impl DmlEntry {
     /// dispatch parsing cost.
     pub fn wire_size(&self) -> usize {
         // tag + lsn + txn + ts + table + op + key + row_version + payloads
-        1 + 8 + 8 + 8 + 4 + 1 + 8 + 8
+        1 + 8
+            + 8
+            + 8
+            + 4
+            + 1
+            + 8
+            + 8
             + row_wire_size(&self.cols)
             + self.before.as_ref().map_or(0, row_wire_size)
     }

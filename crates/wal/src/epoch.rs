@@ -80,9 +80,9 @@ pub fn assemble_txns(records: &[LogRecord]) -> Result<Vec<TxnLog>> {
                 }
             },
             LogRecord::Commit { txn_id, ts, .. } => {
-                let mut t = open.take().ok_or_else(|| {
-                    Error::Protocol(format!("COMMIT {txn_id} without BEGIN"))
-                })?;
+                let mut t = open
+                    .take()
+                    .ok_or_else(|| Error::Protocol(format!("COMMIT {txn_id} without BEGIN")))?;
                 if t.txn_id != *txn_id {
                     return Err(Error::Protocol(format!(
                         "COMMIT {} does not match open transaction {}",

@@ -12,9 +12,11 @@ pub mod epoch;
 pub mod stream;
 
 pub use codec::{
-    decode_at, decode_batch, decode_meta, decode_record, encode_batch, encode_record,
-    MetaScanner, RecordMeta,
+    decode_at, decode_batch, decode_meta, decode_record, encode_batch, encode_record, MetaScanner,
+    RecordMeta,
 };
 pub use entry::{DmlEntry, LogRecord, TxnLog};
-pub use epoch::{assemble_txns, batch_into_epochs, encode_epoch, heartbeat_txn, EncodedEpoch, Epoch};
+pub use epoch::{
+    assemble_txns, batch_into_epochs, encode_epoch, heartbeat_txn, EncodedEpoch, Epoch,
+};
 pub use stream::{insert_heartbeats, ReplicationTimeline};

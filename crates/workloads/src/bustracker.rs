@@ -158,27 +158,27 @@ pub fn access_rate(table: usize, slot: usize) -> f64 {
     let phase = table as f64 * 0.7;
     popularity
         * match table % 3 {
-        // Diurnal sinusoid around a per-table base.
-        0 => {
-            let base = 30.0 + 4.0 * table as f64;
-            (base * (1.0 + 0.45 * ((t / 12.0 + phase).sin()))).max(1.0)
+            // Diurnal sinusoid around a per-table base.
+            0 => {
+                let base = 30.0 + 4.0 * table as f64;
+                (base * (1.0 + 0.45 * ((t / 12.0 + phase).sin()))).max(1.0)
+            }
+            // Regime shift within each day: quiet first half, busy second.
+            1 => {
+                let shift = 14.0 + (table % 5) as f64;
+                let low = 18.0 + table as f64;
+                let high = 55.0 + 3.0 * table as f64;
+                let s = 1.0 / (1.0 + (-(td - shift)).exp()); // logistic switch
+                (low + (high - low) * s).max(1.0)
+            }
+            // Commuter double-peak, morning and evening.
+            _ => {
+                let base = 22.0 + 2.0 * table as f64;
+                let peak1 = 40.0 * (-((td - 8.0) * (td - 8.0)) / 18.0).exp();
+                let peak2 = 50.0 * (-((td - 26.0) * (td - 26.0)) / 18.0).exp();
+                (base + peak1 + peak2).max(1.0)
+            }
         }
-        // Regime shift within each day: quiet first half, busy second.
-        1 => {
-            let shift = 14.0 + (table % 5) as f64;
-            let low = 18.0 + table as f64;
-            let high = 55.0 + 3.0 * table as f64;
-            let s = 1.0 / (1.0 + (-(td - shift)).exp()); // logistic switch
-            (low + (high - low) * s).max(1.0)
-        }
-        // Commuter double-peak, morning and evening.
-        _ => {
-            let base = 22.0 + 2.0 * table as f64;
-            let peak1 = 40.0 * (-((td - 8.0) * (td - 8.0)) / 18.0).exp();
-            let peak2 = 50.0 * (-((td - 26.0) * (td - 26.0)) / 18.0).exp();
-            (base + peak1 + peak2).max(1.0)
-        }
-    }
 }
 
 /// Samples a hot table to write, proportional to popularity.
@@ -211,9 +211,7 @@ pub const DAY_SLOTS: usize = 35;
 /// The full rate matrix: `slots x NUM_TABLES`, cold columns all zero.
 /// This is the forecasting ground truth for Tables III/IV and Figure 14.
 pub fn rate_matrix(slots: usize) -> Vec<Vec<f64>> {
-    (0..slots)
-        .map(|s| (0..NUM_TABLES).map(|t| access_rate(t, s)).collect())
-        .collect()
+    (0..slots).map(|s| (0..NUM_TABLES).map(|t| access_rate(t, s)).collect()).collect()
 }
 
 /// Co-access adjacency between hot tables, from the prediction queries'
@@ -335,16 +333,9 @@ pub fn generate(cfg: &BusTrackerConfig) -> Workload {
         q.id = i as u32;
     }
 
-    let analytic_tables: FxHashSet<TableId> =
-        (0..NUM_HOT as u32).map(TableId::new).collect();
+    let analytic_tables: FxHashSet<TableId> = (0..NUM_HOT as u32).map(TableId::new).collect();
 
-    Workload {
-        name: "bustracker",
-        table_names: table_names(),
-        txns,
-        queries,
-        analytic_tables,
-    }
+    Workload { name: "bustracker", table_names: table_names(), txns, queries, analytic_tables }
 }
 
 #[cfg(test)]

@@ -85,7 +85,12 @@ pub fn generate(cfg: &SeatsConfig) -> Workload {
             vec![
                 (RESERVATION, DmlOp::Insert, RowKey::new(r), int_row(&[(0, r as i64)])),
                 (FLIGHT, DmlOp::Update, RowKey::new(rng.gen_range(0..2000)), int_row(&[(0, 1)])),
-                (CUSTOMER, DmlOp::Update, RowKey::new(rng.gen_range(0..50_000)), int_row(&[(0, 1)])),
+                (
+                    CUSTOMER,
+                    DmlOp::Update,
+                    RowKey::new(rng.gen_range(0..50_000)),
+                    int_row(&[(0, 1)]),
+                ),
                 (
                     FREQUENT_FLYER,
                     DmlOp::Update,
@@ -95,7 +100,12 @@ pub fn generate(cfg: &SeatsConfig) -> Workload {
             ]
         } else if pick < 80 {
             vec![
-                (CUSTOMER, DmlOp::Update, RowKey::new(rng.gen_range(0..50_000)), int_row(&[(1, 1)])),
+                (
+                    CUSTOMER,
+                    DmlOp::Update,
+                    RowKey::new(rng.gen_range(0..50_000)),
+                    int_row(&[(1, 1)]),
+                ),
                 (
                     FREQUENT_FLYER,
                     DmlOp::Update,
@@ -107,7 +117,12 @@ pub fn generate(cfg: &SeatsConfig) -> Workload {
             let r = rng.gen_range(0..next_res.max(1));
             vec![
                 (RESERVATION, DmlOp::Update, RowKey::new(r), int_row(&[(1, 1)])),
-                (CUSTOMER, DmlOp::Update, RowKey::new(rng.gen_range(0..50_000)), int_row(&[(2, 1)])),
+                (
+                    CUSTOMER,
+                    DmlOp::Update,
+                    RowKey::new(rng.gen_range(0..50_000)),
+                    int_row(&[(2, 1)]),
+                ),
             ]
         };
         txns.push(factory.build(&mut rng, rows));
@@ -124,13 +139,7 @@ pub fn generate(cfg: &SeatsConfig) -> Workload {
     let analytic_tables: FxHashSet<TableId> =
         classes.iter().flat_map(|(_, _, t)| t.iter().copied()).collect();
 
-    Workload {
-        name: "seats",
-        table_names: TABLE_NAMES.to_vec(),
-        txns,
-        queries,
-        analytic_tables,
-    }
+    Workload { name: "seats", table_names: TABLE_NAMES.to_vec(), txns, queries, analytic_tables }
 }
 
 #[cfg(test)]

@@ -6,9 +6,7 @@
 //! tables it reads). The replay engines consume the first; the visibility
 //! experiments consume both.
 
-use aets_common::{
-    ColumnId, DmlOp, FxHashSet, Lsn, Row, RowKey, TableId, Timestamp, TxnId, Value,
-};
+use aets_common::{ColumnId, DmlOp, FxHashSet, Lsn, Row, RowKey, TableId, Timestamp, TxnId, Value};
 use aets_wal::{DmlEntry, TxnLog};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -129,11 +127,7 @@ impl TxnFactory {
     ///
     /// `before` images are attached to updates (zero-valued placeholders)
     /// so the ATR baseline has something to check; AETS ignores them.
-    pub fn build(
-        &mut self,
-        rng: &mut StdRng,
-        rows: Vec<(TableId, DmlOp, RowKey, Row)>,
-    ) -> TxnLog {
+    pub fn build(&mut self, rng: &mut StdRng, rows: Vec<(TableId, DmlOp, RowKey, Row)>) -> TxnLog {
         let txn_id = TxnId::new(self.next_txn);
         self.next_txn += 1;
         // Exponential inter-commit gap targeting `tps`.
@@ -146,11 +140,7 @@ impl TxnFactory {
                 let lsn = Lsn::new(self.next_lsn);
                 self.next_lsn += 1;
                 let before = if op == DmlOp::Update {
-                    Some(
-                        cols.iter()
-                            .map(|(cid, _)| (*cid, Value::Int(0)))
-                            .collect::<Row>(),
-                    )
+                    Some(cols.iter().map(|(cid, _)| (*cid, Value::Int(0))).collect::<Row>())
                 } else {
                     None
                 };
@@ -203,12 +193,7 @@ pub fn poisson_query_stream(
             }
             pick -= c.1;
         }
-        out.push(QueryInstance {
-            id,
-            class: chosen.0,
-            arrival: ts,
-            tables: chosen.2.clone(),
-        });
+        out.push(QueryInstance { id, class: chosen.0, arrival: ts, tables: chosen.2.clone() });
         id += 1;
     }
     out
@@ -228,8 +213,14 @@ mod tests {
     fn factory_assigns_monotone_ids_and_timestamps() {
         let mut f = TxnFactory::new(1000.0);
         let mut rng = seeded_rng(1);
-        let a = f.build(&mut rng, vec![(TableId::new(0), DmlOp::Insert, RowKey::new(1), int_row(&[(0, 1)]))]);
-        let b = f.build(&mut rng, vec![(TableId::new(0), DmlOp::Update, RowKey::new(1), int_row(&[(0, 2)]))]);
+        let a = f.build(
+            &mut rng,
+            vec![(TableId::new(0), DmlOp::Insert, RowKey::new(1), int_row(&[(0, 1)]))],
+        );
+        let b = f.build(
+            &mut rng,
+            vec![(TableId::new(0), DmlOp::Update, RowKey::new(1), int_row(&[(0, 2)]))],
+        );
         assert!(a.txn_id < b.txn_id);
         assert!(a.commit_ts < b.commit_ts);
         assert!(a.entries[0].lsn < b.entries[0].lsn);
@@ -252,10 +243,8 @@ mod tests {
     #[test]
     fn poisson_stream_is_sorted_and_bounded() {
         let mut rng = seeded_rng(3);
-        let classes = vec![
-            (1, 1.0, vec![TableId::new(0)]),
-            (2, 3.0, vec![TableId::new(1), TableId::new(2)]),
-        ];
+        let classes =
+            vec![(1, 1.0, vec![TableId::new(0)]), (2, 3.0, vec![TableId::new(1), TableId::new(2)])];
         let horizon = Timestamp::from_secs_f64(10.0);
         let qs = poisson_query_stream(&mut rng, 100.0, horizon, &classes);
         assert!(!qs.is_empty());

@@ -36,14 +36,8 @@ pub fn table_one_row(w: &Workload) -> TableOneRow {
 /// are just that class's footprint (this is how the paper reports
 /// CH-benCHmark Q1..Q6 separately).
 pub fn table_one_row_for_class(w: &Workload, class: u32) -> Option<TableOneRow> {
-    let footprint: FxHashSet<_> = w
-        .queries
-        .iter()
-        .find(|q| q.class == class)?
-        .tables
-        .iter()
-        .copied()
-        .collect();
+    let footprint: FxHashSet<_> =
+        w.queries.iter().find(|q| q.class == class)?.tables.iter().copied().collect();
     let written = w.written_tables();
     let inter = footprint.iter().filter(|t| written.contains(t)).count();
     let mut hot = 0usize;

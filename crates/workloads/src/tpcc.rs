@@ -99,7 +99,7 @@ fn stock_key(w: u64, i: u64) -> RowKey {
 }
 
 struct TpccState {
-    next_order: Vec<u64>,      // per (w,d): next order id
+    next_order: Vec<u64>, // per (w,d): next order id
     next_history: u64,
     undelivered: Vec<Vec<(u64, u64)>>, // per (w,d): (order id, ol count) FIFO
 }
@@ -107,11 +107,7 @@ struct TpccState {
 impl TpccState {
     fn new(warehouses: u32) -> Self {
         let slots = warehouses as usize * DISTRICTS_PER_WH as usize;
-        Self {
-            next_order: vec![1; slots],
-            next_history: 0,
-            undelivered: vec![Vec::new(); slots],
-        }
+        Self { next_order: vec![1; slots], next_history: 0, undelivered: vec![Vec::new(); slots] }
     }
 
     fn slot(w: u64, d: u64) -> usize {
@@ -121,9 +117,8 @@ impl TpccState {
 
 fn text_value(rng: &mut StdRng, len: usize) -> Value {
     const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
-    let s: String =
-        (0..len).map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char).collect();
-    Value::Text(s)
+    let s: String = (0..len).map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char).collect();
+    Value::from(s)
 }
 
 fn new_order(
@@ -153,17 +148,15 @@ fn new_order(
         order_key(w, d, o),
         vec![
             (ColumnId::new(0), Value::Int(o as i64)),
-            (ColumnId::new(1), Value::Int(nurand(rng, 1023, 1, CUSTOMERS_PER_DISTRICT, NURAND_C_CID) as i64)),
+            (
+                ColumnId::new(1),
+                Value::Int(nurand(rng, 1023, 1, CUSTOMERS_PER_DISTRICT, NURAND_C_CID) as i64),
+            ),
             (ColumnId::new(2), Value::Int(n_lines as i64)),
             (ColumnId::new(3), Value::Null), // o_carrier_id
         ],
     ));
-    rows.push((
-        tables::NEW_ORDER,
-        DmlOp::Insert,
-        order_key(w, d, o),
-        int_row(&[(0, o as i64)]),
-    ));
+    rows.push((tables::NEW_ORDER, DmlOp::Insert, order_key(w, d, o), int_row(&[(0, o as i64)])));
     for ol in 0..n_lines {
         let item = item_zipf.sample(rng) as u64 - 1;
         rows.push((
@@ -248,12 +241,7 @@ fn delivery(
         };
         st.undelivered[slot].remove(0);
         rows.push((tables::NEW_ORDER, DmlOp::Delete, order_key(w, d, o), Row::new()));
-        rows.push((
-            tables::ORDERS,
-            DmlOp::Update,
-            order_key(w, d, o),
-            int_row(&[(3, carrier)]),
-        ));
+        rows.push((tables::ORDERS, DmlOp::Update, order_key(w, d, o), int_row(&[(3, carrier)])));
         for ol in 0..n_lines {
             rows.push((
                 tables::ORDER_LINE,
@@ -313,13 +301,7 @@ pub fn generate(cfg: &TpccConfig) -> Workload {
     let analytic_tables: FxHashSet<TableId> =
         classes.iter().flat_map(|(_, _, t)| t.iter().copied()).collect();
 
-    Workload {
-        name: "tpcc",
-        table_names: TABLE_NAMES.to_vec(),
-        txns,
-        queries,
-        analytic_tables,
-    }
+    Workload { name: "tpcc", table_names: TABLE_NAMES.to_vec(), txns, queries, analytic_tables }
 }
 
 /// The paper's hand-specified grouping for TPC-C (Section VI-A3): one hot
@@ -366,13 +348,9 @@ mod tests {
     fn analytic_tables_are_the_five_hot_ones() {
         let w = small();
         assert_eq!(w.analytic_tables.len(), 5);
-        for t in [
-            tables::DISTRICT,
-            tables::CUSTOMER,
-            tables::ORDERS,
-            tables::ORDER_LINE,
-            tables::STOCK,
-        ] {
+        for t in
+            [tables::DISTRICT, tables::CUSTOMER, tables::ORDERS, tables::ORDER_LINE, tables::STOCK]
+        {
             assert!(w.analytic_tables.contains(&t));
         }
     }

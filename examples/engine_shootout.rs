@@ -15,11 +15,8 @@ use aets_suite::wal::{batch_into_epochs, encode_epoch};
 use aets_suite::workloads::{chbench, tpcc::TpccConfig};
 
 fn main() {
-    let workload = chbench::generate(&TpccConfig {
-        num_txns: 8_000,
-        warehouses: 4,
-        ..Default::default()
-    });
+    let workload =
+        chbench::generate(&TpccConfig { num_txns: 8_000, warehouses: 4, ..Default::default() });
     let epochs: Vec<_> = batch_into_epochs(workload.txns.clone(), 2048)
         .expect("positive epoch size")
         .iter()
@@ -43,13 +40,8 @@ fn main() {
     // Per-table grouping for AETS (the paper's CH-benCHmark setup).
     let hot = workload.analytic_tables.clone();
     let written: FxHashSet<TableId> = workload.written_tables();
-    let grouping = TableGrouping::per_table(n, &hot, |t| {
-        if written.contains(&t) {
-            100.0
-        } else {
-            1.0
-        }
-    });
+    let grouping =
+        TableGrouping::per_table(n, &hot, |t| if written.contains(&t) { 100.0 } else { 1.0 });
 
     let engines: Vec<(&str, Box<dyn ReplayEngine>)> = vec![
         (
@@ -59,10 +51,7 @@ fn main() {
                     .expect("valid config"),
             ),
         ),
-        (
-            "TPLR",
-            Box::new(AetsEngine::tplr_baseline(4, n, &hot).expect("valid config")),
-        ),
+        ("TPLR", Box::new(AetsEngine::tplr_baseline(4, n, &hot).expect("valid config"))),
         ("ATR", Box::new(AtrEngine::new(4).expect("valid config"))),
         ("C5", Box::new(C5Engine::new(4).expect("valid config"))),
     ];

@@ -16,8 +16,7 @@
 use aets_suite::common::{ColumnId, DmlOp, FxHashSet, RowKey, TableId, Value};
 use aets_suite::replay::TableGrouping;
 use aets_suite::simulator::{
-    evaluate_queries, profile_epochs, simulate, CostModel, SimAetsConfig, SimConfig,
-    SimEngineKind,
+    evaluate_queries, profile_epochs, simulate, CostModel, SimAetsConfig, SimConfig, SimEngineKind,
 };
 use aets_suite::workloads::{poisson_query_stream, TxnFactory};
 use rand::Rng;
@@ -106,8 +105,7 @@ fn main() {
     for (label, grouping, two_stage) in
         [("AETS (two-stage)", &aets_grouping, true), ("FIFO (ungrouped)", &fifo_grouping, false)]
     {
-        let profiles =
-            profile_epochs(&txns, 1024, grouping, cost.replication_latency as u64, true);
+        let profiles = profile_epochs(&txns, 1024, grouping, cost.replication_latency as u64, true);
         let outcome = simulate(
             &profiles,
             grouping,

@@ -14,11 +14,8 @@ use aets_suite::workloads::tpcc::{self, TpccConfig};
 fn main() {
     // 1. Play the primary node: run the TPC-C read-write mix and collect
     //    the committed value-log stream.
-    let workload = tpcc::generate(&TpccConfig {
-        num_txns: 5_000,
-        warehouses: 4,
-        ..Default::default()
-    });
+    let workload =
+        tpcc::generate(&TpccConfig { num_txns: 5_000, warehouses: 4, ..Default::default() });
     println!(
         "primary committed {} transactions / {} log entries ({:.1}% on hot tables)",
         workload.txns.len(),
@@ -41,8 +38,9 @@ fn main() {
     //    engine.
     let db = MemDb::new(workload.num_tables());
     let (groups, rates) = tpcc::paper_grouping();
-    let grouping = TableGrouping::new(workload.num_tables(), groups, rates, &workload.analytic_tables)
-        .expect("valid grouping");
+    let grouping =
+        TableGrouping::new(workload.num_tables(), groups, rates, &workload.analytic_tables)
+            .expect("valid grouping");
     let engine = AetsEngine::new(AetsConfig { threads: 4, ..Default::default() }, grouping)
         .expect("valid config");
 

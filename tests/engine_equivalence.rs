@@ -2,37 +2,30 @@
 //! exactly the serial oracle's MVCC state, on every workload, at every
 //! snapshot.
 
-use aets_suite::common::{FxHashSet, TableId, Timestamp};
+use aets_suite::common::{FxHashSet, GroupId, TableId, Timestamp};
 use aets_suite::memtable::MemDb;
 use aets_suite::replay::{
     AetsConfig, AetsEngine, AtrEngine, C5Engine, ReplayEngine, SerialEngine, TableGrouping,
+    VisibilityBoard,
 };
 use aets_suite::wal::{batch_into_epochs, encode_epoch, EncodedEpoch};
 use aets_suite::workloads::{bustracker, chbench, tpcc, Workload};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn encode(w: &Workload, epoch_size: usize) -> Vec<EncodedEpoch> {
-    batch_into_epochs(w.txns.clone(), epoch_size)
-        .unwrap()
-        .iter()
-        .map(encode_epoch)
-        .collect()
+    batch_into_epochs(w.txns.clone(), epoch_size).unwrap().iter().map(encode_epoch).collect()
 }
 
 fn engines_for(w: &Workload) -> Vec<Box<dyn ReplayEngine>> {
     let n = w.num_tables();
     let hot = w.analytic_tables.clone();
     let written: FxHashSet<TableId> = w.written_tables();
-    let per_table = TableGrouping::per_table(n, &hot, |t| {
-        if written.contains(&t) {
-            50.0
-        } else {
-            1.0
-        }
-    });
+    let per_table =
+        TableGrouping::per_table(n, &hot, |t| if written.contains(&t) { 50.0 } else { 1.0 });
     vec![
         Box::new(
-            AetsEngine::new(AetsConfig { threads: 3, ..Default::default() }, per_table)
-                .unwrap(),
+            AetsEngine::new(AetsConfig { threads: 3, ..Default::default() }, per_table).unwrap(),
         ),
         Box::new(AetsEngine::tplr_baseline(3, n, &hot).unwrap()),
         Box::new(AtrEngine::new(3).unwrap()),
@@ -62,30 +55,17 @@ fn check_workload(w: Workload, epoch_size: usize) {
         let m = engine.replay_all(&epochs, &db).unwrap();
         assert_eq!(m.txns, w.txns.len(), "{} txn count", engine.name());
         assert!(db.all_chains_ordered(), "{} version order", engine.name());
-        assert_eq!(
-            db.total_versions(),
-            oracle.total_versions(),
-            "{} version count",
-            engine.name()
-        );
+        assert_eq!(db.total_versions(), oracle.total_versions(), "{} version count", engine.name());
         for (ts, expect) in probes.iter().zip(&want) {
-            assert_eq!(
-                db.digest_at(*ts),
-                *expect,
-                "{} snapshot at {ts} diverged",
-                engine.name()
-            );
+            assert_eq!(db.digest_at(*ts), *expect, "{} snapshot at {ts} diverged", engine.name());
         }
     }
 }
 
 #[test]
 fn tpcc_all_engines_match_oracle() {
-    let w = tpcc::generate(&tpcc::TpccConfig {
-        num_txns: 2_000,
-        warehouses: 2,
-        ..Default::default()
-    });
+    let w =
+        tpcc::generate(&tpcc::TpccConfig { num_txns: 2_000, warehouses: 2, ..Default::default() });
     check_workload(w, 512);
 }
 
@@ -110,10 +90,148 @@ fn chbench_all_engines_match_oracle() {
 
 #[test]
 fn tiny_epochs_still_converge() {
-    let w = tpcc::generate(&tpcc::TpccConfig {
-        num_txns: 300,
-        warehouses: 2,
-        ..Default::default()
-    });
+    let w =
+        tpcc::generate(&tpcc::TpccConfig { num_txns: 300, warehouses: 2, ..Default::default() });
     check_workload(w, 7);
+}
+
+/// The pipelined datapath (dispatcher thread + bounded channel) must be
+/// invisible in the final MVCC state: every pipeline depth, including the
+/// inline-dispatch serial datapath (`depth = 0`), converges to the serial
+/// oracle on both TPC-C and BusTracker streams.
+#[test]
+fn pipelined_aets_matches_oracle_on_tpcc_and_bustracker() {
+    let workloads = [
+        tpcc::generate(&tpcc::TpccConfig { num_txns: 1_200, warehouses: 2, ..Default::default() }),
+        bustracker::generate(&bustracker::BusTrackerConfig {
+            num_txns: 1_200,
+            ..Default::default()
+        }),
+    ];
+    for w in workloads {
+        let epochs = encode(&w, 200);
+        let n = w.num_tables();
+        let oracle = MemDb::new(n);
+        SerialEngine.replay_all(&epochs, &oracle).unwrap();
+        let want = oracle.digest_at(Timestamp::MAX);
+        let mid = w.txns[w.txns.len() / 2].commit_ts;
+        let want_mid = oracle.digest_at(mid);
+
+        let written: FxHashSet<TableId> = w.written_tables();
+        for depth in [0usize, 1, 3] {
+            let grouping = TableGrouping::per_table(n, &w.analytic_tables, |t| {
+                if written.contains(&t) {
+                    50.0
+                } else {
+                    1.0
+                }
+            });
+            let eng = AetsEngine::new(
+                AetsConfig { threads: 3, pipeline_depth: depth, ..Default::default() },
+                grouping,
+            )
+            .unwrap();
+            let db = MemDb::new(n);
+            let m = eng.replay_all(&epochs, &db).unwrap();
+            assert_eq!(m.txns, w.txns.len(), "depth={depth} txn count");
+            assert!(db.all_chains_ordered(), "depth={depth} version order");
+            assert_eq!(db.digest_at(Timestamp::MAX), want, "depth={depth} final state");
+            assert_eq!(db.digest_at(mid), want_mid, "depth={depth} mid snapshot");
+        }
+    }
+}
+
+/// Round-robins `n` tables into `k` groups with synthetic rates.
+fn round_robin_grouping(n: usize, k: usize, hot: &FxHashSet<TableId>) -> TableGrouping {
+    let mut groups: Vec<Vec<TableId>> = vec![Vec::new(); k];
+    for t in 0..n as u32 {
+        groups[t as usize % k].push(TableId::new(t));
+    }
+    let rates: Vec<f64> = (0..k).map(|i| 1.0 + i as f64).collect();
+    TableGrouping::new(n, groups, rates, hot).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Epoch-barrier invariant under randomized epoch sizes, group
+    /// counts, and pipeline depths: while replay runs, `global_cmt_ts`
+    /// and every `tg_cmt_ts` only ever advance, and no group's published
+    /// watermark drops below the global one — the global mark only moves
+    /// once an epoch is fully replayed, so a group observed behind it
+    /// would mean epoch `e+1` work committed before epoch `e` finished.
+    #[test]
+    fn epoch_barrier_holds_under_randomized_shapes(
+        num_txns in 50usize..250,
+        epoch_size in 1usize..64,
+        num_groups in 1usize..5,
+        depth in 0usize..4,
+    ) {
+        let w = tpcc::generate(&tpcc::TpccConfig {
+            num_txns,
+            warehouses: 2,
+            ..Default::default()
+        });
+        let epochs = encode(&w, epoch_size);
+        let n = w.num_tables();
+        let grouping = round_robin_grouping(n, num_groups.min(n), &w.analytic_tables);
+        let ng = grouping.num_groups();
+        let eng = AetsEngine::new(
+            AetsConfig { threads: 2, pipeline_depth: depth, ..Default::default() },
+            grouping,
+        )
+        .unwrap();
+
+        let db = MemDb::new(n);
+        let board = VisibilityBoard::new(ng);
+        let stop = AtomicBool::new(false);
+        let violation = std::thread::scope(|scope| {
+            // Concurrent observer: samples the board while replay runs.
+            // Reading the global mark *before* the group marks makes the
+            // barrier check race-free — both only ever advance, so a
+            // stale group read can only over-report lag, never hide it.
+            let observer = scope.spawn(|| {
+                let mut last_global = Timestamp::ZERO;
+                let mut last_tg = vec![Timestamp::ZERO; ng];
+                while !stop.load(Ordering::Acquire) {
+                    let global = board.global_cmt_ts();
+                    if global < last_global {
+                        return Some(format!("global regressed: {last_global} -> {global}"));
+                    }
+                    last_global = global;
+                    for g in 0..ng as u32 {
+                        let tg = board.tg_cmt_ts(GroupId::new(g));
+                        if tg < last_tg[g as usize] {
+                            return Some(format!("group {g} regressed"));
+                        }
+                        last_tg[g as usize] = tg;
+                        if tg < global {
+                            return Some(format!(
+                                "barrier violated: group {g} at {tg} behind global {global}"
+                            ));
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+                None
+            });
+            let m = eng.replay(&epochs, &db, &board).unwrap();
+            stop.store(true, Ordering::Release);
+            prop_assert_eq!(m.txns, w.txns.len());
+            observer.join().expect("observer panicked")
+        });
+        prop_assert!(violation.is_none(), "{}", violation.unwrap_or_default());
+
+        // After replay every watermark sits at the last epoch's high-water
+        // mark, and the state matches the serial oracle.
+        let last = epochs.last().unwrap().max_commit_ts;
+        prop_assert_eq!(board.global_cmt_ts(), last);
+        for g in 0..ng as u32 {
+            prop_assert!(board.tg_cmt_ts(GroupId::new(g)) >= last);
+        }
+        let oracle = MemDb::new(n);
+        SerialEngine.replay_all(&epochs, &oracle).unwrap();
+        prop_assert!(db.all_chains_ordered());
+        prop_assert_eq!(db.digest_at(Timestamp::MAX), oracle.digest_at(Timestamp::MAX));
+    }
 }

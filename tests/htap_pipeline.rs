@@ -20,19 +20,15 @@ fn queries_admitted_by_algorithm3_see_consistent_prefixes() {
         olap_qps: 500.0,
         ..Default::default()
     });
-    let epochs: Vec<_> = batch_into_epochs(w.txns.clone(), 512)
-        .unwrap()
-        .iter()
-        .map(encode_epoch)
-        .collect();
+    let epochs: Vec<_> =
+        batch_into_epochs(w.txns.clone(), 512).unwrap().iter().map(encode_epoch).collect();
 
     // Oracle database: serial replay, for per-timestamp ground truth.
     let oracle = MemDb::new(w.num_tables());
     aets_suite::replay::SerialEngine.replay_all(&epochs, &oracle).unwrap();
 
     let (groups, rates) = tpcc::paper_grouping();
-    let grouping =
-        TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
+    let grouping = TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
     let engine = Arc::new(
         AetsEngine::new(AetsConfig { threads: 3, ..Default::default() }, grouping).unwrap(),
     );
@@ -76,8 +72,7 @@ fn queries_admitted_by_algorithm3_see_consistent_prefixes() {
 
     // After replay completes everything is visible.
     let last = w.txns.last().unwrap().commit_ts;
-    let all_groups: Vec<GroupId> =
-        (0..engine.board_groups() as u32).map(GroupId::new).collect();
+    let all_groups: Vec<GroupId> = (0..engine.board_groups() as u32).map(GroupId::new).collect();
     assert!(board.is_visible(&all_groups, last));
     assert_eq!(board.global_cmt_ts(), last);
 }
@@ -99,14 +94,9 @@ fn heartbeats_unblock_queries_on_idle_groups() {
     let with_hb = insert_heartbeats(&w.txns, 50_000, next_id);
     assert!(with_hb.len() > w.txns.len(), "idle gaps must create heartbeats");
 
-    let epochs: Vec<_> = batch_into_epochs(with_hb, 64)
-        .unwrap()
-        .iter()
-        .map(encode_epoch)
-        .collect();
+    let epochs: Vec<_> = batch_into_epochs(with_hb, 64).unwrap().iter().map(encode_epoch).collect();
     let (groups, rates) = tpcc::paper_grouping();
-    let grouping =
-        TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
+    let grouping = TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
     let engine =
         AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping).unwrap();
     let db = MemDb::new(w.num_tables());
@@ -117,21 +107,14 @@ fn heartbeats_unblock_queries_on_idle_groups() {
     // group saw no DML (heartbeats land everywhere).
     let last = w.txns.last().unwrap().commit_ts;
     for g in 0..engine.board_groups() as u32 {
-        assert!(
-            board.tg_cmt_ts(GroupId::new(g)) >= last,
-            "group {g} left behind"
-        );
+        assert!(board.tg_cmt_ts(GroupId::new(g)) >= last, "group {g} left behind");
     }
 }
 
 #[test]
 fn replication_timeline_orders_epoch_arrivals() {
     use aets_suite::wal::ReplicationTimeline;
-    let w = tpcc::generate(&TpccConfig {
-        num_txns: 1_000,
-        warehouses: 2,
-        ..Default::default()
-    });
+    let w = tpcc::generate(&TpccConfig { num_txns: 1_000, warehouses: 2, ..Default::default() });
     let epochs = batch_into_epochs(w.txns, 128).unwrap();
     let tl = ReplicationTimeline::default();
     let arrivals = tl.arrivals(&epochs);

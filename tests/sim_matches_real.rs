@@ -14,26 +14,15 @@ use aets_suite::workloads::tpcc::{self, TpccConfig};
 
 #[test]
 fn simulator_and_real_engine_account_identical_work() {
-    let w = tpcc::generate(&TpccConfig {
-        num_txns: 2_000,
-        warehouses: 2,
-        ..Default::default()
-    });
+    let w = tpcc::generate(&TpccConfig { num_txns: 2_000, warehouses: 2, ..Default::default() });
     let (groups, rates) = tpcc::paper_grouping();
-    let grouping =
-        TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
+    let grouping = TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
 
     // Real engine.
-    let epochs: Vec<_> = batch_into_epochs(w.txns.clone(), 512)
-        .unwrap()
-        .iter()
-        .map(encode_epoch)
-        .collect();
-    let engine = AetsEngine::new(
-        AetsConfig { threads: 2, ..Default::default() },
-        grouping.clone(),
-    )
-    .unwrap();
+    let epochs: Vec<_> =
+        batch_into_epochs(w.txns.clone(), 512).unwrap().iter().map(encode_epoch).collect();
+    let engine =
+        AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping.clone()).unwrap();
     let db = MemDb::new(w.num_tables());
     let real = engine.replay_all(&epochs, &db).unwrap();
 
@@ -62,7 +51,7 @@ fn simulator_and_real_engine_account_identical_work() {
     // Both views must be replay-dominated (Table II's shape).
     let (_d, real_replay, _c) = real.breakdown();
     let (_d2, sim_replay, _c2) = sim.breakdown();
-    
+
     assert!(real_replay > 0.5, "real replay share {real_replay}");
     assert!(sim_replay > 0.9, "sim replay share {sim_replay}");
 
@@ -75,14 +64,9 @@ fn simulator_and_real_engine_account_identical_work() {
 fn simulator_visibility_respects_epoch_order() {
     // Epoch k+1's transactions must never become visible before epoch k's
     // final transaction — strict epoch ordering (Section III-B).
-    let w = tpcc::generate(&TpccConfig {
-        num_txns: 1_500,
-        warehouses: 2,
-        ..Default::default()
-    });
+    let w = tpcc::generate(&TpccConfig { num_txns: 1_500, warehouses: 2, ..Default::default() });
     let (groups, rates) = tpcc::paper_grouping();
-    let grouping =
-        TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
+    let grouping = TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
     let profiles = profile_epochs(&w.txns, 256, &grouping, 500, true);
     let sim = simulate(
         &profiles,
@@ -97,10 +81,8 @@ fn simulator_visibility_respects_epoch_order() {
     // The global watermark reaches epoch k's max before epoch k+1's max.
     let mut last_wall = 0u64;
     for p in &profiles {
-        let wall = sim
-            .global_curve
-            .first_time_reaching(p.max_commit_ts)
-            .expect("every epoch completes");
+        let wall =
+            sim.global_curve.first_time_reaching(p.max_commit_ts).expect("every epoch completes");
         assert!(wall >= last_wall, "epoch visibility out of order");
         last_wall = wall;
     }
