@@ -19,6 +19,20 @@ pub enum Error {
     ///
     /// Static hot-path variant, like [`Error::CodecTruncated`].
     CodecBadTag,
+    /// A record or epoch failed its CRC32 integrity check (bit flip, torn
+    /// write, or any in-flight corruption of the replicated log).
+    ///
+    /// Static hot-path variant, like [`Error::CodecTruncated`].
+    CodecChecksum,
+    /// The backup received an epoch out of sequence: a duplicate,
+    /// reordered, or dropped delivery. Carries the raw epoch ids so the
+    /// ingest resync loop can re-request without allocating.
+    EpochGap {
+        /// The epoch id the backup expected next.
+        expected: u64,
+        /// The epoch id actually delivered.
+        got: u64,
+    },
     /// A log stream violated a protocol invariant (e.g. a DML entry outside
     /// a BEGIN/COMMIT pair, or epochs out of order).
     Protocol(String),
@@ -34,8 +48,10 @@ impl Error {
     /// Short machine-friendly category name.
     pub fn kind(&self) -> &'static str {
         match self {
-            Error::Codec(_) | Error::CodecTruncated | Error::CodecBadTag => "codec",
-            Error::Protocol(_) => "protocol",
+            Error::Codec(_) | Error::CodecTruncated | Error::CodecBadTag | Error::CodecChecksum => {
+                "codec"
+            }
+            Error::Protocol(_) | Error::EpochGap { .. } => "protocol",
             Error::Replay(_) => "replay",
             Error::Config(_) => "config",
             Error::Numeric(_) => "numeric",
@@ -49,6 +65,10 @@ impl fmt::Display for Error {
             Error::Codec(m) => write!(f, "codec error: {m}"),
             Error::CodecTruncated => f.write_str("codec error: truncated record"),
             Error::CodecBadTag => f.write_str("codec error: unknown record or value tag"),
+            Error::CodecChecksum => f.write_str("codec error: CRC32 checksum mismatch"),
+            Error::EpochGap { expected, got } => {
+                write!(f, "protocol error: expected epoch {expected}, got epoch {got}")
+            }
             Error::Protocol(m) => write!(f, "protocol error: {m}"),
             Error::Replay(m) => write!(f, "replay error: {m}"),
             Error::Config(m) => write!(f, "config error: {m}"),
@@ -73,5 +93,10 @@ mod tests {
         assert_eq!(Error::CodecTruncated.to_string(), "codec error: truncated record");
         assert_eq!(Error::CodecBadTag.kind(), "codec");
         assert!(Error::CodecBadTag.to_string().contains("unknown"));
+        assert_eq!(Error::CodecChecksum.kind(), "codec");
+        assert!(Error::CodecChecksum.to_string().contains("CRC32"));
+        let gap = Error::EpochGap { expected: 3, got: 5 };
+        assert_eq!(gap.kind(), "protocol");
+        assert_eq!(gap.to_string(), "protocol error: expected epoch 3, got epoch 5");
     }
 }

@@ -6,12 +6,20 @@
 //! per-group *mini-transactions*: the subset of its entries that modify
 //! tables of one group. Each group's mini-transactions, in primary commit
 //! order, are simultaneously that group's `commit_order_queue`.
+//!
+//! Upstream of dispatch sits the *ingest resync loop* ([`ingest_epoch`]):
+//! every delivery from the replication feed is checked against its epoch
+//! frame CRC and expected sequence number, and a failed delivery (torn
+//! tail, bit flip, duplicate/reordered/dropped epoch, stall) is
+//! re-requested with bounded exponential backoff before the epoch is
+//! allowed anywhere near the dispatcher.
 
 use crate::grouping::TableGrouping;
 use aets_common::{Error, GroupId, Result, Timestamp, TxnId};
-use aets_wal::{EncodedEpoch, MetaScanner};
+use aets_wal::{EncodedEpoch, EpochSource, MetaScanner};
 use bytes::Bytes;
 use std::ops::Range;
+use std::time::Duration;
 
 /// The part of one transaction that lands in one table group.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +71,102 @@ impl DispatchedEpoch {
     pub fn pending_bytes(&self) -> Vec<u64> {
         self.groups.iter().map(|g| g.bytes).collect()
     }
+}
+
+/// Bounded-retry policy of the ingest resync loop.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Re-requests allowed per epoch before the delivery error becomes
+    /// fatal (0 disables resync entirely).
+    pub max_retries: u32,
+    /// Backoff before the first re-request; doubles per attempt
+    /// (exponential), capped at [`RetryPolicy::max_backoff_us`].
+    pub base_backoff_us: u64,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_retries: 3, base_backoff_us: 100, max_backoff_us: 10_000 }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before re-request number `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let us = self
+            .base_backoff_us
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+            .min(self.max_backoff_us);
+        Duration::from_micros(us)
+    }
+}
+
+/// Counters produced by the ingest resync loop, merged into
+/// `ReplayMetrics` so recovery activity is observable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Epoch re-requests issued.
+    pub retries: u64,
+    /// Deliveries rejected by the epoch frame CRC.
+    pub checksum_failures: u64,
+    /// Deliveries rejected as out-of-sequence (duplicate / reordered /
+    /// dropped epochs).
+    pub epoch_gaps: u64,
+    /// Fetches that found the epoch not yet available.
+    pub stalls: u64,
+}
+
+impl IngestStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &IngestStats) {
+        self.retries += other.retries;
+        self.checksum_failures += other.checksum_failures;
+        self.epoch_gaps += other.epoch_gaps;
+        self.stalls += other.stalls;
+    }
+}
+
+/// Fetches epoch `seq` from `source`, verifying the frame CRC and the
+/// sequence number, re-requesting with exponential backoff on failure.
+///
+/// Returns the verified epoch, or the last delivery error once
+/// `policy.max_retries` re-requests are exhausted — at which point the
+/// stream cannot make progress and the caller must surface the error.
+pub fn ingest_epoch(
+    source: &mut dyn EpochSource,
+    seq: u64,
+    policy: &RetryPolicy,
+    stats: &mut IngestStats,
+) -> Result<EncodedEpoch> {
+    let mut last_err = Error::Protocol(format!("epoch {seq} never delivered"));
+    for attempt in 0..=policy.max_retries {
+        if attempt > 0 {
+            stats.retries += 1;
+            std::thread::sleep(policy.backoff(attempt));
+        }
+        match source.fetch(seq, attempt) {
+            None => {
+                stats.stalls += 1;
+                last_err = Error::Protocol(format!("epoch {seq} stalled in the feed"));
+            }
+            Some(epoch) => {
+                if let Err(e) = epoch.verify() {
+                    stats.checksum_failures += 1;
+                    last_err = e;
+                    continue;
+                }
+                if epoch.id.raw() != seq {
+                    stats.epoch_gaps += 1;
+                    last_err = Error::EpochGap { expected: seq, got: epoch.id.raw() };
+                    continue;
+                }
+                return Ok(epoch);
+            }
+        }
+    }
+    Err(last_err)
 }
 
 /// Scans `epoch` and routes every DML entry to its table group.
@@ -270,6 +374,101 @@ mod tests {
             assert!(g.mini_txns.windows(2).all(|w| w[0].txn_id < w[1].txn_id));
         }
         assert_eq!(d.txn_count, 20);
+    }
+
+    /// A feed that fails the first `faults` deliveries of every epoch in
+    /// a configurable way, then delivers cleanly.
+    struct FlakySource {
+        epochs: Vec<EncodedEpoch>,
+        faults: u32,
+        mode: FlakyMode,
+    }
+
+    enum FlakyMode {
+        Stall,
+        Corrupt,
+        WrongSeq,
+    }
+
+    impl aets_wal::EpochSource for FlakySource {
+        fn num_epochs(&self) -> usize {
+            self.epochs.len()
+        }
+
+        fn fetch(&mut self, seq: u64, attempt: u32) -> Option<EncodedEpoch> {
+            let clean = self.epochs.get(seq as usize)?.clone();
+            if attempt >= self.faults {
+                return Some(clean);
+            }
+            match self.mode {
+                FlakyMode::Stall => None,
+                FlakyMode::Corrupt => Some(EncodedEpoch {
+                    bytes: clean.bytes.slice(..clean.bytes.len().saturating_sub(1)),
+                    ..clean
+                }),
+                FlakyMode::WrongSeq => {
+                    Some(EncodedEpoch { id: aets_common::EpochId::new(seq + 1), ..clean })
+                }
+            }
+        }
+    }
+
+    fn one_epoch() -> Vec<EncodedEpoch> {
+        vec![make_epoch(vec![TxnLog {
+            txn_id: TxnId::new(1),
+            commit_ts: Timestamp::from_micros(10),
+            entries: vec![entry(1, 1, 0, 5)],
+        }])]
+    }
+
+    fn tiny_policy(max_retries: u32) -> RetryPolicy {
+        RetryPolicy { max_retries, base_backoff_us: 1, max_backoff_us: 10 }
+    }
+
+    #[test]
+    fn ingest_recovers_from_transient_faults() {
+        for (mode, check) in [
+            (FlakyMode::Stall, "stalls"),
+            (FlakyMode::Corrupt, "checksum_failures"),
+            (FlakyMode::WrongSeq, "epoch_gaps"),
+        ] {
+            let mut src = FlakySource { epochs: one_epoch(), faults: 2, mode };
+            let mut stats = IngestStats::default();
+            let e = ingest_epoch(&mut src, 0, &tiny_policy(3), &mut stats).unwrap();
+            assert_eq!(e.id.raw(), 0);
+            assert_eq!(stats.retries, 2, "{check}: two re-requests before healing");
+            let observed = match check {
+                "stalls" => stats.stalls,
+                "checksum_failures" => stats.checksum_failures,
+                _ => stats.epoch_gaps,
+            };
+            assert_eq!(observed, 2, "{check} counter");
+        }
+    }
+
+    #[test]
+    fn ingest_exhausts_retries_with_typed_errors() {
+        let mut src =
+            FlakySource { epochs: one_epoch(), faults: u32::MAX, mode: FlakyMode::Corrupt };
+        let mut stats = IngestStats::default();
+        let err = ingest_epoch(&mut src, 0, &tiny_policy(2), &mut stats).unwrap_err();
+        assert_eq!(err, Error::CodecChecksum);
+        assert_eq!(stats.retries, 2);
+
+        let mut src =
+            FlakySource { epochs: one_epoch(), faults: u32::MAX, mode: FlakyMode::WrongSeq };
+        let mut stats = IngestStats::default();
+        let err = ingest_epoch(&mut src, 0, &tiny_policy(1), &mut stats).unwrap_err();
+        assert_eq!(err, Error::EpochGap { expected: 0, got: 1 });
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy { max_retries: 8, base_backoff_us: 100, max_backoff_us: 1_000 };
+        assert_eq!(p.backoff(1), Duration::from_micros(100));
+        assert_eq!(p.backoff(2), Duration::from_micros(200));
+        assert_eq!(p.backoff(3), Duration::from_micros(400));
+        assert_eq!(p.backoff(8), Duration::from_micros(1_000), "capped");
     }
 
     #[test]

@@ -21,9 +21,23 @@
 //!
 //! With `two_stage = false` and a single group this is exactly the
 //! ungrouped TPLR baseline of Section VI-A5.
+//!
+//! # Supervision and quarantine
+//!
+//! Replay is *supervised*: phase-1 workers and the per-group commit
+//! threads propagate [`Result`]s instead of panicking, and any panic that
+//! does occur inside a replay thread is contained with `catch_unwind`. A
+//! group whose replay hits an unrecoverable fault (e.g. a record that
+//! passes the epoch frame CRC but fails its own record CRC) is
+//! *quarantined*: its `tg_cmt_ts` freezes at the last consistent commit,
+//! `global_cmt_ts` stops advancing (so Algorithm 3's global shortcut can
+//! never admit a query past the frozen group), and every healthy group
+//! keeps replaying. The degraded state is surfaced through
+//! `ReplayMetrics::quarantined_groups`; no thread panic ever escapes
+//! [`ReplayEngine::replay`].
 
 use crate::alloc::{allocate_threads, UrgencyMode};
-use crate::dispatch::{dispatch_epoch, DispatchedEpoch};
+use crate::dispatch::{dispatch_epoch, ingest_epoch, DispatchedEpoch, IngestStats, RetryPolicy};
 use crate::engines::pool::CellPool;
 use crate::engines::{commit_cell, translate_entry, Cell, ReplayEngine};
 use crate::grouping::TableGrouping;
@@ -31,8 +45,9 @@ use crate::metrics::ReplayMetrics;
 use crate::visibility::VisibilityBoard;
 use aets_common::{Error, GroupId, Result, TableId};
 use aets_memtable::MemDb;
-use aets_wal::EncodedEpoch;
+use aets_wal::{EncodedEpoch, EpochSource, SliceSource};
 use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -65,6 +80,10 @@ pub struct AetsConfig {
     /// invariant is unaffected: the replay loop consumes epochs strictly
     /// in order and only ever commits the epoch at the channel head.
     pub pipeline_depth: usize,
+    /// Bounded-retry policy of the ingest resync loop: how often a failed
+    /// epoch delivery (torn tail, bit flip, sequence gap, stall) is
+    /// re-requested, and with what backoff, before the error is fatal.
+    pub retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for AetsConfig {
@@ -76,6 +95,7 @@ impl std::fmt::Debug for AetsConfig {
             .field("adaptive", &self.adaptive)
             .field("rate_fn", &self.rate_fn.as_ref().map(|_| "<fn>"))
             .field("pipeline_depth", &self.pipeline_depth)
+            .field("retry", &self.retry)
             .finish()
     }
 }
@@ -89,7 +109,57 @@ impl Default for AetsConfig {
             adaptive: true,
             rate_fn: None,
             pipeline_depth: 2,
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+/// Converts a contained panic payload into a typed replay error, so a
+/// panicking replay thread poisons its group like any other failure
+/// instead of tearing the process down.
+fn panic_error(who: &str, payload: Box<dyn std::any::Any + Send>) -> Error {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string());
+    Error::Replay(format!("{who} panicked: {msg}"))
+}
+
+/// Per-group quarantine ledger. Lives on the engine (not one `replay`
+/// call) because the realtime runner replays one epoch per call through
+/// the same engine: once a group is poisoned, every later epoch skips it
+/// and its `tg_cmt_ts` stays frozen at the last consistent commit.
+#[derive(Debug)]
+struct Quarantine {
+    groups: Mutex<Vec<Option<Error>>>,
+}
+
+impl Quarantine {
+    fn new(n: usize) -> Self {
+        Self { groups: Mutex::new((0..n).map(|_| None).collect()) }
+    }
+
+    /// Records the first failure of `gid`; later failures keep the
+    /// original root cause.
+    fn poison(&self, gid: GroupId, err: Error) {
+        let mut g = self.groups.lock();
+        let slot = &mut g[gid.index()];
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+    }
+
+    fn is_poisoned(&self, gid: GroupId) -> bool {
+        self.groups.lock()[gid.index()].is_some()
+    }
+
+    fn any(&self) -> bool {
+        self.groups.lock().iter().any(Option::is_some)
+    }
+
+    fn poisoned(&self) -> Vec<usize> {
+        self.groups.lock().iter().enumerate().filter_map(|(i, e)| e.as_ref().map(|_| i)).collect()
     }
 }
 
@@ -98,6 +168,7 @@ impl Default for AetsConfig {
 pub struct AetsEngine {
     cfg: AetsConfig,
     grouping: TableGrouping,
+    quarantine: Quarantine,
 }
 
 impl AetsEngine {
@@ -106,7 +177,14 @@ impl AetsEngine {
         if cfg.threads == 0 {
             return Err(Error::Config("threads must be positive".into()));
         }
-        Ok(Self { cfg, grouping })
+        let quarantine = Quarantine::new(grouping.num_groups());
+        Ok(Self { cfg, grouping, quarantine })
+    }
+
+    /// Board indices of the groups quarantined so far (ascending); empty
+    /// while the engine is healthy.
+    pub fn quarantined_groups(&self) -> Vec<usize> {
+        self.quarantine.poisoned()
     }
 
     /// The ungrouped TPLR baseline: one group, no staging.
@@ -139,8 +217,14 @@ impl AetsEngine {
         replay_busy_ns: &AtomicU64,
         commit_busy_ns: &AtomicU64,
     ) {
+        let quarantine = &self.quarantine;
         std::thread::scope(|scope| {
             for &gid in stage_groups {
+                // A quarantined group gets no further work: its watermark
+                // stays frozen at the last consistent commit.
+                if quarantine.is_poisoned(gid) {
+                    continue;
+                }
                 let gw = work.group(gid);
                 if gw.mini_txns.is_empty() {
                     continue;
@@ -158,14 +242,20 @@ impl AetsEngine {
                                 break;
                             }
                             let mt = &gw.mini_txns[i];
-                            let mut cells = pool.take(mt.entry_ranges.len());
-                            for r in &mt.entry_ranges {
-                                cells.push(
-                                    translate_entry(db, &work.bytes, r.clone())
-                                        .expect("dispatched range decodes"),
-                                );
-                            }
-                            state.finish(i, cells);
+                            // Contained per mini-txn so a failure (or
+                            // panic) still fills this slot and the worker
+                            // keeps claiming later ones — every slot gets
+                            // an outcome, so the commit thread never
+                            // blocks on a task nobody will finish.
+                            let res = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<Cell>> {
+                                let mut cells = pool.take(mt.entry_ranges.len());
+                                for r in &mt.entry_ranges {
+                                    cells.push(translate_entry(db, &work.bytes, r.clone())?);
+                                }
+                                Ok(cells)
+                            }))
+                            .unwrap_or_else(|p| Err(panic_error("phase-1 worker", p)));
+                            state.finish(i, res);
                         }
                         replay_busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     });
@@ -176,41 +266,53 @@ impl AetsEngine {
                     // Busy time excludes blocking on phase-1 workers: the
                     // Table II breakdown measures work, not waiting.
                     let mut busy_ns = 0u64;
-                    for i in 0..gw.mini_txns.len() {
-                        let mt = &gw.mini_txns[i];
-                        let mut cells = if workers == 0 {
-                            // Degenerate path under thread scarcity: the
-                            // commit thread translates inline.
-                            let mut cells = pool.take(mt.entry_ranges.len());
-                            for r in &mt.entry_ranges {
-                                cells.push(
-                                    translate_entry(db, &work.bytes, r.clone())
-                                        .expect("dispatched range decodes"),
-                                );
+                    let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+                        for i in 0..gw.mini_txns.len() {
+                            let mt = &gw.mini_txns[i];
+                            let mut cells = if workers == 0 {
+                                // Degenerate path under thread scarcity:
+                                // the commit thread translates inline.
+                                let mut cells = pool.take(mt.entry_ranges.len());
+                                for r in &mt.entry_ranges {
+                                    cells.push(translate_entry(db, &work.bytes, r.clone())?);
+                                }
+                                cells
+                            } else {
+                                state_c.wait_take(i)?
+                            };
+                            let t0 = Instant::now();
+                            for cell in cells.drain(..) {
+                                commit_cell(cell, mt.commit_ts);
                             }
-                            cells
-                        } else {
-                            state_c.wait_take(i)
-                        };
-                        let t0 = Instant::now();
-                        for cell in cells.drain(..) {
-                            commit_cell(cell, mt.commit_ts);
+                            board.publish_group(gid, mt.commit_ts);
+                            busy_ns += t0.elapsed().as_nanos() as u64;
+                            // The drained buffer goes back to the group's
+                            // free list for the next epoch's workers.
+                            pool.put(cells);
                         }
-                        board.publish_group(gid, mt.commit_ts);
-                        busy_ns += t0.elapsed().as_nanos() as u64;
-                        // The drained buffer goes back to the group's free
-                        // list for the next epoch's phase-1 workers.
-                        pool.put(cells);
-                    }
+                        Ok(())
+                    }));
                     commit_busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+                    // An error or contained panic quarantines this group;
+                    // no watermark it already published is retracted (the
+                    // committed prefix is fully installed and consistent),
+                    // it just never advances again.
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => quarantine.poison(gid, e),
+                        Err(p) => quarantine.poison(gid, panic_error("commit thread", p)),
+                    }
                 });
             }
         });
-        // Stage barrier passed: every write this epoch routed to these
-        // groups is installed, so each group is complete up to the epoch's
-        // high-water mark.
+        // Stage barrier passed: every write this epoch routed to a healthy
+        // group is installed, so each healthy group is complete up to the
+        // epoch's high-water mark. Groups poisoned during the stage stay
+        // at their last consistent commit.
         for &gid in stage_groups {
-            board.publish_group(gid, work.max_commit_ts);
+            if !quarantine.is_poisoned(gid) {
+                board.publish_group(gid, work.max_commit_ts);
+            }
         }
     }
 
@@ -267,12 +369,148 @@ impl AetsEngine {
             }
         }
 
-        board.publish_global(work.max_commit_ts);
+        // Algorithm 3 admits a query when `global_cmt_ts >= qts` *without*
+        // consulting per-group watermarks, so the global may only advance
+        // while every group is healthy: with any group quarantined it
+        // freezes at the last fully-consistent epoch, and queries over the
+        // frozen group block (or time out) instead of reading past it.
+        if !self.quarantine.any() {
+            board.publish_global(work.max_commit_ts);
+        }
         m.txns += work.txn_count;
         m.entries += work.groups.iter().map(|g| g.entries).sum::<usize>();
         m.bytes += work.bytes.len() as u64;
         m.epochs += 1;
         Ok(())
+    }
+
+    /// Replays every epoch `source` delivers, running the ingest resync
+    /// loop in front of the dispatcher: each delivery is CRC- and
+    /// sequence-checked and re-requested under `cfg.retry` before it
+    /// reaches replay. [`ReplayEngine::replay`] is this over a faithful
+    /// in-memory source; pass a `FaultInjector` to exercise recovery.
+    ///
+    /// Returns an error when ingest or dispatch cannot make progress
+    /// (retries exhausted on a fatal delivery fault). Group-level replay
+    /// failures do *not* error: the group is quarantined, the run
+    /// completes degraded, and `ReplayMetrics::quarantined_groups` /
+    /// [`AetsEngine::quarantined_groups`] report it.
+    pub fn replay_stream(
+        &self,
+        source: &mut dyn EpochSource,
+        db: &MemDb,
+        board: &VisibilityBoard,
+    ) -> Result<ReplayMetrics> {
+        if board.num_groups() != self.grouping.num_groups() {
+            return Err(Error::Config("board group count mismatch".into()));
+        }
+        let start = Instant::now();
+        let mut m = ReplayMetrics { engine: self.name(), ..Default::default() };
+        let mut ingest = IngestStats::default();
+        let replay_busy = AtomicU64::new(0);
+        let commit_busy = AtomicU64::new(0);
+        let pools: Vec<CellPool> =
+            (0..self.grouping.num_groups()).map(|_| CellPool::new()).collect();
+        let first_seq = source.first_seq();
+        let n = source.num_epochs();
+
+        if self.cfg.pipeline_depth == 0 {
+            // Serial datapath: ingest and dispatch each epoch inline before
+            // replaying it. Kept as the oracle the pipelined path is tested
+            // against.
+            for eidx in 0..n {
+                let seq = first_seq + eidx as u64;
+                let epoch = ingest_epoch(source, seq, &self.cfg.retry, &mut ingest)?;
+                let t_dispatch = Instant::now();
+                let work = dispatch_epoch(&epoch, &self.grouping)?;
+                m.dispatch_busy += t_dispatch.elapsed();
+                self.replay_epoch(
+                    eidx,
+                    &work,
+                    &pools,
+                    db,
+                    board,
+                    &replay_busy,
+                    &commit_busy,
+                    &mut m,
+                )?;
+            }
+        } else {
+            // Pipelined datapath: a dispatcher thread ingests and scans
+            // epochs ahead of the replay loop, bounded by `pipeline_depth`
+            // in-flight dispatched epochs. The channel is FIFO and the loop
+            // below finishes epoch e (both stages + global publish) before
+            // receiving e+1's work, so no entry of epoch e+1 can commit
+            // before epoch e is fully replayed — the dispatcher overlap
+            // never weakens the epoch barrier.
+            let retry = self.cfg.retry.clone();
+            let mut result: Result<()> = Ok(());
+            std::thread::scope(|scope| {
+                let (tx, rx) = crossbeam::channel::bounded(self.cfg.pipeline_depth);
+                let grouping = &self.grouping;
+                scope.spawn(move || {
+                    for eidx in 0..n {
+                        let seq = first_seq + eidx as u64;
+                        let mut stats = IngestStats::default();
+                        let t_dispatch = Instant::now();
+                        // Contained so a dispatcher panic surfaces to the
+                        // replay loop as an error instead of escaping
+                        // through the scope join.
+                        let work = catch_unwind(AssertUnwindSafe(|| {
+                            ingest_epoch(&mut *source, seq, &retry, &mut stats)
+                                .and_then(|epoch| dispatch_epoch(&epoch, grouping))
+                        }))
+                        .unwrap_or_else(|p| Err(panic_error("dispatcher", p)));
+                        let stop = work.is_err();
+                        // A send error means the replay loop bailed out and
+                        // dropped the receiver; a dispatch error is
+                        // forwarded first, then the dispatcher stops.
+                        if tx.send((work, stats, t_dispatch.elapsed())).is_err() || stop {
+                            break;
+                        }
+                    }
+                });
+                for (eidx, (work, stats, dispatch_time)) in rx.iter().enumerate() {
+                    // Dispatcher busy time is now overlapped with replay;
+                    // it still counts as busy time in the Table II
+                    // breakdown, which measures work, not the critical
+                    // path.
+                    ingest.merge(&stats);
+                    m.dispatch_busy += dispatch_time;
+                    let step = work.and_then(|work| {
+                        self.replay_epoch(
+                            eidx,
+                            &work,
+                            &pools,
+                            db,
+                            board,
+                            &replay_busy,
+                            &commit_busy,
+                            &mut m,
+                        )
+                    });
+                    if let Err(e) = step {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                // Dropping the receiver (scope end) unblocks a dispatcher
+                // stuck in `send` after an early exit above.
+            });
+            result?;
+        }
+
+        m.ingest_retries = ingest.retries;
+        m.checksum_failures = ingest.checksum_failures;
+        m.epoch_gaps = ingest.epoch_gaps;
+        m.ingest_stalls = ingest.stalls;
+        m.quarantined_groups = self.quarantine.poisoned();
+        m.cell_buffers_recycled = pools.iter().map(|p| p.recycled()).sum();
+        m.cell_buffers_allocated = pools.iter().map(|p| p.allocated()).sum();
+        m.replay_busy = std::time::Duration::from_nanos(replay_busy.load(Ordering::Relaxed));
+        m.commit_busy = std::time::Duration::from_nanos(commit_busy.load(Ordering::Relaxed));
+        m.wall = start.elapsed();
+        Ok(m)
     }
 }
 
@@ -286,7 +524,9 @@ struct GroupRunState {
 
 struct Slot {
     ready: AtomicBool,
-    cells: Mutex<Vec<Cell>>,
+    /// The translation outcome: cells on success, the worker's (typed or
+    /// panic-contained) failure otherwise.
+    cells: Mutex<Result<Vec<Cell>>>,
 }
 
 impl GroupRunState {
@@ -294,15 +534,16 @@ impl GroupRunState {
         Self {
             next_task: AtomicUsize::new(0),
             slots: (0..n)
-                .map(|_| Slot { ready: AtomicBool::new(false), cells: Mutex::new(Vec::new()) })
+                .map(|_| Slot { ready: AtomicBool::new(false), cells: Mutex::new(Ok(Vec::new())) })
                 .collect(),
             mx: Mutex::new(()),
             cv: Condvar::new(),
         }
     }
 
-    /// Worker: store translated cells for mini-txn `i` and mark ready.
-    fn finish(&self, i: usize, cells: Vec<Cell>) {
+    /// Worker: store the translation outcome of mini-txn `i` and mark it
+    /// ready.
+    fn finish(&self, i: usize, cells: Result<Vec<Cell>>) {
         *self.slots[i].cells.lock() = cells;
         self.slots[i].ready.store(true, Ordering::Release);
         let _g = self.mx.lock();
@@ -310,15 +551,15 @@ impl GroupRunState {
     }
 
     /// Commit thread: block until mini-txn `i` is translated, then take
-    /// its cells.
-    fn wait_take(&self, i: usize) -> Vec<Cell> {
+    /// its outcome.
+    fn wait_take(&self, i: usize) -> Result<Vec<Cell>> {
         if !self.slots[i].ready.load(Ordering::Acquire) {
             let mut g = self.mx.lock();
             while !self.slots[i].ready.load(Ordering::Acquire) {
                 self.cv.wait(&mut g);
             }
         }
-        std::mem::take(&mut *self.slots[i].cells.lock())
+        std::mem::replace(&mut *self.slots[i].cells.lock(), Ok(Vec::new()))
     }
 }
 
@@ -345,93 +586,10 @@ impl ReplayEngine for AetsEngine {
         db: &MemDb,
         board: &VisibilityBoard,
     ) -> Result<ReplayMetrics> {
-        if board.num_groups() != self.grouping.num_groups() {
-            return Err(Error::Config("board group count mismatch".into()));
-        }
-        let start = Instant::now();
-        let mut m = ReplayMetrics { engine: self.name(), ..Default::default() };
-        let replay_busy = AtomicU64::new(0);
-        let commit_busy = AtomicU64::new(0);
-        let pools: Vec<CellPool> =
-            (0..self.grouping.num_groups()).map(|_| CellPool::new()).collect();
-
-        if self.cfg.pipeline_depth == 0 {
-            // Serial datapath: dispatch each epoch inline before replaying
-            // it. Kept as the oracle the pipelined path is tested against.
-            for (eidx, epoch) in epochs.iter().enumerate() {
-                let t_dispatch = Instant::now();
-                let work = dispatch_epoch(epoch, &self.grouping)?;
-                m.dispatch_busy += t_dispatch.elapsed();
-                self.replay_epoch(
-                    eidx,
-                    &work,
-                    &pools,
-                    db,
-                    board,
-                    &replay_busy,
-                    &commit_busy,
-                    &mut m,
-                )?;
-            }
-        } else {
-            // Pipelined datapath: a dispatcher thread scans epochs ahead of
-            // the replay loop, bounded by `pipeline_depth` in-flight
-            // dispatched epochs. The channel is FIFO and the loop below
-            // finishes epoch e (both stages + global publish) before
-            // receiving e+1's work, so no entry of epoch e+1 can commit
-            // before epoch e is fully replayed — the dispatcher overlap
-            // never weakens the epoch barrier.
-            let mut result: Result<()> = Ok(());
-            std::thread::scope(|scope| {
-                let (tx, rx) = crossbeam::channel::bounded(self.cfg.pipeline_depth);
-                scope.spawn(move || {
-                    for epoch in epochs {
-                        let t_dispatch = Instant::now();
-                        let work = dispatch_epoch(epoch, &self.grouping);
-                        let stop = work.is_err();
-                        // A send error means the replay loop bailed out and
-                        // dropped the receiver; a dispatch error is
-                        // forwarded first, then the dispatcher stops.
-                        if tx.send((work, t_dispatch.elapsed())).is_err() || stop {
-                            break;
-                        }
-                    }
-                });
-                for (eidx, (work, dispatch_time)) in rx.iter().enumerate() {
-                    // Dispatcher busy time is now overlapped with replay;
-                    // it still counts as busy time in the Table II
-                    // breakdown, which measures work, not the critical
-                    // path.
-                    m.dispatch_busy += dispatch_time;
-                    let step = work.and_then(|work| {
-                        self.replay_epoch(
-                            eidx,
-                            &work,
-                            &pools,
-                            db,
-                            board,
-                            &replay_busy,
-                            &commit_busy,
-                            &mut m,
-                        )
-                    });
-                    if let Err(e) = step {
-                        result = Err(e);
-                        break;
-                    }
-                }
-                // Dropping the receiver (scope end) unblocks a dispatcher
-                // stuck in `send` after an early exit above.
-            });
-            result?;
-        }
-
-        m.cell_buffers_recycled = pools.iter().map(|p| p.recycled()).sum();
-        m.cell_buffers_allocated = pools.iter().map(|p| p.allocated()).sum();
-        m.replay_busy = std::time::Duration::from_nanos(replay_busy.load(Ordering::Relaxed));
-        m.commit_busy = std::time::Duration::from_nanos(commit_busy.load(Ordering::Relaxed));
-        m.wall = start.elapsed();
-        Ok(m)
+        // A faithful in-memory feed: re-requests redeliver the same bytes,
+        // so the resync loop in front of dispatch sees no faults.
+        let mut source = SliceSource::new(epochs);
+        self.replay_stream(&mut source, db, board)
     }
 }
 
@@ -653,6 +811,156 @@ mod tests {
         let db = MemDb::new(w.table_names.len());
         let err = eng.replay_all(&epochs, &db).unwrap_err();
         assert!(matches!(err.kind(), "codec" | "protocol"), "got {err}");
+    }
+
+    fn two_group_grouping() -> TableGrouping {
+        let hot: FxHashSet<TableId> = [TableId::new(0)].into_iter().collect();
+        TableGrouping::new(
+            3,
+            vec![vec![TableId::new(0), TableId::new(1)], vec![TableId::new(2)]],
+            vec![10.0, 1.0],
+            &hot,
+        )
+        .unwrap()
+    }
+
+    /// 12 transactions, each writing table 0 (group 0, hot) and table 2
+    /// (group 1, cold), batched into 3 epochs of 4.
+    fn two_group_epochs() -> Vec<EncodedEpoch> {
+        use aets_common::{ColumnId, DmlOp, Lsn, RowKey, TxnId, Value};
+        use aets_wal::{DmlEntry, TxnLog};
+        let txns: Vec<TxnLog> = (1..=12u64)
+            .map(|i| TxnLog {
+                txn_id: TxnId::new(i),
+                commit_ts: Timestamp::from_micros(i * 10),
+                entries: [0u32, 2]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &table)| DmlEntry {
+                        lsn: Lsn::new(i * 10 + j as u64),
+                        txn_id: TxnId::new(i),
+                        ts: Timestamp::from_micros(i * 10),
+                        table: TableId::new(table),
+                        op: DmlOp::Insert,
+                        key: RowKey::new(i),
+                        row_version: 1,
+                        cols: vec![(ColumnId::new(0), Value::Int(i as i64))],
+                        before: None,
+                    })
+                    .collect(),
+            })
+            .collect();
+        aets_wal::batch_into_epochs(txns, 4).unwrap().iter().map(aets_wal::encode_epoch).collect()
+    }
+
+    /// Flips a bit in the record-CRC trailer of `table`'s first DML and
+    /// restamps the frame CRC — the `FaultKind::RecordCorruption` shape:
+    /// invisible at ingest, fatal at full record decode.
+    fn corrupt_first_dml_of(epoch: &EncodedEpoch, table: TableId) -> EncodedEpoch {
+        let range = aets_wal::MetaScanner::new(epoch.bytes.clone())
+            .filter_map(|i| i.ok())
+            .find(|(meta, _)| meta.table == Some(table))
+            .map(|(_, r)| r)
+            .expect("epoch holds a DML of the table");
+        let mut v = epoch.bytes.to_vec();
+        v[range.end - 1] ^= 0x01;
+        let bytes = bytes::Bytes::from(v);
+        EncodedEpoch { crc32: aets_wal::crc32(&bytes), bytes, ..epoch.clone() }
+    }
+
+    #[test]
+    fn persistent_corruption_quarantines_group_and_freezes_watermarks() {
+        for depth in [0usize, 2] {
+            let mut epochs = two_group_epochs();
+            epochs[1] = corrupt_first_dml_of(&epochs[1], TableId::new(2));
+            let eng = AetsEngine::new(
+                AetsConfig { threads: 2, pipeline_depth: depth, ..Default::default() },
+                two_group_grouping(),
+            )
+            .unwrap();
+            let db = MemDb::new(3);
+            let board = VisibilityBoard::new(2);
+            let last_consistent = epochs[0].max_commit_ts;
+
+            let m = eng.replay(&epochs[..2], &db, &board).unwrap();
+            assert!(m.degraded(), "depth={depth}");
+            assert_eq!(m.quarantined_groups, vec![1], "depth={depth}");
+            assert_eq!(eng.quarantined_groups(), vec![1]);
+            // The corrupt record sits in group 1's first mini-txn of epoch
+            // 1, so nothing of that epoch commits there: tg freezes at the
+            // last consistent epoch, and so does the global (else
+            // Algorithm 3's global shortcut would admit queries over the
+            // quarantined group).
+            assert_eq!(board.tg_cmt_ts(GroupId::new(1)), last_consistent, "depth={depth}");
+            assert_eq!(board.global_cmt_ts(), last_consistent, "depth={depth}");
+            // The healthy group replayed the corrupt epoch in full.
+            assert_eq!(board.tg_cmt_ts(GroupId::new(0)), epochs[1].max_commit_ts);
+
+            // Quarantine persists across replay calls on the same engine
+            // (the realtime runner replays one epoch per call): the frozen
+            // group never advances, healthy groups keep going.
+            let m = eng.replay(&epochs[2..], &db, &board).unwrap();
+            assert!(m.degraded());
+            assert_eq!(
+                board.tg_cmt_ts(GroupId::new(1)),
+                last_consistent,
+                "quarantined group advanced past its last consistent epoch (depth={depth})"
+            );
+            assert_eq!(board.global_cmt_ts(), last_consistent);
+            assert_eq!(board.tg_cmt_ts(GroupId::new(0)), epochs[2].max_commit_ts);
+            assert!(db.all_chains_ordered());
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_quarantines_the_group() {
+        let epochs = two_group_epochs();
+        let eng =
+            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, two_group_grouping())
+                .unwrap();
+        // A db sized below the workload's table span makes the replay
+        // workers panic when they touch table 2. The panic must be
+        // contained (no propagation out of replay), poison group 1 from
+        // the first epoch on, and leave group 0 fully replayed.
+        let db = MemDb::new(2);
+        let board = VisibilityBoard::new(2);
+        let m = eng.replay(&epochs, &db, &board).unwrap();
+        assert_eq!(m.quarantined_groups, vec![1]);
+        assert_eq!(board.tg_cmt_ts(GroupId::new(0)), epochs.last().unwrap().max_commit_ts);
+        assert_eq!(board.tg_cmt_ts(GroupId::new(1)), Timestamp::ZERO);
+        assert_eq!(board.global_cmt_ts(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn replay_stream_resyncs_through_transient_faults() {
+        use aets_wal::{FaultInjector, FaultKind, FaultPlan};
+        let w = tpcc::generate(&TpccConfig { num_txns: 400, warehouses: 2, ..Default::default() });
+        let epochs = encode(&w, 64);
+        let db_serial = MemDb::new(w.table_names.len());
+        SerialEngine.replay_all(&epochs, &db_serial).unwrap();
+
+        let kinds = vec![
+            FaultKind::TornTail,
+            FaultKind::BitFlip,
+            FaultKind::Duplicate,
+            FaultKind::Reorder,
+            FaultKind::Drop,
+            FaultKind::Stall,
+        ];
+        let retry = RetryPolicy { max_retries: 4, base_backoff_us: 1, max_backoff_us: 50 };
+        let eng = AetsEngine::new(
+            AetsConfig { threads: 2, retry, ..Default::default() },
+            tpcc_grouping(&w),
+        )
+        .unwrap();
+        let db = MemDb::new(w.table_names.len());
+        let board = VisibilityBoard::new(eng.board_groups());
+        let mut source = FaultInjector::new(epochs, FaultPlan::new(42, 0.6, kinds));
+        let m = eng.replay_stream(&mut source, &db, &board).unwrap();
+        assert!(!m.degraded(), "transient faults must fully heal");
+        assert!(m.ingest_retries > 0, "seed 42 at rate 0.6 must fault some epoch");
+        assert_eq!(m.ingest_faults(), m.checksum_failures + m.epoch_gaps + m.ingest_stalls);
+        assert_eq!(db.digest_at(Timestamp::MAX), db_serial.digest_at(Timestamp::MAX));
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //! serial oracle) live in [`engines`] behind the same [`ReplayEngine`]
 //! trait, so correctness tests can assert state equivalence across all of
 //! them and benchmarks can sweep them uniformly.
+//!
+//! Ingest is fault-tolerant: deliveries are CRC- and sequence-checked and
+//! re-requested with bounded backoff ([`ingest_epoch`]), and AETS replay
+//! is supervised — an unrecoverable group is quarantined with its
+//! visibility watermark frozen while healthy groups keep replaying.
+
+// Replay sits on the recovery path: every fallible operation outside
+// tests must surface a typed error (or quarantine a group), never panic.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod alloc;
 pub mod dispatch;
@@ -29,7 +38,9 @@ pub mod runner;
 pub mod visibility;
 
 pub use alloc::{allocate_threads, UrgencyMode};
-pub use dispatch::{dispatch_epoch, DispatchedEpoch, GroupWork, MiniTxn};
+pub use dispatch::{
+    dispatch_epoch, ingest_epoch, DispatchedEpoch, GroupWork, IngestStats, MiniTxn, RetryPolicy,
+};
 pub use engines::aets::{AetsConfig, AetsEngine, RateFn};
 pub use engines::atr::AtrEngine;
 pub use engines::c5::C5Engine;

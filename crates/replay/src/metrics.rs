@@ -34,6 +34,20 @@ pub struct ReplayMetrics {
     pub cell_buffers_recycled: u64,
     /// Phase-1 cell buffers that had to be freshly allocated.
     pub cell_buffers_allocated: u64,
+    /// Ingest resync: epoch re-requests issued after a failed delivery.
+    pub ingest_retries: u64,
+    /// Ingest resync: deliveries rejected by the epoch frame CRC.
+    pub checksum_failures: u64,
+    /// Ingest resync: deliveries rejected as out-of-sequence
+    /// (duplicate / reordered / dropped epochs).
+    pub epoch_gaps: u64,
+    /// Ingest resync: fetches that found the epoch not yet available.
+    pub ingest_stalls: u64,
+    /// Groups quarantined during replay (board indices, ascending). A
+    /// quarantined group's `tg_cmt_ts` is frozen at its last consistent
+    /// commit and `global_cmt_ts` stops advancing, while healthy groups
+    /// keep replaying. Empty in a healthy run.
+    pub quarantined_groups: Vec<usize>,
 }
 
 impl ReplayMetrics {
@@ -55,6 +69,17 @@ impl ReplayMetrics {
         } else {
             self.txns as f64 / s
         }
+    }
+
+    /// Whether replay is in degraded mode: at least one group has been
+    /// quarantined and its watermark frozen.
+    pub fn degraded(&self) -> bool {
+        !self.quarantined_groups.is_empty()
+    }
+
+    /// Total faulted deliveries the ingest resync loop observed.
+    pub fn ingest_faults(&self) -> u64 {
+        self.checksum_failures + self.epoch_gaps + self.ingest_stalls
     }
 
     /// The Table II breakdown: fractions of busy time spent in
@@ -96,6 +121,19 @@ mod tests {
         assert!((d - 0.1).abs() < 1e-9);
         assert!((r - 0.8).abs() < 1e-9);
         assert!((c - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_mode_and_fault_counters() {
+        let mut m = ReplayMetrics::default();
+        assert!(!m.degraded());
+        assert_eq!(m.ingest_faults(), 0);
+        m.quarantined_groups.push(2);
+        m.checksum_failures = 3;
+        m.epoch_gaps = 1;
+        m.ingest_stalls = 2;
+        assert!(m.degraded());
+        assert_eq!(m.ingest_faults(), 6);
     }
 
     #[test]

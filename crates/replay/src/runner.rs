@@ -47,6 +47,13 @@ impl RunnerOutcome {
             self.delays.iter().sum::<Duration>() / self.delays.len() as u32
         }
     }
+
+    /// Whether the run ended degraded: at least one group was quarantined
+    /// and its visibility watermark frozen. Queries over a quarantined
+    /// group show up in `timed_out` rather than reading inconsistent data.
+    pub fn degraded(&self) -> bool {
+        self.metrics.degraded()
+    }
 }
 
 /// Configuration of a real-time run.
@@ -128,6 +135,15 @@ pub fn run_realtime(
             metrics.commit_busy += m.commit_busy;
             metrics.stage1_wall += m.stage1_wall;
             metrics.stage2_wall += m.stage2_wall;
+            metrics.cell_buffers_recycled += m.cell_buffers_recycled;
+            metrics.cell_buffers_allocated += m.cell_buffers_allocated;
+            metrics.ingest_retries += m.ingest_retries;
+            metrics.checksum_failures += m.checksum_failures;
+            metrics.epoch_gaps += m.epoch_gaps;
+            metrics.ingest_stalls += m.ingest_stalls;
+            // Quarantine state is cumulative on the engine; the latest
+            // epoch's snapshot is the union of everything poisoned so far.
+            metrics.quarantined_groups = m.quarantined_groups;
         }
         metrics.wall = start.elapsed();
 

@@ -6,7 +6,15 @@
 //! log parser; the dispatch-cost distinction the paper draws between
 //! metadata-only parsing (ATR/AETS) and full-data-image parsing (C5) maps
 //! onto [`decode_meta`] vs [`decode_record`].
+//!
+//! Every record carries a trailing CRC32 over its encoded body.
+//! [`decode_record`] verifies it (so full decoding — the workers' phase-1
+//! translate, C5's dispatcher, the serial oracle — catches corruption that
+//! slipped past the epoch frame check), while [`decode_meta`] *skips* it:
+//! the metadata-only dispatch path never touches data images, and its
+//! integrity is covered by the per-epoch CRC verified once at ingest.
 
+use crate::crc::crc32;
 use crate::entry::{DmlEntry, LogRecord};
 use aets_common::{
     ColumnId, DmlOp, Error, Lsn, Result, Row, RowKey, TableId, Timestamp, TxnId, Value,
@@ -109,8 +117,16 @@ fn need(buf: &Bytes, n: usize) -> Result<()> {
     }
 }
 
-/// Encodes one record, appending to `buf`.
+/// Encodes one record, appending to `buf`: the record body followed by a
+/// CRC32 over the body's bytes.
 pub fn encode_record(buf: &mut BytesMut, rec: &LogRecord) {
+    let start = buf.len();
+    encode_body(buf, rec);
+    let crc = crc32(&buf[start..]);
+    buf.put_u32_le(crc);
+}
+
+fn encode_body(buf: &mut BytesMut, rec: &LogRecord) {
     match rec {
         LogRecord::Begin { lsn, txn_id, ts } => {
             buf.put_u8(TAG_BEGIN);
@@ -142,8 +158,20 @@ pub fn encode_record(buf: &mut BytesMut, rec: &LogRecord) {
     }
 }
 
-/// Decodes one record from the front of `buf`, consuming it.
+/// Decodes one record from the front of `buf`, consuming it, and verifies
+/// its trailing CRC32 against the body bytes actually read.
 pub fn decode_record(buf: &mut Bytes) -> Result<LogRecord> {
+    let snapshot = buf.clone();
+    let rec = decode_body(buf)?;
+    let body_len = snapshot.remaining() - buf.remaining();
+    need(buf, 4)?;
+    if buf.get_u32_le() != crc32(&snapshot[..body_len]) {
+        return Err(Error::CodecChecksum);
+    }
+    Ok(rec)
+}
+
+fn decode_body(buf: &mut Bytes) -> Result<LogRecord> {
     need(buf, 1)?;
     let tag = buf.get_u8();
     match tag {
@@ -206,6 +234,11 @@ pub struct RecordMeta {
 
 /// Decodes only the metadata of the record at the front of `buf`, skipping
 /// the data image, and consumes the full record.
+///
+/// The trailing record CRC32 is skipped, *not* verified: verifying it
+/// would force reading the data image, defeating metadata-only parsing.
+/// The dispatch path instead relies on the per-epoch CRC checked once at
+/// ingest; record CRCs are verified wherever full records are decoded.
 pub fn decode_meta(buf: &mut Bytes) -> Result<RecordMeta> {
     need(buf, 1)?;
     let tag = buf.get_u8();
@@ -213,8 +246,8 @@ pub fn decode_meta(buf: &mut Bytes) -> Result<RecordMeta> {
     let lsn = Lsn::new(buf.get_u64_le());
     let txn_id = TxnId::new(buf.get_u64_le());
     let ts = Timestamp::from_micros(buf.get_u64_le());
-    match tag {
-        TAG_BEGIN | TAG_COMMIT => Ok(RecordMeta { lsn, txn_id, ts, table: None }),
+    let meta = match tag {
+        TAG_BEGIN | TAG_COMMIT => RecordMeta { lsn, txn_id, ts, table: None },
         TAG_DML => {
             need(buf, 21)?;
             let table = TableId::new(buf.get_u32_le());
@@ -227,10 +260,13 @@ pub fn decode_meta(buf: &mut Bytes) -> Result<RecordMeta> {
             if has_before {
                 skip_row(buf)?;
             }
-            Ok(RecordMeta { lsn, txn_id, ts, table: Some(table) })
+            RecordMeta { lsn, txn_id, ts, table: Some(table) }
         }
-        _ => Err(Error::CodecBadTag),
-    }
+        _ => return Err(Error::CodecBadTag),
+    };
+    need(buf, 4)?;
+    buf.advance(4); // record CRC32 trailer
+    Ok(meta)
 }
 
 fn skip_row(buf: &mut Bytes) -> Result<()> {
@@ -392,6 +428,34 @@ mod tests {
             let mut b = full.slice(..cut);
             assert!(decode_record(&mut b).is_err(), "cut at {cut} should fail");
         }
+    }
+
+    #[test]
+    fn payload_corruption_fails_record_checksum() {
+        let full = encode_batch(&[sample_dml()]);
+        // Flip one bit inside the text payload "hello": full decode must
+        // fail the CRC, while the metadata-only path (which skips data
+        // images and the CRC trailer by design) still succeeds.
+        let pos =
+            full.as_slice().windows(5).position(|w| w == b"hello").expect("text payload present");
+        let mut tampered = full.to_vec();
+        tampered[pos] ^= 0x20;
+        let mut b = Bytes::from(tampered.clone());
+        assert!(matches!(decode_record(&mut b), Err(Error::CodecChecksum)));
+        let mut b2 = Bytes::from(tampered);
+        let meta = decode_meta(&mut b2).unwrap();
+        assert_eq!(meta.lsn, Lsn::new(42));
+        assert!(!b2.has_remaining());
+    }
+
+    #[test]
+    fn crc_trailer_corruption_fails_record_checksum() {
+        let full = encode_batch(&[sample_dml()]);
+        let mut tampered = full.to_vec();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x01;
+        let mut b = Bytes::from(tampered);
+        assert!(matches!(decode_record(&mut b), Err(Error::CodecChecksum)));
     }
 
     #[test]

@@ -146,6 +146,22 @@ pub struct EncodedEpoch {
     pub txn_count: usize,
     /// Commit timestamp of the last transaction.
     pub max_commit_ts: Timestamp,
+    /// CRC32 over `bytes` — the epoch frame checksum, stamped by the
+    /// primary at encode time and verified by the backup at ingest.
+    pub crc32: u32,
+}
+
+impl EncodedEpoch {
+    /// Verifies the epoch frame checksum. Catches torn tails, bit flips,
+    /// and any other in-flight corruption of the epoch buffer; a failure
+    /// means the whole delivery must be re-requested.
+    pub fn verify(&self) -> Result<()> {
+        if crate::crc::crc32(&self.bytes) == self.crc32 {
+            Ok(())
+        } else {
+            Err(Error::CodecChecksum)
+        }
+    }
 }
 
 /// Encodes an epoch into its wire form: each transaction becomes
@@ -169,9 +185,11 @@ pub fn encode_epoch(epoch: &Epoch) -> EncodedEpoch {
             &LogRecord::Commit { lsn: last_lsn, txn_id: t.txn_id, ts: t.commit_ts },
         );
     }
+    let bytes = buf.freeze();
     EncodedEpoch {
         id: epoch.id,
-        bytes: buf.freeze(),
+        crc32: crate::crc::crc32(&bytes),
+        bytes,
         txn_count: epoch.len(),
         max_commit_ts: epoch.max_commit_ts(),
     }
@@ -281,6 +299,28 @@ mod tests {
     #[test]
     fn zero_epoch_size_is_config_error() {
         assert!(batch_into_epochs(Vec::new(), 0).is_err());
+    }
+
+    #[test]
+    fn epoch_frame_checksum_round_trips_and_catches_corruption() {
+        let recs = txn_records(1, 0, 3);
+        let txns = assemble_txns(&recs).unwrap();
+        let encoded = encode_epoch(&Epoch { id: EpochId::new(0), txns });
+        encoded.verify().unwrap();
+
+        // Torn tail: missing bytes at the end of the frame.
+        let torn = EncodedEpoch {
+            bytes: encoded.bytes.slice(..encoded.bytes.len() - 2),
+            ..encoded.clone()
+        };
+        assert!(matches!(torn.verify(), Err(aets_common::Error::CodecChecksum)));
+
+        // Bit flip anywhere in the frame.
+        let mut flipped = encoded.bytes.to_vec();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        let flipped = EncodedEpoch { bytes: bytes::Bytes::from(flipped), ..encoded };
+        assert!(matches!(flipped.verify(), Err(aets_common::Error::CodecChecksum)));
     }
 
     #[test]

@@ -1,0 +1,409 @@
+//! Deterministic fault injection for the replicated epoch feed.
+//!
+//! The paper's testbed assumes a clean SiloR-style value-log stream; a
+//! production backup must survive torn epochs, bit flips,
+//! duplicated/reordered/dropped deliveries, and stalls without taking
+//! analytical queries offline. This module provides the feed abstraction
+//! the replay side ingests from ([`EpochSource`]) plus a seeded, fully
+//! deterministic wrapper ([`FaultInjector`]) that perturbs deliveries
+//! according to a [`FaultPlan`]. The same seed always yields the same
+//! fault schedule, so every recovery test and CI matrix entry is exactly
+//! reproducible.
+//!
+//! The feed is *pull-based*: the backup requests epoch `seq` and may
+//! re-request it (`attempt > 0`) after a checksum failure, sequence gap,
+//! or stall. Transient faults heal after [`FaultPlan::heal_after`] failed
+//! attempts — modelling a replication channel that redelivers correctly on
+//! retry — while persistent plans never heal and exercise the
+//! quarantine/degraded-mode paths downstream.
+
+use crate::codec::MetaScanner;
+use crate::crc::crc32;
+use crate::epoch::EncodedEpoch;
+use aets_common::Timestamp;
+use bytes::Bytes;
+
+/// A pull-based source of encoded epochs (the backup's view of the
+/// replication channel).
+pub trait EpochSource: Send {
+    /// Total number of epochs this source will eventually deliver.
+    fn num_epochs(&self) -> usize;
+
+    /// Sequence number of the first epoch this source delivers; fetches
+    /// use absolute sequence numbers in
+    /// `first_seq()..first_seq() + num_epochs()`. Defaults to 0 (a source
+    /// covering the stream from its start).
+    fn first_seq(&self) -> u64 {
+        0
+    }
+
+    /// Attempts delivery of epoch `seq` (0-based). `attempt` counts
+    /// re-requests of the same epoch by the resync loop. `None` means the
+    /// epoch is not available yet (a stall); the caller should back off
+    /// and re-request.
+    fn fetch(&mut self, seq: u64, attempt: u32) -> Option<EncodedEpoch>;
+}
+
+/// The trivial in-memory source: a slice of already-encoded epochs,
+/// delivered faithfully. Re-requests return the same delivery.
+#[derive(Debug)]
+pub struct SliceSource<'a> {
+    epochs: &'a [EncodedEpoch],
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps `epochs`.
+    pub fn new(epochs: &'a [EncodedEpoch]) -> Self {
+        Self { epochs }
+    }
+}
+
+impl EpochSource for SliceSource<'_> {
+    fn num_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    fn first_seq(&self) -> u64 {
+        // A slice may start mid-stream (e.g. the realtime runner replays
+        // one arrived epoch at a time); its epochs keep their stream ids.
+        self.epochs.first().map_or(0, |e| e.id.raw())
+    }
+
+    fn fetch(&mut self, seq: u64, _attempt: u32) -> Option<EncodedEpoch> {
+        let idx = seq.checked_sub(self.first_seq())?;
+        self.epochs.get(idx as usize).cloned()
+    }
+}
+
+/// The classes of fault the injector can apply to one delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The epoch frame loses its tail (torn write / truncated ship).
+    /// Caught by the epoch CRC at ingest.
+    TornTail,
+    /// One bit of the epoch frame flips in flight. Caught by the epoch
+    /// CRC at ingest.
+    BitFlip,
+    /// The previous epoch is delivered again instead of the requested
+    /// one. Caught by the sequence check at ingest.
+    Duplicate,
+    /// A later epoch is delivered in place of the requested one
+    /// (reordered channel). Caught by the sequence check at ingest.
+    Reorder,
+    /// The requested epoch is dropped; in a pull-based feed the channel
+    /// answers with the next epoch it has. Caught by the sequence check.
+    Drop,
+    /// The epoch is not available yet: delivery stalls and the backup
+    /// must back off and re-request.
+    Stall,
+    /// One record's CRC trailer is corrupted *and the epoch frame CRC is
+    /// recomputed* — modelling corruption introduced before framing (e.g.
+    /// in the primary's log buffer). This passes the ingest frame check
+    /// and only surfaces when a replay worker fully decodes the record,
+    /// so it cannot be healed by re-requesting: it exercises the
+    /// per-group quarantine path.
+    RecordCorruption,
+}
+
+/// A seeded, deterministic fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed of the schedule; the same seed always faults the same epochs
+    /// in the same way.
+    pub seed: u64,
+    /// Probability that a given epoch's delivery is faulted.
+    pub rate: f64,
+    /// Fault kinds to draw from (uniformly) for a faulted epoch.
+    pub kinds: Vec<FaultKind>,
+    /// Number of failed delivery attempts before the channel heals and
+    /// delivers the epoch cleanly. `u32::MAX` never heals (persistent
+    /// fault). Note [`FaultKind::RecordCorruption`] is undetectable at
+    /// ingest, so healing never gets a chance to apply to it.
+    pub heal_after: u32,
+}
+
+impl FaultPlan {
+    /// A transient plan (heals after one failed attempt).
+    pub fn new(seed: u64, rate: f64, kinds: Vec<FaultKind>) -> Self {
+        Self { seed, rate, kinds, heal_after: 1 }
+    }
+
+    /// Makes the plan persistent: faulted epochs never deliver cleanly.
+    pub fn persistent(mut self) -> Self {
+        self.heal_after = u32::MAX;
+        self
+    }
+}
+
+/// Deterministic 64-bit mixer (splitmix64 finalizer): the injector's only
+/// source of "randomness", so schedules are reproducible by construction.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fault-injecting wrapper around an in-memory epoch stream.
+#[derive(Debug)]
+pub struct FaultInjector {
+    epochs: Vec<EncodedEpoch>,
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Wraps `epochs` under `plan`.
+    pub fn new(epochs: Vec<EncodedEpoch>, plan: FaultPlan) -> Self {
+        Self { epochs, plan }
+    }
+
+    fn draw(&self, seq: u64) -> u64 {
+        mix(self.plan.seed ^ mix(seq.wrapping_mul(0xA24B_AED4_963E_E407)))
+    }
+
+    /// The fault (if any) scheduled for epoch `seq`, independent of the
+    /// delivery attempt.
+    pub fn fault_for(&self, seq: u64) -> Option<FaultKind> {
+        if self.plan.kinds.is_empty() {
+            return None;
+        }
+        let h = self.draw(seq);
+        // 53 high bits -> uniform in [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= self.plan.rate {
+            return None;
+        }
+        Some(self.plan.kinds[(h % self.plan.kinds.len() as u64) as usize])
+    }
+
+    /// Extra delivery delay (primary-clock microseconds) a stalled epoch
+    /// suffers; zero for epochs without a scheduled stall.
+    pub fn stall_delay_us(&self, seq: u64) -> u64 {
+        match self.fault_for(seq) {
+            Some(FaultKind::Stall) => 1_000 + self.draw(seq ^ 0x5741) % 5_000,
+            _ => 0,
+        }
+    }
+
+    /// Arrival times of the wrapped stream after stall delays, clamped
+    /// monotone: an epoch delivered late pushes every later epoch's
+    /// delivery later, because the feed is FIFO. Feeding a runner with
+    /// these (rather than naively per-epoch shifted times) is what keeps
+    /// `global_cmt_ts` monotone when an epoch stalls — see
+    /// `ReplicationTimeline::arrivals_with_delays`.
+    pub fn delayed_arrivals(&self, base: &[Timestamp]) -> Vec<Timestamp> {
+        let mut hwm = Timestamp::ZERO;
+        let mut out = Vec::with_capacity(base.len());
+        for (seq, b) in base.iter().enumerate() {
+            let a = b.saturating_add(self.stall_delay_us(seq as u64)).max(hwm);
+            hwm = a;
+            out.push(a);
+        }
+        out
+    }
+
+    fn apply(&self, kind: FaultKind, seq: u64, clean: EncodedEpoch) -> Option<EncodedEpoch> {
+        let h = self.draw(seq ^ 0x00FA_17ED);
+        match kind {
+            FaultKind::Stall => None,
+            FaultKind::Duplicate => {
+                let neighbor = seq.checked_sub(1).unwrap_or(seq + 1);
+                self.epochs.get(neighbor as usize).cloned()
+            }
+            FaultKind::Reorder | FaultKind::Drop => self
+                .epochs
+                .get(seq as usize + 1)
+                .or_else(|| self.epochs.get((seq as usize).checked_sub(1)?))
+                .cloned(),
+            FaultKind::TornTail => {
+                let n = clean.bytes.len();
+                if n <= 1 {
+                    return Some(clean);
+                }
+                let cut = 1 + (h as usize % (n - 1).min(64));
+                Some(EncodedEpoch { bytes: clean.bytes.slice(..n - cut), ..clean })
+            }
+            FaultKind::BitFlip => {
+                if clean.bytes.is_empty() {
+                    return Some(clean);
+                }
+                let mut v = clean.bytes.to_vec();
+                let bit = h as usize % (v.len() * 8);
+                v[bit / 8] ^= 1 << (bit % 8);
+                Some(EncodedEpoch { bytes: Bytes::from(v), ..clean })
+            }
+            FaultKind::RecordCorruption => Some(corrupt_one_record(&clean, h)),
+        }
+    }
+}
+
+/// Flips a bit in the CRC trailer of one DML record and restamps the
+/// epoch frame CRC, so the corruption passes ingest and is only caught
+/// when the record is fully decoded. Falls back to the clean epoch when
+/// it holds no DML records.
+fn corrupt_one_record(clean: &EncodedEpoch, h: u64) -> EncodedEpoch {
+    let mut dml_ranges = Vec::new();
+    for item in MetaScanner::new(clean.bytes.clone()) {
+        match item {
+            Ok((meta, range)) if meta.table.is_some() => dml_ranges.push(range),
+            Ok(_) => {}
+            Err(_) => return clean.clone(),
+        }
+    }
+    if dml_ranges.is_empty() {
+        return clean.clone();
+    }
+    let range = &dml_ranges[(h % dml_ranges.len() as u64) as usize];
+    let mut v = clean.bytes.to_vec();
+    v[range.end - 1] ^= 0x01;
+    let bytes = Bytes::from(v);
+    EncodedEpoch { crc32: crc32(&bytes), bytes, ..clean.clone() }
+}
+
+impl EpochSource for FaultInjector {
+    fn num_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    fn fetch(&mut self, seq: u64, attempt: u32) -> Option<EncodedEpoch> {
+        let clean = self.epochs.get(seq as usize)?.clone();
+        let Some(kind) = self.fault_for(seq) else {
+            return Some(clean);
+        };
+        if attempt >= self.plan.heal_after {
+            return Some(clean);
+        }
+        self.apply(kind, seq, clean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::TxnLog;
+    use crate::epoch::{batch_into_epochs, encode_epoch};
+    use aets_common::TxnId;
+
+    fn encoded(n_txns: u64, per_epoch: usize) -> Vec<EncodedEpoch> {
+        let txns: Vec<TxnLog> = (1..=n_txns)
+            .map(|i| TxnLog {
+                txn_id: TxnId::new(i),
+                commit_ts: Timestamp::from_micros(i * 10),
+                entries: Vec::new(),
+            })
+            .collect();
+        batch_into_epochs(txns, per_epoch).unwrap().iter().map(encode_epoch).collect()
+    }
+
+    fn all_kinds() -> Vec<FaultKind> {
+        vec![
+            FaultKind::TornTail,
+            FaultKind::BitFlip,
+            FaultKind::Duplicate,
+            FaultKind::Reorder,
+            FaultKind::Drop,
+            FaultKind::Stall,
+        ]
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let epochs = encoded(64, 4);
+        let a = FaultInjector::new(epochs.clone(), FaultPlan::new(7, 0.5, all_kinds()));
+        let b = FaultInjector::new(epochs, FaultPlan::new(7, 0.5, all_kinds()));
+        for seq in 0..16 {
+            assert_eq!(a.fault_for(seq), b.fault_for(seq));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let epochs = encoded(64, 4);
+        let a = FaultInjector::new(epochs.clone(), FaultPlan::new(1, 0.5, all_kinds()));
+        let b = FaultInjector::new(epochs, FaultPlan::new(2, 0.5, all_kinds()));
+        let sa: Vec<_> = (0..16).map(|s| a.fault_for(s)).collect();
+        let sb: Vec<_> = (0..16).map(|s| b.fault_for(s)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn faulted_deliveries_fail_verification_and_heal_on_retry() {
+        let epochs = encoded(64, 4);
+        let mut inj = FaultInjector::new(epochs.clone(), FaultPlan::new(3, 1.0, all_kinds()));
+        let mut saw_fault = false;
+        for seq in 0..epochs.len() as u64 {
+            // Attempt 0 is faulted in some observable way...
+            match inj.fetch(seq, 0) {
+                None => saw_fault = true, // stall
+                Some(e) => {
+                    if e.verify().is_err() || e.id.raw() != seq {
+                        saw_fault = true;
+                    }
+                }
+            }
+            // ...and attempt 1 (past heal_after) is always clean.
+            let healed = inj.fetch(seq, 1).expect("healed delivery");
+            healed.verify().unwrap();
+            assert_eq!(healed.id.raw(), seq);
+        }
+        assert!(saw_fault, "rate 1.0 must fault at least one epoch");
+    }
+
+    #[test]
+    fn persistent_plans_never_heal() {
+        let epochs = encoded(16, 4);
+        let plan = FaultPlan::new(9, 1.0, vec![FaultKind::TornTail]).persistent();
+        let mut inj = FaultInjector::new(epochs, plan);
+        for attempt in 0..8 {
+            let e = inj.fetch(0, attempt).unwrap();
+            assert!(e.verify().is_err(), "attempt {attempt} unexpectedly clean");
+        }
+    }
+
+    #[test]
+    fn record_corruption_passes_frame_check_but_fails_record_decode() {
+        let txns: Vec<TxnLog> = {
+            use crate::entry::DmlEntry;
+            use aets_common::{ColumnId, DmlOp, Lsn, RowKey, TableId, Value};
+            (1..=8u64)
+                .map(|i| TxnLog {
+                    txn_id: TxnId::new(i),
+                    commit_ts: Timestamp::from_micros(i * 10),
+                    entries: vec![DmlEntry {
+                        lsn: Lsn::new(i),
+                        txn_id: TxnId::new(i),
+                        ts: Timestamp::from_micros(i * 10),
+                        table: TableId::new(0),
+                        op: DmlOp::Insert,
+                        key: RowKey::new(i),
+                        row_version: 1,
+                        cols: vec![(ColumnId::new(0), Value::Int(i as i64))],
+                        before: None,
+                    }],
+                })
+                .collect()
+        };
+        let epochs: Vec<_> = batch_into_epochs(txns, 4).unwrap().iter().map(encode_epoch).collect();
+        let plan = FaultPlan::new(5, 1.0, vec![FaultKind::RecordCorruption]).persistent();
+        let mut inj = FaultInjector::new(epochs, plan);
+        let e = inj.fetch(0, 0).unwrap();
+        // Frame CRC restamped: ingest cannot tell.
+        e.verify().unwrap();
+        // Full decode of the batch hits the corrupted record CRC.
+        let err = crate::codec::decode_batch(e.bytes.clone()).unwrap_err();
+        assert!(matches!(err, aets_common::Error::CodecChecksum));
+    }
+
+    #[test]
+    fn stalls_shift_arrivals_monotonically() {
+        let epochs = encoded(64, 4);
+        let inj = FaultInjector::new(epochs, FaultPlan::new(11, 0.5, vec![FaultKind::Stall]));
+        let base: Vec<Timestamp> = (0..16).map(|i| Timestamp::from_micros(i * 100)).collect();
+        let delayed = inj.delayed_arrivals(&base);
+        assert!(delayed.windows(2).all(|w| w[0] <= w[1]), "delayed arrivals not monotone");
+        assert!(
+            delayed.iter().zip(&base).any(|(d, b)| d > b),
+            "rate 0.5 over 16 epochs should stall at least one"
+        );
+    }
+}

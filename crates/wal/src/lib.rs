@@ -4,19 +4,26 @@
 //! ([`entry`]), a binary codec with both full-record and metadata-only
 //! decoding ([`codec`]), transaction assembly and epoch batching
 //! ([`epoch`]), and the primary replication timeline with heartbeat
-//! insertion ([`stream`]).
+//! insertion ([`stream`]). Integrity is end-to-end checksummed ([`crc`]):
+//! every record carries a CRC32 trailer and every encoded epoch a frame
+//! CRC32, and [`faults`] provides the deterministic fault-injection
+//! harness that exercises the recovery paths built on them.
 
 pub mod codec;
+pub mod crc;
 pub mod entry;
 pub mod epoch;
+pub mod faults;
 pub mod stream;
 
 pub use codec::{
     decode_at, decode_batch, decode_meta, decode_record, encode_batch, encode_record, MetaScanner,
     RecordMeta,
 };
+pub use crc::crc32;
 pub use entry::{DmlEntry, LogRecord, TxnLog};
 pub use epoch::{
     assemble_txns, batch_into_epochs, encode_epoch, heartbeat_txn, EncodedEpoch, Epoch,
 };
+pub use faults::{EpochSource, FaultInjector, FaultKind, FaultPlan, SliceSource};
 pub use stream::{insert_heartbeats, ReplicationTimeline};

@@ -38,10 +38,27 @@ impl ReplicationTimeline {
     /// Arrival times for a whole stream, enforcing monotonicity (a later
     /// epoch can never arrive before an earlier one).
     pub fn arrivals(&self, epochs: &[Epoch]) -> Vec<Timestamp> {
+        self.arrivals_with_delays(epochs, &[])
+    }
+
+    /// Arrival times when individual epochs suffer extra delivery delays
+    /// (microseconds, e.g. from an injected stall; missing entries mean
+    /// zero delay).
+    ///
+    /// The clamp is the load-bearing part: the channel is FIFO, so an
+    /// epoch delivered late pushes every later epoch's delivery at least
+    /// as late. Without it, a heartbeat-only epoch batched *after* a
+    /// stalled epoch would be computed as arriving — and replaying —
+    /// first, advancing `global_cmt_ts` to the heartbeat's commit
+    /// timestamp before the stalled epoch's earlier transactions were
+    /// installed: a query admitted at the heartbeat watermark would miss
+    /// them, an effective `global_cmt_ts` regression.
+    pub fn arrivals_with_delays(&self, epochs: &[Epoch], delays_us: &[u64]) -> Vec<Timestamp> {
         let mut out = Vec::with_capacity(epochs.len());
         let mut hwm = Timestamp::ZERO;
-        for e in epochs {
-            let a = self.arrival(e).max(hwm);
+        for (i, e) in epochs.iter().enumerate() {
+            let delay = delays_us.get(i).copied().unwrap_or(0);
+            let a = self.arrival(e).saturating_add(delay).max(hwm);
             hwm = a;
             out.push(a);
         }
@@ -124,6 +141,58 @@ mod tests {
         // Real order preserved.
         assert_eq!(out[0].txn_id, TxnId::new(1));
         assert_eq!(out[4].txn_id, TxnId::new(2));
+    }
+
+    /// Regression: a stalled epoch followed by heartbeat-only epochs must
+    /// not let the heartbeats "overtake" the stall. With naive per-epoch
+    /// delay shifting, epoch 1 (heartbeats) would arrive before epoch 0
+    /// (real txns, stalled); replaying in that arrival order would bump
+    /// `global_cmt_ts` to the heartbeat timestamps before epoch 0's
+    /// earlier commits were installed — a non-monotone watermark from the
+    /// queries' point of view. `arrivals_with_delays` clamps delivery to
+    /// FIFO order so the feed (and therefore `global_cmt_ts`) stays
+    /// monotone.
+    #[test]
+    fn stalled_epoch_cannot_be_overtaken_by_heartbeats() {
+        // Real txns at 0 and 10ms, then a 200ms idle gap filled by
+        // heartbeats (50ms apart).
+        let real = vec![txn(1, 0), txn(2, 10_000), txn(3, 210_000)];
+        let with_hb = insert_heartbeats(&real, 50_000, TxnId::new(100));
+        assert!(with_hb.len() > real.len(), "gap must be heartbeat-filled");
+        // Epoch 0 holds the first two real txns; epoch 1 starts with
+        // heartbeats.
+        let epochs = crate::epoch::batch_into_epochs(with_hb, 2).unwrap();
+        let tl = ReplicationTimeline { replication_latency_us: 500 };
+
+        // Epoch 0 stalls for 300ms.
+        let mut delays = vec![0u64; epochs.len()];
+        delays[0] = 300_000;
+
+        // The naive (unclamped) schedule is non-monotone: epoch 1 would
+        // be computed as arriving before the stalled epoch 0.
+        let naive: Vec<Timestamp> = epochs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| tl.arrival(e).saturating_add(delays[i]))
+            .collect();
+        assert!(naive[1] < naive[0], "precondition: stall creates an overtake hazard");
+
+        // The fixed schedule is monotone...
+        let fixed = tl.arrivals_with_delays(&epochs, &delays);
+        assert!(fixed.windows(2).all(|w| w[0] <= w[1]), "arrivals must be monotone");
+        assert!(fixed[0] >= tl.arrival(&epochs[0]).saturating_add(300_000));
+
+        // ...so feeding epochs in arrival order keeps global_cmt_ts
+        // monotone: each epoch's high-water mark is published when it
+        // arrives, in index order.
+        let mut order: Vec<usize> = (0..epochs.len()).collect();
+        order.sort_by_key(|&i| (fixed[i], i));
+        let mut global = Timestamp::ZERO;
+        for i in order {
+            let hwm = epochs[i].max_commit_ts();
+            assert!(hwm >= global, "global_cmt_ts would regress at epoch {i}");
+            global = hwm;
+        }
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Fault-tolerance integration tests: the checksummed WAL, the ingest
+//! resync loop, and supervised replay with per-group quarantine, exercised
+//! end to end through seeded deterministic fault injection.
+//!
+//! The contract under test: with fault injection enabled, replay either
+//! fully recovers to the fault-free serial oracle's state (transient
+//! delivery faults, healed by re-requesting) or quarantines the affected
+//! groups with frozen visibility watermarks (persistent in-record
+//! corruption) — and no replay-thread failure ever escapes as a panic.
+//!
+//! The `torn_tail` / `bit_flip` / `reorder` tests double as the CI
+//! fault-matrix entries (see `.github/workflows/ci.yml`).
+
+use aets_suite::common::{
+    ColumnId, DmlOp, FxHashSet, GroupId, Lsn, RowKey, TableId, Timestamp, TxnId, Value,
+};
+use aets_suite::memtable::MemDb;
+use aets_suite::replay::{
+    run_realtime, AetsConfig, AetsEngine, ReplayEngine, ReplayMetrics, RetryPolicy, RunnerConfig,
+    RunnerQuery, SerialEngine, TableGrouping, VisibilityBoard,
+};
+use aets_suite::wal::{
+    batch_into_epochs, crc32, encode_epoch, DmlEntry, EncodedEpoch, FaultInjector, FaultKind,
+    FaultPlan, MetaScanner, TxnLog,
+};
+use aets_suite::workloads::tpcc::{self, TpccConfig};
+use aets_suite::workloads::Workload;
+use std::time::Duration;
+
+fn tpcc_setup(num_txns: usize, epoch_size: usize) -> (Workload, Vec<EncodedEpoch>, u64) {
+    let w = tpcc::generate(&TpccConfig { num_txns, warehouses: 2, ..Default::default() });
+    let epochs: Vec<EncodedEpoch> =
+        batch_into_epochs(w.txns.clone(), epoch_size).unwrap().iter().map(encode_epoch).collect();
+    let oracle = MemDb::new(w.table_names.len());
+    SerialEngine.replay_all(&epochs, &oracle).unwrap();
+    let digest = oracle.digest_at(Timestamp::MAX);
+    (w, epochs, digest)
+}
+
+fn engine(w: &Workload) -> AetsEngine {
+    let (groups, rates) = tpcc::paper_grouping();
+    let grouping =
+        TableGrouping::new(w.table_names.len(), groups, rates, &w.analytic_tables).unwrap();
+    let retry = RetryPolicy { max_retries: 5, base_backoff_us: 1, max_backoff_us: 50 };
+    AetsEngine::new(AetsConfig { threads: 2, retry, ..Default::default() }, grouping).unwrap()
+}
+
+/// Replays a tpcc stream under a seeded transient fault schedule and
+/// asserts full recovery to the oracle digest; returns the metrics so
+/// callers can check which resync counters moved.
+fn assert_recovers(kinds: Vec<FaultKind>, seed: u64) -> ReplayMetrics {
+    let (w, epochs, want) = tpcc_setup(600, 64);
+    let eng = engine(&w);
+    let db = MemDb::new(w.table_names.len());
+    let board = VisibilityBoard::new(eng.board_groups());
+    let mut source = FaultInjector::new(epochs, FaultPlan::new(seed, 0.5, kinds));
+    let m = eng.replay_stream(&mut source, &db, &board).unwrap();
+    assert!(!m.degraded(), "transient faults must heal, not quarantine");
+    assert!(m.ingest_retries > 0, "seed {seed} faulted nothing; pick another");
+    assert_eq!(db.digest_at(Timestamp::MAX), want, "recovered state diverged from oracle");
+    assert!(db.all_chains_ordered());
+    m
+}
+
+#[test]
+fn recovers_from_torn_tail_faults() {
+    let m = assert_recovers(vec![FaultKind::TornTail], 1);
+    assert!(m.checksum_failures > 0, "torn tails must trip the epoch frame CRC");
+}
+
+#[test]
+fn recovers_from_bit_flip_faults() {
+    let m = assert_recovers(vec![FaultKind::BitFlip], 2);
+    assert!(m.checksum_failures > 0, "bit flips must trip the epoch frame CRC");
+}
+
+#[test]
+fn recovers_from_reorder_faults() {
+    let m = assert_recovers(vec![FaultKind::Reorder, FaultKind::Duplicate, FaultKind::Drop], 3);
+    assert!(m.epoch_gaps > 0, "mis-sequenced deliveries must trip the sequence check");
+}
+
+#[test]
+fn recovers_from_stalled_deliveries() {
+    let m = assert_recovers(vec![FaultKind::Stall], 4);
+    assert!(m.ingest_stalls > 0, "stalls must be counted");
+}
+
+#[test]
+fn persistent_corruption_quarantines_without_panic() {
+    // Corruption stamped *inside* the frame (record CRC broken, frame CRC
+    // valid) is invisible to ingest and cannot be healed by re-requesting:
+    // replay must complete degraded — affected groups quarantined, healthy
+    // groups at the stream head, global watermark frozen — not panic.
+    let (w, epochs, _) = tpcc_setup(600, 64);
+    let eng = engine(&w);
+    let db = MemDb::new(w.table_names.len());
+    let board = VisibilityBoard::new(eng.board_groups());
+    let plan = FaultPlan::new(21, 1.0, vec![FaultKind::RecordCorruption]).persistent();
+    let mut source = FaultInjector::new(epochs.clone(), plan);
+    let m = eng.replay_stream(&mut source, &db, &board).unwrap();
+    assert!(m.degraded(), "persistent record corruption must quarantine");
+    assert_eq!(m.quarantined_groups, eng.quarantined_groups());
+    assert_eq!(m.ingest_faults(), 0, "in-record corruption is invisible at ingest");
+    let last = epochs.last().unwrap().max_commit_ts;
+    for g in 0..eng.board_groups() {
+        let tg = board.tg_cmt_ts(GroupId::new(g as u32));
+        if m.quarantined_groups.contains(&g) {
+            assert!(tg < last, "quarantined group {g} advanced to the stream head");
+        } else {
+            assert_eq!(tg, last, "healthy group {g} must keep replaying");
+        }
+    }
+    assert!(board.global_cmt_ts() < last, "global watermark must freeze while degraded");
+    assert!(db.all_chains_ordered());
+}
+
+#[test]
+fn unhealable_delivery_faults_exhaust_retries_with_typed_errors() {
+    let (w, epochs, _) = tpcc_setup(200, 64);
+
+    // A channel that tears every delivery forever: resync exhausts its
+    // retries on the frame CRC and surfaces a codec error.
+    let eng = engine(&w);
+    let db = MemDb::new(w.table_names.len());
+    let board = VisibilityBoard::new(eng.board_groups());
+    let plan = FaultPlan::new(7, 1.0, vec![FaultKind::TornTail]).persistent();
+    let mut source = FaultInjector::new(epochs.clone(), plan);
+    let err = eng.replay_stream(&mut source, &db, &board).unwrap_err();
+    assert_eq!(err.kind(), "codec", "got {err}");
+
+    // A channel that drops the requested epoch forever: resync exhausts
+    // its retries on the sequence check and surfaces a protocol error.
+    let eng = engine(&w);
+    let db = MemDb::new(w.table_names.len());
+    let board = VisibilityBoard::new(eng.board_groups());
+    let plan = FaultPlan::new(7, 1.0, vec![FaultKind::Drop]).persistent();
+    let mut source = FaultInjector::new(epochs, plan);
+    let err = eng.replay_stream(&mut source, &db, &board).unwrap_err();
+    assert_eq!(err.kind(), "protocol", "got {err}");
+}
+
+/// 12 transactions, each writing table 0 (group 0, hot) and table 2
+/// (group 1, cold), batched into 3 epochs of 4.
+fn two_group_stream() -> (Vec<EncodedEpoch>, TableGrouping) {
+    let txns: Vec<TxnLog> = (1..=12u64)
+        .map(|i| TxnLog {
+            txn_id: TxnId::new(i),
+            commit_ts: Timestamp::from_micros(i * 10),
+            entries: [0u32, 2]
+                .iter()
+                .enumerate()
+                .map(|(j, &table)| DmlEntry {
+                    lsn: Lsn::new(i * 10 + j as u64),
+                    txn_id: TxnId::new(i),
+                    ts: Timestamp::from_micros(i * 10),
+                    table: TableId::new(table),
+                    op: DmlOp::Insert,
+                    key: RowKey::new(i),
+                    row_version: 1,
+                    cols: vec![(ColumnId::new(0), Value::Int(i as i64))],
+                    before: None,
+                })
+                .collect(),
+        })
+        .collect();
+    let epochs = batch_into_epochs(txns, 4).unwrap().iter().map(encode_epoch).collect::<Vec<_>>();
+    let hot: FxHashSet<TableId> = [TableId::new(0)].into_iter().collect();
+    let grouping = TableGrouping::new(
+        3,
+        vec![vec![TableId::new(0), TableId::new(1)], vec![TableId::new(2)]],
+        vec![10.0, 1.0],
+        &hot,
+    )
+    .unwrap();
+    (epochs, grouping)
+}
+
+/// Breaks the record CRC of `table`'s first DML and restamps the frame
+/// CRC, mirroring `FaultKind::RecordCorruption` at a chosen position.
+fn corrupt_first_dml_of(epoch: &EncodedEpoch, table: TableId) -> EncodedEpoch {
+    let range = MetaScanner::new(epoch.bytes.clone())
+        .filter_map(|i| i.ok())
+        .find(|(meta, _)| meta.table == Some(table))
+        .map(|(_, r)| r)
+        .expect("epoch holds a DML of the table");
+    let mut v = epoch.bytes.to_vec();
+    v[range.end - 1] ^= 0x01;
+    let crc = crc32(&v);
+    EncodedEpoch { crc32: crc, bytes: v.into(), ..epoch.clone() }
+}
+
+#[test]
+fn degraded_runner_times_out_quarantined_queries() {
+    // Epoch 1 carries unrecoverable corruption in group 1's first
+    // mini-txn. The realtime run must finish degraded: the analytical
+    // query over the healthy group is served, the one over the
+    // quarantined group blocks on Algorithm 3 until its timeout instead
+    // of reading past the frozen watermark.
+    let (mut epochs, grouping) = two_group_stream();
+    epochs[1] = corrupt_first_dml_of(&epochs[1], TableId::new(2));
+    let arrivals: Vec<Timestamp> = epochs.iter().map(|e| e.max_commit_ts).collect();
+    let engine =
+        AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping).unwrap();
+    let db = MemDb::new(3);
+    let queries = vec![
+        RunnerQuery { arrival: epochs[0].max_commit_ts, tables: vec![TableId::new(0)] },
+        RunnerQuery { arrival: epochs[2].max_commit_ts, tables: vec![TableId::new(2)] },
+    ];
+    let cfg = RunnerConfig { time_scale: 1000.0, query_timeout: Duration::from_millis(300) };
+    let outcome = run_realtime(&engine, &epochs, &arrivals, &db, &queries, &cfg).unwrap();
+    assert!(outcome.degraded(), "runner must surface the quarantine");
+    assert_eq!(outcome.metrics.quarantined_groups, vec![1]);
+    assert_eq!(outcome.delays.len(), 1, "the healthy-group query is served");
+    assert_eq!(outcome.timed_out, 1, "the quarantined-group query must time out");
+    assert_eq!(outcome.metrics.txns, 12, "healthy groups replay the whole stream");
+}

@@ -7,9 +7,12 @@ use aets_suite::common::{
 };
 use aets_suite::memtable::MemDb;
 use aets_suite::replay::{
-    AetsConfig, AetsEngine, AtrEngine, C5Engine, ReplayEngine, SerialEngine, TableGrouping,
+    AetsConfig, AetsEngine, AtrEngine, C5Engine, ReplayEngine, RetryPolicy, SerialEngine,
+    TableGrouping, VisibilityBoard,
 };
-use aets_suite::wal::{batch_into_epochs, encode_epoch, DmlEntry, TxnLog};
+use aets_suite::wal::{
+    batch_into_epochs, encode_epoch, DmlEntry, FaultInjector, FaultKind, FaultPlan, TxnLog,
+};
 use proptest::prelude::*;
 
 const TABLES: usize = 4;
@@ -125,6 +128,66 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fault_injected_replay_recovers_to_oracle(
+        txn_ops in prop::collection::vec(
+            prop::collection::vec(any::<AbstractOp>(), 0..5),
+            1..30,
+        ),
+        epoch_size in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        // Any seeded schedule of *recoverable* faults (torn tails, bit
+        // flips, duplicated/reordered/dropped epochs, stalls) over any
+        // generated stream must, with enough retries, replay to exactly
+        // the fault-free serial oracle's state — and leave no group
+        // quarantined.
+        let txns = materialize(txn_ops);
+        let epochs: Vec<_> = batch_into_epochs(txns, epoch_size)
+            .unwrap()
+            .iter()
+            .map(encode_epoch)
+            .collect();
+
+        let oracle = MemDb::new(TABLES);
+        SerialEngine.replay_all(&epochs, &oracle).unwrap();
+        let want = oracle.digest_at(Timestamp::MAX);
+
+        let hot: FxHashSet<TableId> = [TableId::new(0), TableId::new(1)].into_iter().collect();
+        let grouping = TableGrouping::new(
+            TABLES,
+            vec![
+                vec![TableId::new(0), TableId::new(1)],
+                vec![TableId::new(2)],
+                vec![TableId::new(3)],
+            ],
+            vec![10.0, 1.0, 1.0],
+            &hot,
+        )
+        .unwrap();
+        let retry = RetryPolicy { max_retries: 4, base_backoff_us: 1, max_backoff_us: 20 };
+        let eng = AetsEngine::new(
+            AetsConfig { threads: 2, retry, ..Default::default() },
+            grouping,
+        )
+        .unwrap();
+        let db = MemDb::new(TABLES);
+        let board = VisibilityBoard::new(eng.board_groups());
+        let kinds = vec![
+            FaultKind::TornTail,
+            FaultKind::BitFlip,
+            FaultKind::Duplicate,
+            FaultKind::Reorder,
+            FaultKind::Drop,
+            FaultKind::Stall,
+        ];
+        let mut source = FaultInjector::new(epochs, FaultPlan::new(seed, 0.7, kinds));
+        let m = eng.replay_stream(&mut source, &db, &board).unwrap();
+        prop_assert!(!m.degraded(), "recoverable faults must not quarantine");
+        prop_assert!(db.all_chains_ordered());
+        prop_assert_eq!(db.digest_at(Timestamp::MAX), want, "seed {}", seed);
     }
 
     #[test]
