@@ -42,6 +42,14 @@ pub enum Error {
     Config(String),
     /// Model training / numeric failure.
     Numeric(String),
+    /// Filesystem failure on the durability path (WAL segment store,
+    /// checkpoint store). Carries the failing operation and the OS error.
+    Io(String),
+    /// A crash injected by the deterministic crash harness
+    /// (`aets_wal::CrashClock`): the process state is considered dead from
+    /// this point on and the owning store must be dropped and re-opened.
+    /// Never produced in production configurations (no clock installed).
+    Crash(String),
 }
 
 impl Error {
@@ -55,7 +63,21 @@ impl Error {
             Error::Replay(_) => "replay",
             Error::Config(_) => "config",
             Error::Numeric(_) => "numeric",
+            Error::Io(_) => "io",
+            Error::Crash(_) => "crash",
         }
+    }
+
+    /// Whether this error is an injected crash (see [`Error::Crash`]):
+    /// the durability harness restarts the node on it instead of failing.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, Error::Crash(_))
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
     }
 }
 
@@ -73,6 +95,8 @@ impl fmt::Display for Error {
             Error::Replay(m) => write!(f, "replay error: {m}"),
             Error::Config(m) => write!(f, "config error: {m}"),
             Error::Numeric(m) => write!(f, "numeric error: {m}"),
+            Error::Io(m) => write!(f, "io error: {m}"),
+            Error::Crash(m) => write!(f, "injected crash: {m}"),
         }
     }
 }

@@ -34,7 +34,9 @@ pub struct GcStats {
 }
 
 impl GcStats {
-    fn merge(&mut self, other: GcStats) {
+    /// Accumulates `other` into `self` (used across passes and by
+    /// `ReplayMetrics`).
+    pub fn merge(&mut self, other: GcStats) {
         self.nodes += other.nodes;
         self.pruned += other.pruned;
         self.retained += other.retained;
@@ -170,6 +172,65 @@ mod tests {
             row,
             vec![(ColumnId::new(0), Value::Int(4)), (ColumnId::new(1), Value::Int(300)),]
         );
+    }
+
+    #[test]
+    fn gc_tombstone_exactly_at_watermark_survives_as_tombstone() {
+        // The boundary version IS the delete: it must be kept (as a
+        // tombstone), not dropped — a reader at the watermark must still
+        // observe "row absent", distinct from "row never existed with
+        // newer versions pending".
+        let n = RecordNode::new();
+        n.append_version(ver(1, 10, OpType::Insert, vec![(0, 1)]));
+        n.append_version(ver(2, 20, OpType::Delete, vec![]));
+        let stats = gc_node(&n, Timestamp::from_micros(20));
+        assert_eq!(stats.consolidated, 1);
+        assert_eq!(n.version_count(), 1, "insert below the tombstone is pruned");
+        assert_eq!(n.read_at(Timestamp::from_micros(20)), None);
+        assert_eq!(n.read_at(Timestamp::MAX), None);
+        assert!(n.is_ordered());
+    }
+
+    #[test]
+    fn gc_consolidates_partial_update_that_is_oldest_in_chain() {
+        // After a prior GC pass (or a truncated history) the oldest
+        // version can itself be a partial update. When it is the
+        // boundary, consolidation must still produce a full image from
+        // whatever is reconstructible — not drop the untouched columns.
+        let n = RecordNode::new();
+        n.append_version(ver(5, 50, OpType::Update, vec![(0, 7)]));
+        n.append_version(ver(6, 60, OpType::Update, vec![(1, 8)]));
+        let watermark = Timestamp::from_micros(50);
+        let want_at_wm = n.read_at(watermark);
+        let want_latest = n.read_at(Timestamp::MAX);
+
+        let stats = gc_node(&n, watermark);
+        assert_eq!(stats.consolidated, 1);
+        assert_eq!(n.version_count(), 2, "nothing below the boundary to prune");
+        assert_eq!(n.read_at(watermark), want_at_wm);
+        assert_eq!(n.read_at(Timestamp::MAX), want_latest);
+        assert!(n.is_ordered());
+    }
+
+    #[test]
+    fn gc_empty_chain_is_a_noop() {
+        let n = RecordNode::new();
+        let stats = gc_node(&n, Timestamp::from_micros(100));
+        assert_eq!(stats, GcStats { nodes: 1, ..Default::default() });
+        assert_eq!(n.version_count(), 0);
+    }
+
+    #[test]
+    fn gc_with_no_visible_version_prunes_nothing() {
+        // Every version is newer than the watermark: a reader at the
+        // watermark sees nothing, and nothing may be pruned — each newer
+        // version is still the boundary for some future reader.
+        let n = node_with_history();
+        let stats = gc_node(&n, Timestamp::from_micros(9));
+        assert_eq!(stats.retained, 4);
+        assert_eq!(stats.consolidated, 0);
+        assert_eq!(n.version_count(), 4);
+        assert_eq!(n.read_at(Timestamp::from_micros(9)), None);
     }
 
     #[test]

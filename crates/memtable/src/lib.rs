@@ -11,10 +11,13 @@ pub mod bptree;
 pub mod gc;
 pub mod query;
 pub mod record;
+#[cfg_attr(not(test), deny(clippy::unwrap_used))]
+pub mod snapshot;
 pub mod table;
 
 pub use bptree::BPlusTree;
 pub use gc::{gc_db, gc_node, gc_table, GcStats};
 pub use query::{compare_values, Aggregate, CmpOp, Filter, Scan};
 pub use record::{OpType, RecordNode, Version};
+pub use snapshot::{decode_db, encode_db};
 pub use table::{MemDb, Table};

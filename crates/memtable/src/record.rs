@@ -140,6 +140,13 @@ impl RecordNode {
         *chain = replaced;
     }
 
+    /// Clones the full version chain under the shared lock. Used by the
+    /// checkpoint snapshot codec, which serializes chains while the
+    /// engine is quiesced at an epoch barrier.
+    pub fn versions_snapshot(&self) -> Vec<Version> {
+        self.versions.read().clone()
+    }
+
     /// Latest visible version (metadata only) at `ts`, if any.
     pub fn version_at(&self, ts: Timestamp) -> Option<(TxnId, Timestamp, OpType)> {
         let chain = self.versions.read();

@@ -119,6 +119,16 @@ impl Table {
         out
     }
 
+    /// Snapshot of every `(key, node)` pair in key order (used by the
+    /// checkpoint snapshot codec; clones the `Arc`s like
+    /// [`Table::nodes`]).
+    pub fn entries(&self) -> Vec<(RowKey, Arc<RecordNode>)> {
+        let index = self.index.read();
+        let mut out = Vec::with_capacity(index.len());
+        index.scan(|k, n| out.push((*k, n.clone())));
+        out
+    }
+
     /// Checks the commit-order invariant on every version chain.
     pub fn all_chains_ordered(&self) -> bool {
         let index = self.index.read();

@@ -30,14 +30,19 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod alloc;
+#[cfg_attr(not(test), deny(clippy::unwrap_used))]
+pub mod checkpoint;
 pub mod dispatch;
 pub mod engines;
 pub mod grouping;
 pub mod metrics;
+#[cfg_attr(not(test), deny(clippy::unwrap_used))]
+pub mod recovery;
 pub mod runner;
 pub mod visibility;
 
 pub use alloc::{allocate_threads, UrgencyMode};
+pub use checkpoint::{Checkpoint, CheckpointMeta, CheckpointStore};
 pub use dispatch::{
     dispatch_epoch, ingest_epoch, DispatchedEpoch, GroupWork, IngestStats, MiniTxn, RetryPolicy,
 };
@@ -49,5 +54,6 @@ pub use engines::serial::SerialEngine;
 pub use engines::{apply_entry, commit_cell, translate_entry, Cell, ReplayEngine};
 pub use grouping::{dbscan_1d, TableGrouping};
 pub use metrics::ReplayMetrics;
+pub use recovery::{DurableBackup, DurableOptions, RecoveryReport};
 pub use runner::{run_realtime, RunnerConfig, RunnerOutcome, RunnerQuery};
 pub use visibility::VisibilityBoard;

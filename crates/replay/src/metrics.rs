@@ -1,6 +1,7 @@
 //! Replay metrics: throughput, phase time breakdown (Table II), and
 //! stage-level replay times (Figures 8b/9b).
 
+use aets_memtable::GcStats;
 use std::time::Duration;
 
 /// Measurements collected by one engine run.
@@ -48,6 +49,27 @@ pub struct ReplayMetrics {
     /// commit and `global_cmt_ts` stops advancing, while healthy groups
     /// keep replaying. Empty in a healthy run.
     pub quarantined_groups: Vec<usize>,
+    /// Aggregate version-chain GC statistics across passes.
+    pub gc: GcStats,
+    /// Number of GC passes run.
+    pub gc_passes: u64,
+    /// Checkpoints written durably.
+    pub checkpoints_written: u64,
+    /// Checkpoint opportunities skipped because a group was quarantined:
+    /// advancing the checkpoint (and truncating the WAL) past a frozen
+    /// group would lose its unreplayed suffix forever.
+    pub checkpoints_skipped_degraded: u64,
+    /// Epochs appended durably to the WAL segment store.
+    pub wal_epochs_appended: u64,
+    /// WAL segments retired (deleted) past the checkpoint watermark.
+    pub wal_segments_retired: u64,
+    /// Checkpoint manifests skipped at recovery because they failed
+    /// validation (torn write, checksum mismatch) before an older valid
+    /// one was found.
+    pub manifest_fallbacks: u64,
+    /// Epochs re-replayed from the WAL suffix during recovery (bounded by
+    /// the epochs since the last checkpoint, not the full history).
+    pub recovery_suffix_epochs: u64,
 }
 
 impl ReplayMetrics {
@@ -80,6 +102,38 @@ impl ReplayMetrics {
     /// Total faulted deliveries the ingest resync loop observed.
     pub fn ingest_faults(&self) -> u64 {
         self.checksum_failures + self.epoch_gaps + self.ingest_stalls
+    }
+
+    /// Accumulates another run's counters into this one: sums every
+    /// additive counter and duration except `wall` (the caller owns
+    /// end-to-end wall time) and `engine` (identity, not a counter), and
+    /// adopts `other`'s quarantine set (quarantine state persists on the
+    /// engine across calls, so the most recent run's set is the union).
+    pub fn absorb(&mut self, other: &ReplayMetrics) {
+        self.txns += other.txns;
+        self.entries += other.entries;
+        self.bytes += other.bytes;
+        self.epochs += other.epochs;
+        self.dispatch_busy += other.dispatch_busy;
+        self.replay_busy += other.replay_busy;
+        self.commit_busy += other.commit_busy;
+        self.stage1_wall += other.stage1_wall;
+        self.stage2_wall += other.stage2_wall;
+        self.cell_buffers_recycled += other.cell_buffers_recycled;
+        self.cell_buffers_allocated += other.cell_buffers_allocated;
+        self.ingest_retries += other.ingest_retries;
+        self.checksum_failures += other.checksum_failures;
+        self.epoch_gaps += other.epoch_gaps;
+        self.ingest_stalls += other.ingest_stalls;
+        self.quarantined_groups = other.quarantined_groups.clone();
+        self.gc.merge(other.gc);
+        self.gc_passes += other.gc_passes;
+        self.checkpoints_written += other.checkpoints_written;
+        self.checkpoints_skipped_degraded += other.checkpoints_skipped_degraded;
+        self.wal_epochs_appended += other.wal_epochs_appended;
+        self.wal_segments_retired += other.wal_segments_retired;
+        self.manifest_fallbacks += other.manifest_fallbacks;
+        self.recovery_suffix_epochs += other.recovery_suffix_epochs;
     }
 
     /// The Table II breakdown: fractions of busy time spent in

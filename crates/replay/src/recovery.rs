@@ -1,0 +1,588 @@
+//! Restart recovery and the durable backup node.
+//!
+//! [`DurableBackup`] is the crash-consistent composition of the whole
+//! stack: every ingested epoch is appended to the WAL segment store
+//! *before* it is replayed, checkpoints of the Memtable are cut at epoch
+//! barriers at a configurable cadence, and [`DurableBackup::open`] is the
+//! recovery bootstrap — it loads the newest valid checkpoint manifest
+//! (falling back across corrupt ones), seeds the visibility board from
+//! the stored replay positions, and re-replays only the WAL *suffix*
+//! from the checkpoint's `next_epoch_seq` through the normal two-stage
+//! path. Recovery cost is therefore bounded by the checkpoint cadence,
+//! not by the length of history.
+//!
+//! Degraded-mode interaction (the quarantine clamp): while any group is
+//! quarantined its `tg_cmt_ts` is frozen but the *log suffix it has not
+//! replayed is still in the WAL*. Cutting a checkpoint there — and
+//! truncating the WAL behind it — would discard that suffix forever, so
+//! checkpoints are skipped while degraded and the skip is counted in
+//! `ReplayMetrics::checkpoints_skipped_degraded`. GC is clamped the same
+//! way through [`VisibilityBoard::gc_watermark`].
+
+use crate::checkpoint::{CheckpointMeta, CheckpointStore};
+use crate::engines::aets::AetsEngine;
+use crate::engines::ReplayEngine;
+use crate::metrics::ReplayMetrics;
+use crate::visibility::VisibilityBoard;
+use aets_common::{Error, GroupId, Result, Timestamp};
+use aets_memtable::{gc_db, MemDb};
+use aets_wal::crash::CrashClock;
+use aets_wal::{EncodedEpoch, EpochSource, SegmentConfig, SegmentStore};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Durability policy of a [`DurableBackup`].
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Cut a checkpoint every `checkpoint_every` ingested epochs
+    /// (`0` = only on explicit [`DurableBackup::checkpoint_now`]).
+    pub checkpoint_every: u64,
+    /// Manifests to keep on disk (older ones are pruned after each
+    /// successful checkpoint; at least one is always kept).
+    pub keep_checkpoints: usize,
+    /// WAL segment-store layout and fsync policy.
+    pub segment: SegmentConfig,
+    /// Run a version-chain GC pass right before cutting each checkpoint,
+    /// pruning at [`VisibilityBoard::gc_watermark`] so the snapshot ships
+    /// consolidated chains.
+    pub gc_before_checkpoint: bool,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        Self {
+            checkpoint_every: 32,
+            keep_checkpoints: 2,
+            segment: SegmentConfig::default(),
+            gc_before_checkpoint: true,
+        }
+    }
+}
+
+/// What restart recovery actually did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// `next_epoch_seq` of the checkpoint the state was restored from;
+    /// `None` for a cold start (no valid checkpoint on disk).
+    pub restored_seq: Option<u64>,
+    /// Corrupt manifests skipped before a valid one was found.
+    pub manifest_fallbacks: u64,
+    /// Epochs re-replayed from the WAL suffix.
+    pub suffix_epochs: u64,
+    /// Wall time of the whole bootstrap (load + suffix replay).
+    pub recovery_wall: Duration,
+}
+
+/// A backup node with crash-consistent durability: WAL-first ingest,
+/// epoch-aligned checkpoints, suffix-only restart recovery.
+#[derive(Debug)]
+pub struct DurableBackup {
+    engine: AetsEngine,
+    db: MemDb,
+    board: Arc<VisibilityBoard>,
+    wal: SegmentStore,
+    ckpt: CheckpointStore,
+    opts: DurableOptions,
+    metrics: ReplayMetrics,
+    report: RecoveryReport,
+    /// Sequence the next ingested epoch must carry.
+    next_seq: u64,
+    /// `next_epoch_seq` of the last durable checkpoint (0 = none).
+    last_ckpt_seq: u64,
+    /// Oldest still-active analytical query's `qts`; clamps GC.
+    query_floor: Timestamp,
+}
+
+impl DurableBackup {
+    /// Recovery bootstrap: restores the newest valid checkpoint, seeds
+    /// the visibility board from its replay positions, and re-replays
+    /// the WAL suffix through the engine's normal two-stage path.
+    ///
+    /// `engine` must be fresh (nothing replayed, nothing quarantined) and
+    /// grouped identically to the run that produced the on-disk state.
+    /// `clock` meters every filesystem operation for crash injection;
+    /// pass `None` in production.
+    pub fn open(
+        wal_dir: impl Into<PathBuf>,
+        ckpt_dir: impl Into<PathBuf>,
+        engine: AetsEngine,
+        num_tables: usize,
+        opts: DurableOptions,
+        clock: Option<Arc<CrashClock>>,
+    ) -> Result<Self> {
+        let t0 = Instant::now();
+        let num_groups = engine.grouping().num_groups();
+        let mut metrics = ReplayMetrics { engine: engine.name(), ..Default::default() };
+
+        let ckpt = CheckpointStore::open(ckpt_dir, clock.clone())?;
+        let (loaded, fallbacks) = ckpt.load_latest()?;
+        metrics.manifest_fallbacks += fallbacks;
+
+        let board = Arc::new(VisibilityBoard::new(num_groups));
+        let (db, start_seq, restored_seq) = match loaded {
+            Some(c) => {
+                if c.meta.tg_cmt_ts.len() != num_groups {
+                    return Err(Error::Config(format!(
+                        "checkpoint has {} groups, engine has {num_groups}: \
+                         grouping changed between runs",
+                        c.meta.tg_cmt_ts.len()
+                    )));
+                }
+                for (g, ts) in c.meta.tg_cmt_ts.iter().enumerate() {
+                    board.publish_group(GroupId::new(g as u32), *ts);
+                }
+                board.publish_global(c.meta.global_cmt_ts);
+                (c.db, c.meta.next_epoch_seq, Some(c.meta.next_epoch_seq))
+            }
+            None => (MemDb::new(num_tables), 0, None),
+        };
+
+        let wal = SegmentStore::open(wal_dir, opts.segment, clock)?;
+        // The WAL must cover everything past the checkpoint: a retained
+        // prefix starting *after* `start_seq` means log was truncated
+        // beyond the newest restorable checkpoint and recovery cannot be
+        // gap-free.
+        if let Some(first) = wal.first_retained_seq() {
+            if first > start_seq {
+                return Err(Error::Replay(format!(
+                    "WAL starts at epoch {first} but checkpoint covers only \
+                     up to {start_seq}: suffix has a gap"
+                )));
+            }
+        }
+
+        let mut suffix = wal.suffix_source(start_seq)?;
+        let suffix_epochs = suffix.num_epochs() as u64;
+        if suffix_epochs > 0 {
+            let m = engine.replay_stream(&mut suffix, &db, &board)?;
+            metrics.absorb(&m);
+        }
+        metrics.recovery_suffix_epochs += suffix_epochs;
+
+        let next_seq = start_seq + suffix_epochs;
+        let report = RecoveryReport {
+            restored_seq,
+            manifest_fallbacks: fallbacks,
+            suffix_epochs,
+            recovery_wall: t0.elapsed(),
+        };
+        Ok(Self {
+            engine,
+            db,
+            board,
+            wal,
+            ckpt,
+            opts,
+            metrics,
+            report,
+            next_seq,
+            last_ckpt_seq: restored_seq.unwrap_or(0),
+            query_floor: Timestamp::MAX,
+        })
+    }
+
+    /// Ingests one epoch: durable WAL append first, then replay through
+    /// the engine, then (at the configured cadence) a checkpoint.
+    ///
+    /// A [crash](aets_common::Error::Crash) error means the metered
+    /// process died; on a real node the supervisor restarts via
+    /// [`DurableBackup::open`], which recovers everything that was acked.
+    pub fn ingest(&mut self, epoch: &EncodedEpoch) -> Result<()> {
+        self.wal.append(epoch)?;
+        self.metrics.wal_epochs_appended += 1;
+        let m = self.engine.replay(std::slice::from_ref(epoch), &self.db, &self.board)?;
+        self.metrics.absorb(&m);
+        self.next_seq = epoch.id.raw() + 1;
+
+        if self.opts.checkpoint_every > 0
+            && self.next_seq - self.last_ckpt_seq >= self.opts.checkpoint_every
+        {
+            self.checkpoint_now()?;
+        }
+        Ok(())
+    }
+
+    /// Cuts a checkpoint at the current epoch barrier, prunes old
+    /// manifests, and retires WAL segments behind the new watermark.
+    /// Returns `false` (and counts the skip) while any group is
+    /// quarantined: truncating the WAL past a frozen group's watermark
+    /// would lose the suffix it has not replayed.
+    pub fn checkpoint_now(&mut self) -> Result<bool> {
+        if !self.engine.quarantined_groups().is_empty() {
+            self.metrics.checkpoints_skipped_degraded += 1;
+            return Ok(false);
+        }
+        if self.opts.gc_before_checkpoint {
+            let wm = self.board.gc_watermark(&[], self.query_floor);
+            self.metrics.gc.merge(gc_db(&self.db, wm));
+            self.metrics.gc_passes += 1;
+        }
+        let num_groups = self.engine.grouping().num_groups();
+        let meta = CheckpointMeta {
+            next_epoch_seq: self.next_seq,
+            global_cmt_ts: self.board.global_cmt_ts(),
+            tg_cmt_ts: (0..num_groups)
+                .map(|g| self.board.tg_cmt_ts(GroupId::new(g as u32)))
+                .collect(),
+            quarantined: vec![],
+        };
+        self.ckpt.write(&meta, &self.db, Timestamp::MAX)?;
+        self.metrics.checkpoints_written += 1;
+        self.last_ckpt_seq = self.next_seq;
+        self.ckpt.retain(self.opts.keep_checkpoints)?;
+        // Retire WAL only behind the OLDEST retained manifest: if the
+        // newest one is later found corrupt, recovery falls back to an
+        // older checkpoint and still needs the log from that point on.
+        let oldest = self.ckpt.list()?.first().map_or(self.next_seq, |(s, _)| *s);
+        self.metrics.wal_segments_retired += self.wal.truncate_before(oldest)? as u64;
+        Ok(true)
+    }
+
+    /// Publishes the oldest still-active analytical query's `qts` so GC
+    /// never prunes a version an admitted query may read. Pass
+    /// [`Timestamp::MAX`] when no query is active.
+    pub fn set_query_floor(&mut self, qts: Timestamp) {
+        self.query_floor = qts;
+    }
+
+    /// The Memtable.
+    pub fn db(&self) -> &MemDb {
+        &self.db
+    }
+
+    /// The visibility board queries wait on.
+    pub fn board(&self) -> &Arc<VisibilityBoard> {
+        &self.board
+    }
+
+    /// The replay engine.
+    pub fn engine(&self) -> &AetsEngine {
+        &self.engine
+    }
+
+    /// Accumulated metrics (replay + durability counters).
+    pub fn metrics(&self) -> &ReplayMetrics {
+        &self.metrics
+    }
+
+    /// What the bootstrap recovery did.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// Sequence the next ingested epoch must carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// `next_epoch_seq` of the last durable checkpoint.
+    pub fn last_checkpoint_seq(&self) -> u64 {
+        self.last_ckpt_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::aets::AetsConfig;
+    use crate::grouping::TableGrouping;
+    use aets_common::TableId;
+    use aets_wal::{batch_into_epochs, encode_epoch};
+    use aets_workloads::tpcc::{self, TpccConfig};
+
+    fn scratch(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("aets-rec-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tpcc_stream(num_txns: usize) -> (Vec<EncodedEpoch>, usize, TableGrouping) {
+        let w = tpcc::generate(&TpccConfig {
+            num_txns,
+            warehouses: 2,
+            oltp_tps: 20_000.0,
+            ..Default::default()
+        });
+        let raw = batch_into_epochs(w.txns.clone(), 64).unwrap();
+        let epochs: Vec<_> = raw.iter().map(encode_epoch).collect();
+        let (groups, rates) = tpcc::paper_grouping();
+        let grouping =
+            TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
+        (epochs, w.num_tables(), grouping)
+    }
+
+    fn fresh_engine(grouping: &TableGrouping) -> AetsEngine {
+        AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping.clone()).unwrap()
+    }
+
+    fn oracle_digest(epochs: &[EncodedEpoch], num_tables: usize, grouping: &TableGrouping) -> u64 {
+        let engine = fresh_engine(grouping);
+        let db = MemDb::new(num_tables);
+        let board = VisibilityBoard::new(grouping.num_groups());
+        engine.replay(epochs, &db, &board).unwrap();
+        db.digest_at(Timestamp::MAX)
+    }
+
+    #[test]
+    fn restart_resumes_from_checkpoint_and_replays_only_the_suffix() {
+        let (epochs, num_tables, grouping) = tpcc_stream(2_000);
+        let want = oracle_digest(&epochs, num_tables, &grouping);
+        let wal_dir = scratch("resume-wal");
+        let ckpt_dir = scratch("resume-ckpt");
+        let opts = DurableOptions {
+            checkpoint_every: 8,
+            segment: SegmentConfig { epochs_per_segment: 4, ..Default::default() },
+            ..Default::default()
+        };
+
+        // First life: ingest the whole stream, checkpointing as we go.
+        let ckpts;
+        {
+            let mut node = DurableBackup::open(
+                &wal_dir,
+                &ckpt_dir,
+                fresh_engine(&grouping),
+                num_tables,
+                opts.clone(),
+                None,
+            )
+            .unwrap();
+            assert!(node.recovery().restored_seq.is_none(), "cold start");
+            for e in &epochs {
+                node.ingest(e).unwrap();
+            }
+            ckpts = node.metrics().checkpoints_written;
+            assert!(ckpts >= 2, "cadence must have cut checkpoints");
+            assert!(node.metrics().wal_segments_retired > 0, "WAL must shrink");
+            assert_eq!(node.db().digest_at(Timestamp::MAX), want);
+        }
+
+        // Second life: restart. Only the post-checkpoint suffix replays.
+        let node = DurableBackup::open(
+            &wal_dir,
+            &ckpt_dir,
+            fresh_engine(&grouping),
+            num_tables,
+            opts.clone(),
+            None,
+        )
+        .unwrap();
+        let rec = node.recovery();
+        let restored = rec.restored_seq.expect("must restore from a checkpoint");
+        assert_eq!(
+            rec.suffix_epochs,
+            epochs.len() as u64 - restored,
+            "recovery must replay exactly the epochs after the checkpoint"
+        );
+        assert!(
+            rec.suffix_epochs < epochs.len() as u64,
+            "suffix replay must be shorter than full history"
+        );
+        assert_eq!(node.db().digest_at(Timestamp::MAX), want, "restored digest matches oracle");
+        assert_eq!(node.next_seq(), epochs.len() as u64);
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+
+    #[test]
+    fn restart_after_restart_keeps_ingesting() {
+        let (epochs, num_tables, grouping) = tpcc_stream(1_200);
+        let want = oracle_digest(&epochs, num_tables, &grouping);
+        let wal_dir = scratch("twice-wal");
+        let ckpt_dir = scratch("twice-ckpt");
+        let opts = DurableOptions {
+            checkpoint_every: 5,
+            segment: SegmentConfig { epochs_per_segment: 3, ..Default::default() },
+            ..Default::default()
+        };
+        let mid = epochs.len() / 3;
+        let later = 2 * epochs.len() / 3;
+        {
+            let mut node = DurableBackup::open(
+                &wal_dir,
+                &ckpt_dir,
+                fresh_engine(&grouping),
+                num_tables,
+                opts.clone(),
+                None,
+            )
+            .unwrap();
+            for e in &epochs[..mid] {
+                node.ingest(e).unwrap();
+            }
+        }
+        {
+            let mut node = DurableBackup::open(
+                &wal_dir,
+                &ckpt_dir,
+                fresh_engine(&grouping),
+                num_tables,
+                opts.clone(),
+                None,
+            )
+            .unwrap();
+            assert_eq!(node.next_seq(), mid as u64);
+            for e in &epochs[mid..later] {
+                node.ingest(e).unwrap();
+            }
+        }
+        let mut node = DurableBackup::open(
+            &wal_dir,
+            &ckpt_dir,
+            fresh_engine(&grouping),
+            num_tables,
+            opts,
+            None,
+        )
+        .unwrap();
+        assert_eq!(node.next_seq(), later as u64);
+        for e in &epochs[later..] {
+            node.ingest(e).unwrap();
+        }
+        assert_eq!(node.db().digest_at(Timestamp::MAX), want);
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+
+    #[test]
+    fn quarantine_skips_checkpoints_and_preserves_the_frozen_suffix() {
+        use aets_wal::{crc32, MetaScanner};
+
+        let (mut epochs, num_tables, grouping) = tpcc_stream(600);
+        // Corrupt one record of a cold table mid-stream so its group
+        // quarantines: find a DML of the highest-numbered table.
+        let victim = TableId::new((num_tables - 1) as u32);
+        let eidx = epochs
+            .iter()
+            .position(|e| {
+                MetaScanner::new(e.bytes.clone())
+                    .filter_map(|i| i.ok())
+                    .any(|(meta, _)| meta.table == Some(victim))
+            })
+            .expect("some epoch touches the victim table");
+        let range = MetaScanner::new(epochs[eidx].bytes.clone())
+            .filter_map(|i| i.ok())
+            .find(|(meta, _)| meta.table == Some(victim))
+            .map(|(_, r)| r)
+            .unwrap();
+        let mut v = epochs[eidx].bytes.to_vec();
+        v[range.end - 1] ^= 0x01;
+        epochs[eidx] = EncodedEpoch { crc32: crc32(&v), bytes: v.into(), ..epochs[eidx].clone() };
+
+        let wal_dir = scratch("quar-wal");
+        let ckpt_dir = scratch("quar-ckpt");
+        let opts = DurableOptions { checkpoint_every: 3, ..Default::default() };
+        let mut node = DurableBackup::open(
+            &wal_dir,
+            &ckpt_dir,
+            fresh_engine(&grouping),
+            num_tables,
+            opts,
+            None,
+        )
+        .unwrap();
+        for e in &epochs {
+            node.ingest(e).unwrap();
+        }
+        assert!(node.metrics().degraded(), "the poisoned group must quarantine");
+        let after_poison = node.metrics().checkpoints_skipped_degraded;
+        assert!(after_poison > 0, "cadence hits while degraded must be skipped, not taken");
+        // No checkpoint may cover epochs past the quarantine instant, and
+        // the WAL must still hold the frozen group's unreplayed suffix.
+        assert!(node.last_checkpoint_seq() <= eidx as u64);
+        let first_retained = node.wal.first_retained_seq().expect("WAL must not be empty");
+        assert!(
+            first_retained <= eidx as u64,
+            "WAL retains the suffix from the poisoned epoch on \
+             (first retained {first_retained}, poisoned {eidx})"
+        );
+        // An explicit checkpoint request is also refused.
+        assert!(!node.checkpoint_now().unwrap());
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+
+    #[test]
+    fn grouping_mismatch_is_rejected_at_recovery() {
+        let (epochs, num_tables, grouping) = tpcc_stream(300);
+        let wal_dir = scratch("mismatch-wal");
+        let ckpt_dir = scratch("mismatch-ckpt");
+        {
+            let mut node = DurableBackup::open(
+                &wal_dir,
+                &ckpt_dir,
+                fresh_engine(&grouping),
+                num_tables,
+                DurableOptions { checkpoint_every: 2, ..Default::default() },
+                None,
+            )
+            .unwrap();
+            for e in &epochs {
+                node.ingest(e).unwrap();
+            }
+            assert!(node.metrics().checkpoints_written > 0);
+        }
+        // An engine with a different group count must not silently adopt
+        // the old board positions.
+        let single = AetsEngine::tplr_baseline(2, num_tables, &Default::default()).unwrap();
+        let err = DurableBackup::open(
+            &wal_dir,
+            &ckpt_dir,
+            single,
+            num_tables,
+            DurableOptions::default(),
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "config");
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+
+    #[test]
+    fn wal_gap_after_checkpoint_is_fatal() {
+        let (epochs, num_tables, grouping) = tpcc_stream(600);
+        let wal_dir = scratch("gap-wal");
+        let ckpt_dir = scratch("gap-ckpt");
+        let opts = DurableOptions {
+            checkpoint_every: 4,
+            segment: SegmentConfig { epochs_per_segment: 2, ..Default::default() },
+            ..Default::default()
+        };
+        {
+            let mut node = DurableBackup::open(
+                &wal_dir,
+                &ckpt_dir,
+                fresh_engine(&grouping),
+                num_tables,
+                opts.clone(),
+                None,
+            )
+            .unwrap();
+            for e in &epochs {
+                node.ingest(e).unwrap();
+            }
+        }
+        // Delete every checkpoint: the WAL has been truncated past epoch
+        // 0, so a cold-start recovery would have a gap and must refuse.
+        for f in std::fs::read_dir(&ckpt_dir).unwrap() {
+            std::fs::remove_file(f.unwrap().path()).unwrap();
+        }
+        let err = DurableBackup::open(
+            &wal_dir,
+            &ckpt_dir,
+            fresh_engine(&grouping),
+            num_tables,
+            opts,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "replay");
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+}

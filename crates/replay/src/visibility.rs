@@ -73,6 +73,28 @@ impl VisibilityBoard {
         self.min_over(gids) >= qts || self.global_cmt_ts() >= qts
     }
 
+    /// The safe version-chain GC / checkpoint watermark given the current
+    /// quarantine set and the oldest still-active query's `qts`
+    /// (`Timestamp::MAX` when no query is active).
+    ///
+    /// Three clamps compose: (a) no version an admitted query may still
+    /// read can be pruned, so the oldest active `qts` bounds it; (b) the
+    /// global high-water mark bounds it, because versions above
+    /// `global_cmt_ts` may still be reorganised by in-flight commits; and
+    /// (c) a quarantined group's *frozen* `tg_cmt_ts` bounds it — the
+    /// group's suffix past the freeze was never replayed, so state above
+    /// that timestamp is incomplete and must not be consolidated into
+    /// full images or checkpointed as truth.
+    pub fn gc_watermark(&self, quarantined: &[usize], query_floor: Timestamp) -> Timestamp {
+        let mut wm = query_floor.min(self.global_cmt_ts());
+        for &q in quarantined {
+            if q < self.groups.len() {
+                wm = wm.min(Timestamp::from_micros(self.groups[q].load(Ordering::Acquire)));
+            }
+        }
+        wm
+    }
+
     /// Blocks until [`VisibilityBoard::is_visible`] holds or `timeout`
     /// elapses. Returns `true` if visibility was reached.
     pub fn wait_visible(&self, gids: &[GroupId], qts: Timestamp, timeout: Duration) -> bool {
@@ -156,5 +178,27 @@ mod tests {
     fn empty_group_set_is_immediately_visible() {
         let b = VisibilityBoard::new(1);
         assert!(b.is_visible(&[], Timestamp::MAX));
+    }
+
+    #[test]
+    fn gc_watermark_is_clamped_by_global_query_floor_and_quarantine() {
+        let b = VisibilityBoard::new(3);
+        b.publish_group(g(0), Timestamp::from_micros(100));
+        b.publish_group(g(1), Timestamp::from_micros(40)); // frozen by quarantine
+        b.publish_group(g(2), Timestamp::from_micros(90));
+        b.publish_global(Timestamp::from_micros(80));
+
+        // Healthy: min(query_floor, global).
+        assert_eq!(b.gc_watermark(&[], Timestamp::MAX), Timestamp::from_micros(80));
+        assert_eq!(b.gc_watermark(&[], Timestamp::from_micros(60)), Timestamp::from_micros(60));
+        // A quarantined group's frozen tg_cmt_ts clamps below both.
+        assert_eq!(b.gc_watermark(&[1], Timestamp::MAX), Timestamp::from_micros(40));
+        assert_eq!(
+            b.gc_watermark(&[1], Timestamp::from_micros(20)),
+            Timestamp::from_micros(20),
+            "query floor below the frozen group still wins"
+        );
+        // Out-of-range quarantine indices are ignored, not a panic.
+        assert_eq!(b.gc_watermark(&[7], Timestamp::MAX), Timestamp::from_micros(80));
     }
 }

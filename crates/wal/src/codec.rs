@@ -117,6 +117,19 @@ fn need(buf: &Bytes, n: usize) -> Result<()> {
     }
 }
 
+/// Encodes one row (column/value pairs) in the log's wire format,
+/// appending to `buf`. Shared with the Memtable snapshot codec so
+/// checkpoints reuse the same battle-tested value encoding as the log.
+pub fn encode_row(buf: &mut BytesMut, row: &Row) {
+    put_row(buf, row);
+}
+
+/// Decodes one row from the front of `buf`, consuming it. Inverse of
+/// [`encode_row`].
+pub fn decode_row(buf: &mut Bytes) -> Result<Row> {
+    get_row(buf)
+}
+
 /// Encodes one record, appending to `buf`: the record body followed by a
 /// CRC32 over the body's bytes.
 pub fn encode_record(buf: &mut BytesMut, rec: &LogRecord) {

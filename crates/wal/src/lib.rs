@@ -10,20 +10,26 @@
 //! harness that exercises the recovery paths built on them.
 
 pub mod codec;
+#[cfg_attr(not(test), deny(clippy::unwrap_used))]
+pub mod crash;
 pub mod crc;
 pub mod entry;
 pub mod epoch;
 pub mod faults;
+#[cfg_attr(not(test), deny(clippy::unwrap_used))]
+pub mod segment;
 pub mod stream;
 
 pub use codec::{
-    decode_at, decode_batch, decode_meta, decode_record, encode_batch, encode_record, MetaScanner,
-    RecordMeta,
+    decode_at, decode_batch, decode_meta, decode_record, decode_row, encode_batch, encode_record,
+    encode_row, MetaScanner, RecordMeta,
 };
+pub use crash::CrashClock;
 pub use crc::crc32;
 pub use entry::{DmlEntry, LogRecord, TxnLog};
 pub use epoch::{
     assemble_txns, batch_into_epochs, encode_epoch, heartbeat_txn, EncodedEpoch, Epoch,
 };
 pub use faults::{EpochSource, FaultInjector, FaultKind, FaultPlan, SliceSource};
+pub use segment::{SegmentConfig, SegmentStore, SegmentSuffixSource};
 pub use stream::{insert_heartbeats, ReplicationTimeline};

@@ -1,0 +1,777 @@
+//! Durable, epoch-aligned WAL segment store.
+//!
+//! The replicated value log is persisted as a directory of *segment
+//! files*, each holding a fixed number of consecutive encoded epochs.
+//! Epoch alignment keeps the recovery contract trivial: a segment's name
+//! carries its first epoch sequence number, frames inside it are
+//! consecutive, and truncation past the checkpoint watermark only ever
+//! removes whole segments — the retained suffix is always a contiguous,
+//! replayable epoch range.
+//!
+//! ## On-disk format
+//!
+//! Segment file `seg-<first_seq>.wal`:
+//!
+//! ```text
+//! +------------+-----------+----------------+------------+
+//! | magic u32  | version   | first_seq u64  | header_crc |   20-byte header
+//! +------------+-----------+----------------+------------+
+//! | frame 0 | frame 1 | ...                               |
+//! +----------------------------------------------------- +
+//! ```
+//!
+//! Frame (one epoch):
+//!
+//! ```text
+//! +-----------+---------+---------------+------------------+
+//! | magic u32 | seq u64 | txn_count u32 | max_commit_ts u64|
+//! +-----------+---------+---------------+------------------+
+//! | payload_len u32 | payload_crc u32 | header_crc u32     |   36-byte header
+//! +----------------------------------------------------+---+
+//! | payload: the epoch's encoded records (payload_len) |
+//! +----------------------------------------------------+
+//! ```
+//!
+//! `payload_crc` is exactly the epoch frame CRC stamped by the primary
+//! ([`EncodedEpoch::crc32`]), so a frame read back from disk re-enters the
+//! ingest path with end-to-end integrity intact. `header_crc` covers the
+//! preceding header bytes, so a torn header is as detectable as a torn
+//! payload.
+//!
+//! ## Torn-tail reopen
+//!
+//! [`SegmentStore::open`] scans every segment front-to-back and truncates
+//! the file at the last fully-valid frame: a crash mid-append leaves a
+//! torn tail, which simply disappears on reopen (those epochs were never
+//! acknowledged as durable past an fsync point anyway, and re-arrive from
+//! the primary's feed on resync). Files whose *header* is torn, and
+//! segments left non-contiguous by a gap (orphans from an interrupted
+//! retention pass), are deleted outright.
+//!
+//! All filesystem traffic is metered through an optional
+//! [`CrashClock`](crate::crash::CrashClock), which is how the crash-matrix
+//! tests kill the store mid-segment-write and mid-recovery
+//! deterministically.
+
+use crate::crash::{charge, durable_write, CrashClock};
+use crate::crc::crc32;
+use crate::epoch::EncodedEpoch;
+use crate::faults::EpochSource;
+use aets_common::{EpochId, Error, Result, Timestamp};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const SEG_MAGIC: u32 = 0x4153_4547; // "ASEG"
+const SEG_VERSION: u32 = 1;
+const HEADER_LEN: usize = 20;
+
+const FRAME_MAGIC: u32 = 0x4146_524D; // "AFRM"
+const FRAME_HEADER_LEN: usize = 36;
+
+/// Configuration of the segment store.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentConfig {
+    /// Epochs per segment file; retention works at this granularity.
+    pub epochs_per_segment: u64,
+    /// Whether every append ends with an fsync point. Turning this off
+    /// batches durability to explicit [`SegmentStore::sync`] calls.
+    pub fsync_each_epoch: bool,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        Self { epochs_per_segment: 16, fsync_each_epoch: true }
+    }
+}
+
+#[derive(Debug)]
+struct SegmentMeta {
+    first_seq: u64,
+    /// Valid frames currently in the file.
+    count: u64,
+    path: PathBuf,
+}
+
+impl SegmentMeta {
+    /// One-past-the-last epoch sequence in this segment.
+    fn end_seq(&self) -> u64 {
+        self.first_seq + self.count
+    }
+}
+
+/// A durable store of encoded epochs as epoch-aligned segment files.
+#[derive(Debug)]
+pub struct SegmentStore {
+    dir: PathBuf,
+    cfg: SegmentConfig,
+    clock: Option<Arc<CrashClock>>,
+    /// Retained segments in ascending, contiguous sequence order.
+    segments: Vec<SegmentMeta>,
+    /// Append handle for the last segment.
+    current: Option<File>,
+    /// Sequence the next append must carry; `None` until the first epoch
+    /// (or after opening an empty directory), when any start is accepted.
+    expect_seq: Option<u64>,
+}
+
+impl SegmentStore {
+    /// Opens (creating if needed) the store rooted at `dir`, recovering
+    /// from torn tails and interrupted retention as described in the
+    /// module docs. `clock` meters every filesystem operation for crash
+    /// injection; pass `None` in production.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        cfg: SegmentConfig,
+        clock: Option<Arc<CrashClock>>,
+    ) -> Result<Self> {
+        if cfg.epochs_per_segment == 0 {
+            return Err(Error::Config("epochs_per_segment must be positive".into()));
+        }
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        charge(&clock, "scan segment dir")?;
+
+        let mut named: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if let Some(seq) = parse_segment_name(&path) {
+                named.push((seq, path));
+            }
+        }
+        named.sort_by_key(|(seq, _)| *seq);
+
+        let mut segments = Vec::with_capacity(named.len());
+        let mut broken_chain = false;
+        for (named_seq, path) in named {
+            // Past a gap (or an invalid segment) every later file is an
+            // orphan from an interrupted retention or roll: delete it.
+            if broken_chain {
+                charge(&clock, "remove orphan segment")?;
+                fs::remove_file(&path)?;
+                continue;
+            }
+            match recover_segment(&path, named_seq, &clock)? {
+                Some(count) => {
+                    let contiguous =
+                        segments.last().is_none_or(|m: &SegmentMeta| m.end_seq() == named_seq);
+                    // A short or empty segment mid-chain also breaks
+                    // contiguity for everything after it.
+                    if !contiguous {
+                        broken_chain = true;
+                        charge(&clock, "remove orphan segment")?;
+                        fs::remove_file(&path)?;
+                        continue;
+                    }
+                    if count < cfg.epochs_per_segment {
+                        broken_chain = true; // only valid as the last segment
+                    }
+                    segments.push(SegmentMeta { first_seq: named_seq, count, path });
+                }
+                None => {
+                    broken_chain = true;
+                    charge(&clock, "remove invalid segment")?;
+                    fs::remove_file(&path)?;
+                }
+            }
+        }
+
+        let expect_seq = segments.last().map(SegmentMeta::end_seq);
+        let current = match segments.last() {
+            Some(m) => {
+                charge(&clock, "reopen segment for append")?;
+                Some(OpenOptions::new().append(true).open(&m.path)?)
+            }
+            None => None,
+        };
+        Ok(Self { dir, cfg, clock, segments, current, expect_seq })
+    }
+
+    /// The sequence number the next [`SegmentStore::append`] must carry,
+    /// or `None` when the store is empty (any start accepted).
+    pub fn next_seq(&self) -> Option<u64> {
+        self.expect_seq
+    }
+
+    /// Lowest retained epoch sequence, or `None` when empty.
+    pub fn first_retained_seq(&self) -> Option<u64> {
+        self.segments.first().map(|m| m.first_seq)
+    }
+
+    /// Total retained epochs across segments.
+    pub fn epoch_count(&self) -> u64 {
+        self.segments.iter().map(|m| m.count).sum()
+    }
+
+    /// Number of retained segment files.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Root directory of the store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one verified epoch. The epoch must carry the next
+    /// sequence number; out-of-order appends return [`Error::EpochGap`]
+    /// and corrupt frames are rejected before touching disk.
+    pub fn append(&mut self, e: &EncodedEpoch) -> Result<()> {
+        e.verify()?;
+        let seq = e.id.raw();
+        if let Some(expected) = self.expect_seq {
+            if seq != expected {
+                return Err(Error::EpochGap { expected, got: seq });
+            }
+        }
+        let roll = match self.segments.last() {
+            None => true,
+            Some(m) => m.count >= self.cfg.epochs_per_segment,
+        };
+        if roll {
+            self.roll(seq)?;
+        }
+        let frame = encode_frame(e);
+        let file = self
+            .current
+            .as_mut()
+            .ok_or_else(|| Error::Io("segment store has no open segment".into()))?;
+        durable_write(file, &frame, &self.clock, "wal frame")?;
+        if let Some(m) = self.segments.last_mut() {
+            m.count += 1;
+        }
+        self.expect_seq = Some(seq + 1);
+        if self.cfg.fsync_each_epoch {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Starts a new segment whose first epoch is `first_seq`.
+    fn roll(&mut self, first_seq: u64) -> Result<()> {
+        // Make the previous segment's tail durable before moving on.
+        self.sync()?;
+        let path = self.dir.join(segment_file_name(first_seq));
+        charge(&self.clock, "create segment")?;
+        let mut file = OpenOptions::new().create(true).truncate(true).write(true).open(&path)?;
+        let header = encode_header(first_seq);
+        durable_write(&mut file, &header, &self.clock, "segment header")?;
+        self.segments.push(SegmentMeta { first_seq, count: 0, path });
+        self.current = Some(file);
+        Ok(())
+    }
+
+    /// An explicit fsync point on the active segment.
+    pub fn sync(&mut self) -> Result<()> {
+        if let Some(f) = self.current.as_mut() {
+            charge(&self.clock, "fsync segment")?;
+            f.flush()?;
+            f.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Drops whole segments entirely below `seq` (exclusive watermark —
+    /// typically the first epoch *not* covered by the newest checkpoint).
+    /// The last segment is always retained so the store never forgets its
+    /// position in the stream. Returns the number of segments removed.
+    pub fn truncate_before(&mut self, seq: u64) -> Result<usize> {
+        let mut removed = 0;
+        while self.segments.len() > 1 && self.segments[0].end_seq() <= seq {
+            charge(&self.clock, "retire segment")?;
+            fs::remove_file(&self.segments[0].path)?;
+            self.segments.remove(0);
+            removed += 1;
+        }
+        Ok(removed)
+    }
+
+    /// Reads back every retained epoch with sequence ≥ `from_seq`, fully
+    /// re-validating frame headers and payload CRCs.
+    pub fn read_suffix(&self, from_seq: u64) -> Result<Vec<EncodedEpoch>> {
+        let mut out = Vec::new();
+        for m in &self.segments {
+            if m.end_seq() <= from_seq {
+                continue;
+            }
+            charge(&self.clock, "read segment")?;
+            let bytes = Bytes::from(fs::read(&m.path)?);
+            let (epochs, valid_len) = decode_frames(&bytes, m.first_seq);
+            if (epochs.len() as u64) < m.count || valid_len < bytes.len() {
+                return Err(Error::Io(format!(
+                    "segment {} lost frames on disk ({} of {} readable)",
+                    m.path.display(),
+                    epochs.len(),
+                    m.count
+                )));
+            }
+            out.extend(epochs.into_iter().filter(|e| e.id.raw() >= from_seq));
+        }
+        Ok(out)
+    }
+
+    /// An [`EpochSource`] over the retained suffix starting at `from_seq`,
+    /// for feeding recovery replay through the normal ingest path.
+    pub fn suffix_source(&self, from_seq: u64) -> Result<SegmentSuffixSource> {
+        let epochs = self.read_suffix(from_seq)?;
+        let first_seq = epochs.first().map_or(from_seq, |e| e.id.raw());
+        Ok(SegmentSuffixSource { epochs, first_seq })
+    }
+}
+
+/// The durable suffix of the log as a pull-based epoch feed: recovery
+/// replays it through the same two-stage path as live ingest.
+#[derive(Debug)]
+pub struct SegmentSuffixSource {
+    epochs: Vec<EncodedEpoch>,
+    first_seq: u64,
+}
+
+impl SegmentSuffixSource {
+    /// Epochs in the suffix.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Whether the suffix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+}
+
+impl EpochSource for SegmentSuffixSource {
+    fn num_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    fn first_seq(&self) -> u64 {
+        self.first_seq
+    }
+
+    fn fetch(&mut self, seq: u64, _attempt: u32) -> Option<EncodedEpoch> {
+        let idx = seq.checked_sub(self.first_seq)?;
+        self.epochs.get(idx as usize).cloned()
+    }
+}
+
+fn segment_file_name(first_seq: u64) -> String {
+    format!("seg-{first_seq:020}.wal")
+}
+
+fn parse_segment_name(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix("seg-")?.strip_suffix(".wal")?.parse().ok()
+}
+
+fn encode_header(first_seq: u64) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN);
+    buf.put_u32_le(SEG_MAGIC);
+    buf.put_u32_le(SEG_VERSION);
+    buf.put_u64_le(first_seq);
+    let crc = crc32(&buf[..]);
+    buf.put_u32_le(crc);
+    buf
+}
+
+fn encode_frame(e: &EncodedEpoch) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER_LEN + e.bytes.len());
+    buf.put_u32_le(FRAME_MAGIC);
+    buf.put_u64_le(e.id.raw());
+    buf.put_u32_le(e.txn_count as u32);
+    buf.put_u64_le(e.max_commit_ts.as_micros());
+    buf.put_u32_le(e.bytes.len() as u32);
+    buf.put_u32_le(e.crc32);
+    let hcrc = crc32(&buf[..]);
+    buf.put_u32_le(hcrc);
+    buf.put_slice(&e.bytes);
+    buf
+}
+
+/// Validates the 20-byte segment header against the sequence encoded in
+/// the file name.
+fn valid_header(bytes: &[u8], named_seq: u64) -> bool {
+    if bytes.len() < HEADER_LEN {
+        return false;
+    }
+    let mut b = &bytes[..HEADER_LEN];
+    let magic = b.get_u32_le();
+    let version = b.get_u32_le();
+    let first_seq = b.get_u64_le();
+    let stored_crc = b.get_u32_le();
+    magic == SEG_MAGIC
+        && version == SEG_VERSION
+        && first_seq == named_seq
+        && stored_crc == crc32(&bytes[..HEADER_LEN - 4])
+}
+
+/// Decodes the valid frame prefix of a segment's bytes. Returns the
+/// decoded epochs and the byte offset up to which the file is valid; a
+/// torn or corrupt tail simply ends the prefix.
+fn decode_frames(bytes: &Bytes, first_seq: u64) -> (Vec<EncodedEpoch>, usize) {
+    let mut out = Vec::new();
+    let mut off = HEADER_LEN;
+    loop {
+        if bytes.len() < off + FRAME_HEADER_LEN {
+            break;
+        }
+        let mut h = &bytes[off..off + FRAME_HEADER_LEN];
+        let magic = h.get_u32_le();
+        let seq = h.get_u64_le();
+        let txn_count = h.get_u32_le();
+        let max_commit_ts = h.get_u64_le();
+        let payload_len = h.get_u32_le() as usize;
+        let payload_crc = h.get_u32_le();
+        let header_crc = h.get_u32_le();
+        if magic != FRAME_MAGIC
+            || seq != first_seq + out.len() as u64
+            || header_crc != crc32(&bytes[off..off + FRAME_HEADER_LEN - 4])
+        {
+            break;
+        }
+        let payload_start = off + FRAME_HEADER_LEN;
+        if bytes.len() < payload_start + payload_len {
+            break;
+        }
+        let payload = bytes.slice(payload_start..payload_start + payload_len);
+        if crc32(&payload) != payload_crc {
+            break;
+        }
+        out.push(EncodedEpoch {
+            id: EpochId::new(seq),
+            bytes: payload,
+            txn_count: txn_count as usize,
+            max_commit_ts: Timestamp::from_micros(max_commit_ts),
+            crc32: payload_crc,
+        });
+        off = payload_start + payload_len;
+    }
+    (out, off)
+}
+
+/// Validates one segment file on open. Returns `Some(frame_count)` after
+/// truncating any torn tail, or `None` when the header itself is invalid
+/// (the file should be deleted).
+fn recover_segment(
+    path: &Path,
+    named_seq: u64,
+    clock: &Option<Arc<CrashClock>>,
+) -> Result<Option<u64>> {
+    charge(clock, "recover segment")?;
+    let bytes = Bytes::from(fs::read(path)?);
+    if !valid_header(&bytes, named_seq) {
+        return Ok(None);
+    }
+    let (epochs, valid_len) = decode_frames(&bytes, named_seq);
+    if valid_len < bytes.len() {
+        charge(clock, "truncate torn tail")?;
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(valid_len as u64)?;
+        f.sync_data()?;
+    }
+    Ok(Some(epochs.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::TxnLog;
+    use crate::epoch::{batch_into_epochs, encode_epoch};
+    use aets_common::TxnId;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Fresh scratch directory per test (no tempfile crate offline).
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "aets-seg-{}-{}-{}",
+            std::process::id(),
+            tag,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn encoded(n_txns: u64, per_epoch: usize) -> Vec<EncodedEpoch> {
+        let txns: Vec<TxnLog> = (1..=n_txns)
+            .map(|i| TxnLog {
+                txn_id: TxnId::new(i),
+                commit_ts: Timestamp::from_micros(i * 10),
+                entries: Vec::new(),
+            })
+            .collect();
+        batch_into_epochs(txns, per_epoch).unwrap().iter().map(encode_epoch).collect()
+    }
+
+    fn store(dir: &Path, eps: u64) -> SegmentStore {
+        SegmentStore::open(
+            dir,
+            SegmentConfig { epochs_per_segment: eps, ..Default::default() },
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn append_reopen_round_trips() {
+        let dir = scratch("round");
+        let epochs = encoded(40, 4); // 10 epochs
+        {
+            let mut s = store(&dir, 4);
+            for e in &epochs {
+                s.append(e).unwrap();
+            }
+            assert_eq!(s.segment_count(), 3); // 4 + 4 + 2
+            assert_eq!(s.epoch_count(), 10);
+        }
+        let s = store(&dir, 4);
+        assert_eq!(s.next_seq(), Some(10));
+        assert_eq!(s.first_retained_seq(), Some(0));
+        let back = s.read_suffix(0).unwrap();
+        assert_eq!(back.len(), epochs.len());
+        for (a, b) in back.iter().zip(&epochs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.txn_count, b.txn_count);
+            assert_eq!(a.max_commit_ts, b.max_commit_ts);
+            a.verify().unwrap();
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_gaps_and_corrupt_frames() {
+        let dir = scratch("gap");
+        let epochs = encoded(16, 4);
+        let mut s = store(&dir, 4);
+        s.append(&epochs[0]).unwrap();
+        let err = s.append(&epochs[2]).unwrap_err();
+        assert!(matches!(err, Error::EpochGap { expected: 1, got: 2 }));
+        let torn = EncodedEpoch {
+            bytes: epochs[1].bytes.slice(..epochs[1].bytes.len() - 1),
+            ..epochs[1].clone()
+        };
+        assert!(matches!(s.append(&torn), Err(Error::CodecChecksum)));
+        assert_eq!(s.epoch_count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_reopen() {
+        let dir = scratch("torn");
+        let epochs = encoded(24, 4); // 6 epochs
+        {
+            let mut s = store(&dir, 8);
+            for e in &epochs {
+                s.append(e).unwrap();
+            }
+        }
+        // Tear the tail of the (only) segment mid-frame.
+        let path = dir.join(segment_file_name(0));
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 10).unwrap();
+        drop(f);
+
+        let s = store(&dir, 8);
+        assert_eq!(s.epoch_count(), 5, "torn last frame dropped");
+        assert_eq!(s.next_seq(), Some(5));
+        let back = s.read_suffix(0).unwrap();
+        assert_eq!(back.len(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_continues_after_torn_tail_recovery() {
+        let dir = scratch("resume");
+        let epochs = encoded(24, 4);
+        {
+            let mut s = store(&dir, 8);
+            for e in &epochs[..4] {
+                s.append(e).unwrap();
+            }
+        }
+        let path = dir.join(segment_file_name(0));
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let mut s = store(&dir, 8);
+        assert_eq!(s.next_seq(), Some(3));
+        for e in &epochs[3..] {
+            s.append(e).unwrap();
+        }
+        assert_eq!(s.read_suffix(0).unwrap().len(), 6);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphans_past_a_gap_are_deleted() {
+        let dir = scratch("orphan");
+        let epochs = encoded(48, 4); // 12 epochs -> 3 segments of 4
+        {
+            let mut s = store(&dir, 4);
+            for e in &epochs {
+                s.append(e).unwrap();
+            }
+            assert_eq!(s.segment_count(), 3);
+        }
+        // Simulate an interrupted retention pass that removed the middle
+        // segment: seg 8.. is now unreachable from seg 0...
+        fs::remove_file(dir.join(segment_file_name(4))).unwrap();
+        let s = store(&dir, 4);
+        assert_eq!(s.segment_count(), 1);
+        assert_eq!(s.next_seq(), Some(4));
+        assert!(!dir.join(segment_file_name(8)).exists(), "orphan not deleted");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_header_file_is_deleted() {
+        let dir = scratch("badhdr");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(segment_file_name(0)), b"not a segment").unwrap();
+        let s = store(&dir, 4);
+        assert_eq!(s.segment_count(), 0);
+        assert_eq!(s.next_seq(), None);
+        assert!(!dir.join(segment_file_name(0)).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_before_removes_whole_segments_keeps_last() {
+        let dir = scratch("retire");
+        let epochs = encoded(48, 4); // 12 epochs
+        let mut s = store(&dir, 4);
+        for e in &epochs {
+            s.append(e).unwrap();
+        }
+        // Watermark 6 sits inside segment 4..8: only segment 0..4 retires.
+        assert_eq!(s.truncate_before(6).unwrap(), 1);
+        assert_eq!(s.first_retained_seq(), Some(4));
+        // Watermark past the end: every segment but the last retires.
+        assert_eq!(s.truncate_before(100).unwrap(), 1);
+        assert_eq!(s.segment_count(), 1);
+        assert_eq!(s.first_retained_seq(), Some(8));
+        assert_eq!(s.next_seq(), Some(12));
+        // Reopen agrees.
+        drop(s);
+        let s = store(&dir, 4);
+        assert_eq!(s.first_retained_seq(), Some(8));
+        assert_eq!(s.next_seq(), Some(12));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn suffix_source_feeds_from_requested_seq() {
+        let dir = scratch("suffix");
+        let epochs = encoded(40, 4); // 10 epochs
+        let mut s = store(&dir, 4);
+        for e in &epochs {
+            s.append(e).unwrap();
+        }
+        let mut src = s.suffix_source(7).unwrap();
+        assert_eq!(src.num_epochs(), 3);
+        assert_eq!(src.first_seq(), 7);
+        for seq in 7..10 {
+            let e = src.fetch(seq, 0).unwrap();
+            assert_eq!(e.id.raw(), seq);
+            e.verify().unwrap();
+        }
+        assert!(src.fetch(10, 0).is_none());
+        assert!(src.fetch(6, 0).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_accepts_mid_stream_start() {
+        let dir = scratch("midstart");
+        let epochs = encoded(40, 4);
+        let mut s = store(&dir, 4);
+        // A store bootstrapped after a checkpoint starts mid-stream.
+        s.append(&epochs[5]).unwrap();
+        s.append(&epochs[6]).unwrap();
+        assert_eq!(s.first_retained_seq(), Some(5));
+        drop(s);
+        let s = store(&dir, 4);
+        assert_eq!(s.next_seq(), Some(7));
+        assert_eq!(s.read_suffix(0).unwrap().len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_mid_write_leaves_recoverable_prefix() {
+        let dir = scratch("crash");
+        let epochs = encoded(40, 4); // 10 epochs
+                                     // Probe: count ops for a full clean run.
+        let probe = CrashClock::unlimited();
+        {
+            let mut s = SegmentStore::open(
+                &dir,
+                SegmentConfig { epochs_per_segment: 4, ..Default::default() },
+                Some(probe.clone()),
+            )
+            .unwrap();
+            for e in &epochs {
+                s.append(e).unwrap();
+            }
+        }
+        let total = probe.used();
+        assert!(total > 10);
+        fs::remove_dir_all(&dir).unwrap();
+
+        // Crash at every possible op index; reopen must always yield a
+        // clean prefix of the stream, extendable to the full stream.
+        for budget in 1..=total {
+            let dir = scratch("crash-pt");
+            let clock = CrashClock::with_budget(budget);
+            let mut written = 0usize;
+            {
+                let mut s = match SegmentStore::open(
+                    &dir,
+                    SegmentConfig { epochs_per_segment: 4, ..Default::default() },
+                    Some(clock.clone()),
+                ) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        assert!(e.is_crash());
+                        continue;
+                    }
+                };
+                for e in &epochs {
+                    match s.append(e) {
+                        Ok(()) => written += 1,
+                        Err(err) => {
+                            assert!(err.is_crash(), "unexpected error: {err}");
+                            break;
+                        }
+                    }
+                }
+            }
+            // Restart without a clock: durable state must be a prefix.
+            let mut s = store(&dir, 4);
+            let back = s.read_suffix(0).unwrap();
+            // Every acked append is durable (ack implies the OS write
+            // completed); unacked torn tails may add at most garbage that
+            // reopen discards.
+            assert!(
+                back.len() >= written,
+                "budget {budget}: {written} acked but only {} recovered",
+                back.len()
+            );
+            for (i, e) in back.iter().enumerate() {
+                assert_eq!(e.id.raw(), i as u64);
+                assert_eq!(e.bytes, epochs[i].bytes);
+            }
+            // The store keeps working after recovery.
+            for e in &epochs[back.len()..] {
+                s.append(e).unwrap();
+            }
+            assert_eq!(s.read_suffix(0).unwrap().len(), epochs.len());
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}

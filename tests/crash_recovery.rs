@@ -1,0 +1,409 @@
+//! Crash-consistency integration tests: the durable WAL segment store,
+//! epoch-aligned checkpoints, and restart recovery, driven end to end by
+//! deterministic crash injection.
+//!
+//! The contract under test: for ANY seeded crash schedule — killing the
+//! metered process mid-segment-write, mid-checkpoint, or mid-recovery —
+//! a supervised sequence of restarts converges to exactly the state the
+//! fault-free serial oracle produces, and each restart re-replays only
+//! the WAL suffix past the newest durable checkpoint (never the full
+//! history).
+//!
+//! The `crash_mid_segment_write` / `crash_mid_checkpoint` /
+//! `stale_manifest_falls_back` tests double as the CI crash-matrix
+//! entries (see `.github/workflows/ci.yml`).
+
+use aets_suite::common::Timestamp;
+use aets_suite::memtable::MemDb;
+use aets_suite::replay::{
+    AetsConfig, AetsEngine, DurableBackup, DurableOptions, ReplayEngine, SerialEngine,
+    TableGrouping,
+};
+use aets_suite::wal::{batch_into_epochs, encode_epoch, CrashClock, EncodedEpoch, SegmentConfig};
+use aets_suite::workloads::{bustracker, tpcc, Workload};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------
+
+struct Fixture {
+    epochs: Vec<EncodedEpoch>,
+    num_tables: usize,
+    grouping: TableGrouping,
+    oracle_digest: u64,
+}
+
+fn build_fixture(w: Workload, epoch_size: usize) -> Fixture {
+    let epochs: Vec<EncodedEpoch> =
+        batch_into_epochs(w.txns.clone(), epoch_size).unwrap().iter().map(encode_epoch).collect();
+    let num_tables = w.num_tables();
+    let hot = w.analytic_tables.clone();
+    let written = w.written_tables();
+    let grouping =
+        TableGrouping::per_table(
+            num_tables,
+            &hot,
+            |t| {
+                if written.contains(&t) {
+                    50.0
+                } else {
+                    1.0
+                }
+            },
+        );
+    let oracle = MemDb::new(num_tables);
+    SerialEngine.replay_all(&epochs, &oracle).unwrap();
+    let oracle_digest = oracle.digest_at(Timestamp::MAX);
+    Fixture { epochs, num_tables, grouping, oracle_digest }
+}
+
+fn tpcc_fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        build_fixture(
+            tpcc::generate(&tpcc::TpccConfig {
+                num_txns: 600,
+                warehouses: 2,
+                ..Default::default()
+            }),
+            48,
+        )
+    })
+}
+
+fn bustracker_fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        build_fixture(
+            bustracker::generate(&bustracker::BusTrackerConfig {
+                num_txns: 600,
+                ..Default::default()
+            }),
+            48,
+        )
+    })
+}
+
+fn fresh_engine(grouping: &TableGrouping) -> AetsEngine {
+    AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping.clone()).unwrap()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("aets-crash-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_opts() -> DurableOptions {
+    DurableOptions {
+        checkpoint_every: 3,
+        keep_checkpoints: 2,
+        segment: SegmentConfig { epochs_per_segment: 2, ..Default::default() },
+        gc_before_checkpoint: true,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The supervised crash-restart harness
+// ---------------------------------------------------------------------
+
+struct SupervisedOutcome {
+    digest: u64,
+    restarts: u64,
+    /// Longest WAL suffix any single recovery had to re-replay.
+    max_suffix: u64,
+}
+
+/// Runs the full epoch stream through a [`DurableBackup`], killing the
+/// metered process after `schedule[i]` filesystem operations in life `i`
+/// and restarting it from disk, until the stream completes (lives past
+/// the schedule run unmetered). Asserts after every restart that
+/// recovery resumed at or after the newest checkpoint known durable
+/// before the crash — i.e. only the log suffix is ever re-replayed.
+fn supervised_run(
+    fx: &Fixture,
+    opts: &DurableOptions,
+    wal_dir: &Path,
+    ckpt_dir: &Path,
+    schedule: &[u64],
+) -> SupervisedOutcome {
+    let mut life = 0usize;
+    let mut restarts = 0u64;
+    let mut max_suffix = 0u64;
+    // Newest checkpoint seq whose write was acked before any crash.
+    let mut known_ckpt = 0u64;
+    loop {
+        let clock = schedule.get(life).map(|b| CrashClock::with_budget(*b));
+        life += 1;
+        let mut node = match DurableBackup::open(
+            wal_dir,
+            ckpt_dir,
+            fresh_engine(&fx.grouping),
+            fx.num_tables,
+            opts.clone(),
+            clock,
+        ) {
+            Ok(n) => n,
+            Err(e) if e.is_crash() => {
+                restarts += 1;
+                continue; // crashed mid-recovery: restart again
+            }
+            Err(e) => panic!("recovery failed with a non-crash error: {e}"),
+        };
+        let rec = node.recovery();
+        match rec.restored_seq {
+            Some(r) => assert!(
+                r >= known_ckpt,
+                "life {life}: restored from epoch {r} although checkpoint \
+                 {known_ckpt} was durable — recovery went further back than \
+                 the log suffix"
+            ),
+            None => assert_eq!(
+                known_ckpt, 0,
+                "life {life}: durable checkpoint {known_ckpt} was not found"
+            ),
+        }
+        max_suffix = max_suffix.max(rec.suffix_epochs);
+
+        let mut crashed = false;
+        while (node.next_seq() as usize) < fx.epochs.len() {
+            let e = &fx.epochs[node.next_seq() as usize];
+            match node.ingest(e) {
+                Ok(()) => known_ckpt = known_ckpt.max(node.last_checkpoint_seq()),
+                Err(err) if err.is_crash() => {
+                    restarts += 1;
+                    crashed = true;
+                    break;
+                }
+                Err(err) => panic!("ingest failed with a non-crash error: {err}"),
+            }
+        }
+        if !crashed {
+            return SupervisedOutcome {
+                digest: node.db().digest_at(Timestamp::MAX),
+                restarts,
+                max_suffix,
+            };
+        }
+    }
+}
+
+fn run_schedule(fx: &Fixture, schedule: &[u64], tag: &str) -> SupervisedOutcome {
+    let wal_dir = scratch(&format!("{tag}-wal"));
+    let ckpt_dir = scratch(&format!("{tag}-ckpt"));
+    let opts = durable_opts();
+    let out = supervised_run(fx, &opts, &wal_dir, &ckpt_dir, schedule);
+    assert_eq!(
+        out.digest, fx.oracle_digest,
+        "{tag}: recovered digest diverged from the fault-free serial oracle \
+         (schedule {schedule:?}, {} restarts)",
+        out.restarts
+    );
+    assert!(
+        out.max_suffix <= opts.checkpoint_every,
+        "{tag}: a recovery replayed {} epochs, more than the checkpoint \
+         cadence of {} — restart cost is not bounded by the cadence",
+        out.max_suffix,
+        opts.checkpoint_every
+    );
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Property: any crash schedule converges to the oracle
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// TPC-C: crash after an arbitrary number of filesystem operations,
+    /// up to three times in a row (including crashes during the recovery
+    /// of a previous crash), then finish. The recovered digest must equal
+    /// the fault-free oracle digest, and no recovery may replay more than
+    /// the post-checkpoint suffix.
+    #[test]
+    fn tpcc_any_crash_schedule_converges(
+        schedule in prop::collection::vec(1u64..300, 1..4)
+    ) {
+        // A budget larger than the run's total op count simply completes
+        // without crashing, so `restarts <= schedule.len()` rather than
+        // strictly equal.
+        let out = run_schedule(tpcc_fixture(), &schedule, "prop-tpcc");
+        prop_assert!(out.restarts as usize <= schedule.len());
+    }
+
+    /// BusTracker: same contract on the second headline workload.
+    #[test]
+    fn bustracker_any_crash_schedule_converges(
+        schedule in prop::collection::vec(1u64..300, 1..3)
+    ) {
+        run_schedule(bustracker_fixture(), &schedule, "prop-bus");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pinned crash points (CI crash-matrix seeds)
+// ---------------------------------------------------------------------
+
+/// Crash-matrix seed 1: the crash instant lands inside the very first
+/// WAL frame write — the torn tail must be discarded on reopen and the
+/// epoch re-ingested.
+#[test]
+fn crash_mid_segment_write() {
+    let fx = tpcc_fixture();
+    // First append charges: create segment, segment header write, frame
+    // write, fsync. Budget 3 tears the first frame write itself.
+    let out = run_schedule(fx, &[3], "mid-segment");
+    assert_eq!(out.restarts, 1);
+}
+
+/// Crash-matrix seed 2: the crash instant lands inside the checkpoint
+/// write (torn manifest tmp / missed rename). Recovery must either see
+/// the completed checkpoint or cleanly fall back to the state before it
+/// — never a half-visible manifest.
+#[test]
+fn crash_mid_checkpoint() {
+    let fx = tpcc_fixture();
+    // Probe one unmetered life to find the operation window of the first
+    // checkpoint (cadence 3): record the op counter as each ingest
+    // completes; the first ingest that bumps `checkpoints_written`
+    // contains the checkpoint's five operations at its end.
+    let (before, after) = {
+        let wal_dir = scratch("probe-wal");
+        let ckpt_dir = scratch("probe-ckpt");
+        let clock = CrashClock::unlimited();
+        let mut node = DurableBackup::open(
+            &wal_dir,
+            &ckpt_dir,
+            fresh_engine(&fx.grouping),
+            fx.num_tables,
+            durable_opts(),
+            Some(clock.clone()),
+        )
+        .unwrap();
+        let mut window = None;
+        for e in &fx.epochs {
+            let pre = clock.used();
+            node.ingest(e).unwrap();
+            if node.metrics().checkpoints_written == 1 {
+                window = Some((pre, clock.used()));
+                break;
+            }
+        }
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        window.expect("cadence must cut a checkpoint")
+    };
+    // Crash at every op inside the triggering ingest — WAL append ops
+    // first, then the checkpoint's create-tmp / write / fsync / rename /
+    // dir-fsync. Every cut must recover to the oracle.
+    for budget in before + 1..=after {
+        let out = run_schedule(fx, &[budget], "mid-checkpoint");
+        assert_eq!(out.restarts, 1, "budget {budget} must crash exactly once");
+    }
+}
+
+/// Crash-matrix seed 3: the newest manifest is corrupted on disk (torn
+/// by a storage fault after the fact). Recovery must fall back to the
+/// older retained checkpoint and re-replay the longer WAL suffix.
+#[test]
+fn stale_manifest_falls_back() {
+    let fx = tpcc_fixture();
+    let wal_dir = scratch("stale-wal");
+    let ckpt_dir = scratch("stale-ckpt");
+    let opts = durable_opts();
+    {
+        let mut node = DurableBackup::open(
+            &wal_dir,
+            &ckpt_dir,
+            fresh_engine(&fx.grouping),
+            fx.num_tables,
+            opts.clone(),
+            None,
+        )
+        .unwrap();
+        for e in &fx.epochs {
+            node.ingest(e).unwrap();
+        }
+        assert!(node.metrics().checkpoints_written >= 2);
+        assert_eq!(node.db().digest_at(Timestamp::MAX), fx.oracle_digest);
+    }
+    // Corrupt the newest manifest's body.
+    let mut manifests: Vec<PathBuf> = std::fs::read_dir(&ckpt_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ack"))
+        .collect();
+    manifests.sort();
+    assert!(manifests.len() >= 2, "retention must keep two manifests");
+    let newest = manifests.last().unwrap();
+    let mut raw = std::fs::read(newest).unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0x20;
+    std::fs::write(newest, &raw).unwrap();
+
+    let node = DurableBackup::open(
+        &wal_dir,
+        &ckpt_dir,
+        fresh_engine(&fx.grouping),
+        fx.num_tables,
+        opts,
+        None,
+    )
+    .unwrap();
+    let rec = node.recovery();
+    assert_eq!(rec.manifest_fallbacks, 1, "the corrupt newest manifest must be skipped");
+    let restored = rec.restored_seq.expect("older manifest must load");
+    assert!(restored < fx.epochs.len() as u64, "fallback restores an older barrier");
+    assert!(
+        rec.suffix_epochs > 0,
+        "the longer suffix past the older checkpoint must be re-replayed"
+    );
+    assert_eq!(
+        node.db().digest_at(Timestamp::MAX),
+        fx.oracle_digest,
+        "fallback recovery must still converge to the oracle"
+    );
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
+/// Dense sweep on a short stream: crash at EVERY filesystem operation of
+/// the whole run, one life each, and require oracle convergence every
+/// time. This is the exhaustive version of the sampled property above.
+#[test]
+fn every_single_crash_point_converges() {
+    let fx = tpcc_fixture();
+    // Probe the total op count of a clean metered run.
+    let total = {
+        let wal_dir = scratch("dense-probe-wal");
+        let ckpt_dir = scratch("dense-probe-ckpt");
+        let clock = CrashClock::unlimited();
+        let mut node = DurableBackup::open(
+            &wal_dir,
+            &ckpt_dir,
+            fresh_engine(&fx.grouping),
+            fx.num_tables,
+            durable_opts(),
+            Some(clock.clone()),
+        )
+        .unwrap();
+        for e in &fx.epochs[..6.min(fx.epochs.len())] {
+            node.ingest(e).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        clock.used()
+    };
+    for budget in 1..=total {
+        run_schedule(fx, &[budget], "dense");
+    }
+}

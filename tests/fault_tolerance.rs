@@ -207,7 +207,11 @@ fn degraded_runner_times_out_quarantined_queries() {
         RunnerQuery { arrival: epochs[0].max_commit_ts, tables: vec![TableId::new(0)] },
         RunnerQuery { arrival: epochs[2].max_commit_ts, tables: vec![TableId::new(2)] },
     ];
-    let cfg = RunnerConfig { time_scale: 1000.0, query_timeout: Duration::from_millis(300) };
+    let cfg = RunnerConfig {
+        time_scale: 1000.0,
+        query_timeout: Duration::from_millis(300),
+        ..Default::default()
+    };
     let outcome = run_realtime(&engine, &epochs, &arrivals, &db, &queries, &cfg).unwrap();
     assert!(outcome.degraded(), "runner must surface the quarantine");
     assert_eq!(outcome.metrics.quarantined_groups, vec![1]);
