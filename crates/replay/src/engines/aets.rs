@@ -45,6 +45,7 @@ use crate::metrics::ReplayMetrics;
 use crate::visibility::VisibilityBoard;
 use aets_common::{Error, GroupId, Result, TableId};
 use aets_memtable::MemDb;
+use aets_telemetry::{names, Counter, EventKind, Gauge, Histogram, Telemetry};
 use aets_wal::{EncodedEpoch, EpochSource, SliceSource};
 use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -163,22 +164,92 @@ impl Quarantine {
     }
 }
 
+/// Telemetry handles cached at engine construction so the replay hot path
+/// never touches the registry map: each record is an atomic op (or a
+/// single relaxed load when telemetry is disabled).
+#[derive(Debug)]
+struct EngineStats {
+    epochs: Counter,
+    txns: Counter,
+    entries: Counter,
+    bytes: Counter,
+    dispatch_us: Histogram,
+    stage1_us: Histogram,
+    stage2_us: Histogram,
+    replay_busy_us: Counter,
+    commit_busy_us: Counter,
+    ingest_retries: Counter,
+    checksum_failures: Counter,
+    epoch_gaps: Counter,
+    ingest_stalls: Counter,
+    quarantined: Gauge,
+    cell_recycled: Counter,
+    cell_allocated: Counter,
+}
+
+impl EngineStats {
+    fn new(tel: &Telemetry) -> Self {
+        let reg = tel.registry();
+        Self {
+            epochs: reg.counter(names::EPOCHS),
+            txns: reg.counter(names::TXNS),
+            entries: reg.counter(names::ENTRIES),
+            bytes: reg.counter(names::BYTES),
+            dispatch_us: reg.histogram(names::DISPATCH_US),
+            stage1_us: reg.histogram(names::STAGE1_US),
+            stage2_us: reg.histogram(names::STAGE2_US),
+            replay_busy_us: reg.counter(names::REPLAY_BUSY_US),
+            commit_busy_us: reg.counter(names::COMMIT_BUSY_US),
+            ingest_retries: reg.counter(names::INGEST_RETRIES),
+            checksum_failures: reg.counter(names::CHECKSUM_FAILURES),
+            epoch_gaps: reg.counter(names::EPOCH_GAPS),
+            ingest_stalls: reg.counter(names::INGEST_STALLS),
+            quarantined: reg.gauge(names::QUARANTINED_GROUPS),
+            cell_recycled: reg.counter(names::CELL_RECYCLED),
+            cell_allocated: reg.counter(names::CELL_ALLOCATED),
+        }
+    }
+}
+
 /// The AETS replay engine.
 #[derive(Debug)]
 pub struct AetsEngine {
     cfg: AetsConfig,
     grouping: TableGrouping,
     quarantine: Quarantine,
+    telemetry: Arc<Telemetry>,
+    stats: EngineStats,
 }
 
 impl AetsEngine {
-    /// Creates an engine over `grouping`.
+    /// Creates an engine over `grouping` with telemetry disabled (every
+    /// record operation is a single relaxed load).
     pub fn new(cfg: AetsConfig, grouping: TableGrouping) -> Result<Self> {
+        Self::with_telemetry(cfg, grouping, Arc::new(Telemetry::disabled()))
+    }
+
+    /// Creates an engine whose replay path feeds `telemetry`: epoch /
+    /// txn / entry / byte counters, per-epoch dispatch and stage-wall
+    /// histograms, ingest-resync counters, quarantine gauge and events.
+    /// Share the same instance with [`VisibilityBoard::with_telemetry`]
+    /// so freshness lands in the same registry.
+    pub fn with_telemetry(
+        cfg: AetsConfig,
+        grouping: TableGrouping,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Self> {
         if cfg.threads == 0 {
             return Err(Error::Config("threads must be positive".into()));
         }
         let quarantine = Quarantine::new(grouping.num_groups());
-        Ok(Self { cfg, grouping, quarantine })
+        let stats = EngineStats::new(&telemetry);
+        Ok(Self { cfg, grouping, quarantine, telemetry, stats })
+    }
+
+    /// The engine's telemetry instance (disabled unless constructed via
+    /// [`AetsEngine::with_telemetry`]).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Board indices of the groups quarantined so far (ascending); empty
@@ -356,17 +427,39 @@ impl AetsEngine {
             vec![(0..self.grouping.num_groups() as u32).map(GroupId::new).collect()]
         };
 
+        // Quarantine set before the stages run, so newly poisoned groups
+        // can be diffed into events afterwards. Skipped entirely when
+        // telemetry is off — this is the only per-epoch lock it adds.
+        let pre_quarantine =
+            if self.telemetry.is_enabled() { Some(self.quarantine.poisoned()) } else { None };
+
         for (sidx, stage_groups) in stages.iter().enumerate() {
             if stage_groups.is_empty() {
                 continue;
             }
             let t_stage = Instant::now();
             self.run_stage(work, stage_groups, &alloc, pools, db, board, replay_busy, commit_busy);
+            let elapsed = t_stage.elapsed();
             if self.cfg.two_stage && sidx == 0 {
-                m.stage1_wall += t_stage.elapsed();
+                m.stage1_wall += elapsed;
+                self.stats.stage1_us.record_micros(elapsed.as_micros() as u64);
             } else {
-                m.stage2_wall += t_stage.elapsed();
+                m.stage2_wall += elapsed;
+                self.stats.stage2_us.record_micros(elapsed.as_micros() as u64);
             }
+        }
+
+        if let Some(before) = pre_quarantine {
+            let after = self.quarantine.poisoned();
+            if after.len() > before.len() {
+                for &g in after.iter().filter(|g| !before.contains(g)) {
+                    self.telemetry.event(EventKind::GroupQuarantined { group: g });
+                }
+                if before.is_empty() {
+                    self.telemetry.event(EventKind::DegradedEntered { groups: after.clone() });
+                }
+            }
+            self.stats.quarantined.set(after.len() as u64);
         }
 
         // Algorithm 3 admits a query when `global_cmt_ts >= qts` *without*
@@ -377,10 +470,15 @@ impl AetsEngine {
         if !self.quarantine.any() {
             board.publish_global(work.max_commit_ts);
         }
+        let entries = work.groups.iter().map(|g| g.entries).sum::<usize>();
         m.txns += work.txn_count;
-        m.entries += work.groups.iter().map(|g| g.entries).sum::<usize>();
+        m.entries += entries;
         m.bytes += work.bytes.len() as u64;
         m.epochs += 1;
+        self.stats.txns.add(work.txn_count as u64);
+        self.stats.entries.add(entries as u64);
+        self.stats.bytes.add(work.bytes.len() as u64);
+        self.stats.epochs.inc();
         Ok(())
     }
 
@@ -423,7 +521,10 @@ impl AetsEngine {
                 let epoch = ingest_epoch(source, seq, &self.cfg.retry, &mut ingest)?;
                 let t_dispatch = Instant::now();
                 let work = dispatch_epoch(&epoch, &self.grouping)?;
-                m.dispatch_busy += t_dispatch.elapsed();
+                let dispatch_time = t_dispatch.elapsed();
+                m.dispatch_busy += dispatch_time;
+                self.stats.dispatch_us.record_micros(dispatch_time.as_micros() as u64);
+                self.telemetry.event(EventKind::EpochDispatched { seq });
                 self.replay_epoch(
                     eidx,
                     &work,
@@ -434,6 +535,10 @@ impl AetsEngine {
                     &commit_busy,
                     &mut m,
                 )?;
+                self.telemetry.event(EventKind::EpochCommitted {
+                    seq,
+                    max_commit_ts_us: work.max_commit_ts.as_micros(),
+                });
             }
         } else {
             // Pipelined datapath: a dispatcher thread ingests and scans
@@ -477,6 +582,11 @@ impl AetsEngine {
                     // path.
                     ingest.merge(&stats);
                     m.dispatch_busy += dispatch_time;
+                    self.stats.dispatch_us.record_micros(dispatch_time.as_micros() as u64);
+                    let seq = first_seq + eidx as u64;
+                    if work.is_ok() {
+                        self.telemetry.event(EventKind::EpochDispatched { seq });
+                    }
                     let step = work.and_then(|work| {
                         self.replay_epoch(
                             eidx,
@@ -488,10 +598,19 @@ impl AetsEngine {
                             &commit_busy,
                             &mut m,
                         )
+                        .map(|()| work.max_commit_ts)
                     });
-                    if let Err(e) = step {
-                        result = Err(e);
-                        break;
+                    match step {
+                        Ok(max_commit_ts) => {
+                            self.telemetry.event(EventKind::EpochCommitted {
+                                seq,
+                                max_commit_ts_us: max_commit_ts.as_micros(),
+                            });
+                        }
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
                     }
                 }
                 // Dropping the receiver (scope end) unblocks a dispatcher
@@ -510,6 +629,18 @@ impl AetsEngine {
         m.replay_busy = std::time::Duration::from_nanos(replay_busy.load(Ordering::Relaxed));
         m.commit_busy = std::time::Duration::from_nanos(commit_busy.load(Ordering::Relaxed));
         m.wall = start.elapsed();
+        // Per-call deltas feed the cumulative registry counters: the
+        // realtime runner calls `replay` once per epoch through the same
+        // engine, so the registry integrates what ReplayMetrics reports
+        // per call.
+        self.stats.ingest_retries.add(ingest.retries);
+        self.stats.checksum_failures.add(ingest.checksum_failures);
+        self.stats.epoch_gaps.add(ingest.epoch_gaps);
+        self.stats.ingest_stalls.add(ingest.stalls);
+        self.stats.cell_recycled.add(m.cell_buffers_recycled);
+        self.stats.cell_allocated.add(m.cell_buffers_allocated);
+        self.stats.replay_busy_us.add(m.replay_busy.as_micros() as u64);
+        self.stats.commit_busy_us.add(m.commit_busy.as_micros() as u64);
         Ok(m)
     }
 }
@@ -590,6 +721,10 @@ impl ReplayEngine for AetsEngine {
         // so the resync loop in front of dispatch sees no faults.
         let mut source = SliceSource::new(epochs);
         self.replay_stream(&mut source, db, board)
+    }
+
+    fn telemetry_handle(&self) -> Option<Arc<Telemetry>> {
+        Some(self.telemetry.clone())
     }
 }
 

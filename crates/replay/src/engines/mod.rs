@@ -58,6 +58,14 @@ pub trait ReplayEngine: Send + Sync {
         let board = VisibilityBoard::new(self.board_groups());
         self.replay(epochs, db, &board)
     }
+
+    /// The engine's live telemetry instance, when it carries one. The
+    /// runner and the durable backup use this to share one registry with
+    /// the visibility board and to render exposition snapshots; engines
+    /// without instrumentation (the baselines) return `None`.
+    fn telemetry_handle(&self) -> Option<Arc<aets_telemetry::Telemetry>> {
+        None
+    }
 }
 
 /// An uncommitted cell produced by TPLR phase 1: the target Memtable node

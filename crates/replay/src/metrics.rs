@@ -2,6 +2,7 @@
 //! stage-level replay times (Figures 8b/9b).
 
 use aets_memtable::GcStats;
+use aets_telemetry::{names, TelemetrySnapshot};
 use std::time::Duration;
 
 /// Measurements collected by one engine run.
@@ -107,8 +108,11 @@ impl ReplayMetrics {
     /// Accumulates another run's counters into this one: sums every
     /// additive counter and duration except `wall` (the caller owns
     /// end-to-end wall time) and `engine` (identity, not a counter), and
-    /// adopts `other`'s quarantine set (quarantine state persists on the
-    /// engine across calls, so the most recent run's set is the union).
+    /// unions the quarantine sets (sorted, deduped). The union matters
+    /// when runs from *different* engine instances are absorbed — e.g. a
+    /// restart-recovery run absorbed into the pre-crash run: each engine
+    /// only reports its own ledger, so replacing would silently drop
+    /// groups quarantined before the restart.
     pub fn absorb(&mut self, other: &ReplayMetrics) {
         self.txns += other.txns;
         self.entries += other.entries;
@@ -125,7 +129,9 @@ impl ReplayMetrics {
         self.checksum_failures += other.checksum_failures;
         self.epoch_gaps += other.epoch_gaps;
         self.ingest_stalls += other.ingest_stalls;
-        self.quarantined_groups = other.quarantined_groups.clone();
+        self.quarantined_groups.extend_from_slice(&other.quarantined_groups);
+        self.quarantined_groups.sort_unstable();
+        self.quarantined_groups.dedup();
         self.gc.merge(other.gc);
         self.gc_passes += other.gc_passes;
         self.checkpoints_written += other.checkpoints_written;
@@ -134,6 +140,51 @@ impl ReplayMetrics {
         self.wal_segments_retired += other.wal_segments_retired;
         self.manifest_fallbacks += other.manifest_fallbacks;
         self.recovery_suffix_epochs += other.recovery_suffix_epochs;
+    }
+
+    /// Rebuilds the counter view of a run from a telemetry registry
+    /// snapshot — the projection the smoke test cross-checks against the
+    /// per-run `ReplayMetrics` the engine returns directly.
+    ///
+    /// Projectable fields are exactly the ones the registry integrates:
+    /// throughput counters, busy-time counters, the dispatch/stage
+    /// histogram sums, ingest-resync and durability counters, and pool
+    /// hit counts. Not projectable (left at their defaults): `wall` (the
+    /// registry holds no end-to-end clock), `engine`, `gc` node-level
+    /// stats (only pass/pruned totals are exported), and the
+    /// `quarantined_groups` *indices* (the registry exports the count
+    /// gauge; the index set lives in events and on the engine).
+    pub fn project(snap: &TelemetrySnapshot) -> ReplayMetrics {
+        let hist_sum = |name: &str| {
+            Duration::from_micros(
+                snap.histogram_summary_all(name).map(|s| s.sum_us).unwrap_or_default(),
+            )
+        };
+        ReplayMetrics {
+            txns: snap.counter_total(names::TXNS) as usize,
+            entries: snap.counter_total(names::ENTRIES) as usize,
+            bytes: snap.counter_total(names::BYTES),
+            epochs: snap.counter_total(names::EPOCHS) as usize,
+            dispatch_busy: hist_sum(names::DISPATCH_US),
+            replay_busy: Duration::from_micros(snap.counter_total(names::REPLAY_BUSY_US)),
+            commit_busy: Duration::from_micros(snap.counter_total(names::COMMIT_BUSY_US)),
+            stage1_wall: hist_sum(names::STAGE1_US),
+            stage2_wall: hist_sum(names::STAGE2_US),
+            cell_buffers_recycled: snap.counter_total(names::CELL_RECYCLED),
+            cell_buffers_allocated: snap.counter_total(names::CELL_ALLOCATED),
+            ingest_retries: snap.counter_total(names::INGEST_RETRIES),
+            checksum_failures: snap.counter_total(names::CHECKSUM_FAILURES),
+            epoch_gaps: snap.counter_total(names::EPOCH_GAPS),
+            ingest_stalls: snap.counter_total(names::INGEST_STALLS),
+            gc_passes: snap.counter_total(names::GC_PASSES),
+            checkpoints_written: snap.counter_total(names::CHECKPOINTS_WRITTEN),
+            checkpoints_skipped_degraded: snap.counter_total(names::CHECKPOINTS_SKIPPED),
+            wal_epochs_appended: snap.counter_total(names::WAL_EPOCHS_APPENDED),
+            wal_segments_retired: snap.counter_total(names::WAL_SEGMENTS_RETIRED),
+            manifest_fallbacks: snap.counter_total(names::MANIFEST_FALLBACKS),
+            recovery_suffix_epochs: snap.counter_total(names::RECOVERY_SUFFIX_EPOCHS),
+            ..Default::default()
+        }
     }
 
     /// The Table II breakdown: fractions of busy time spent in
@@ -188,6 +239,40 @@ mod tests {
         m.ingest_stalls = 2;
         assert!(m.degraded());
         assert_eq!(m.ingest_faults(), 6);
+    }
+
+    #[test]
+    fn absorb_unions_quarantine_sets() {
+        // Absorbing runs that each saw a different quarantined group must
+        // keep both; a replace would drop the pre-restart set.
+        let mut total =
+            ReplayMetrics { quarantined_groups: vec![3, 1], txns: 10, ..Default::default() };
+        let run = ReplayMetrics { quarantined_groups: vec![2, 1], txns: 5, ..Default::default() };
+        total.absorb(&run);
+        assert_eq!(total.quarantined_groups, vec![1, 2, 3], "sorted deduped union");
+        assert_eq!(total.txns, 15);
+        // Absorbing a healthy run must not clear degraded state.
+        total.absorb(&ReplayMetrics::default());
+        assert_eq!(total.quarantined_groups, vec![1, 2, 3]);
+        assert!(total.degraded());
+    }
+
+    #[test]
+    fn project_rebuilds_counters_from_a_snapshot() {
+        use aets_telemetry::{names, Telemetry};
+        let tel = Telemetry::new();
+        tel.registry().counter(names::TXNS).add(42);
+        tel.registry().counter(names::EPOCHS).add(3);
+        tel.registry().counter(names::REPLAY_BUSY_US).add(1_500);
+        tel.registry().counter(names::CHECKPOINTS_WRITTEN).add(2);
+        tel.registry().histogram(names::DISPATCH_US).record_micros(250);
+        let m = ReplayMetrics::project(&tel.snapshot());
+        assert_eq!(m.txns, 42);
+        assert_eq!(m.epochs, 3);
+        assert_eq!(m.replay_busy, Duration::from_micros(1_500));
+        assert_eq!(m.checkpoints_written, 2);
+        assert_eq!(m.dispatch_busy, Duration::from_micros(250));
+        assert_eq!(m.wall, Duration::ZERO, "wall is not projectable");
     }
 
     #[test]

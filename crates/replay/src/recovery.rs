@@ -26,9 +26,11 @@ use crate::metrics::ReplayMetrics;
 use crate::visibility::VisibilityBoard;
 use aets_common::{Error, GroupId, Result, Timestamp};
 use aets_memtable::{gc_db, MemDb};
+use aets_telemetry::{names, EventKind, Telemetry};
 use aets_wal::crash::CrashClock;
 use aets_wal::{EncodedEpoch, EpochSource, SegmentConfig, SegmentStore};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -92,6 +94,15 @@ pub struct DurableBackup {
     last_ckpt_seq: u64,
     /// Oldest still-active analytical query's `qts`; clamps GC.
     query_floor: Timestamp,
+    /// The engine's telemetry (disabled unless the engine was built with
+    /// one); durability events and counters land here too.
+    telemetry: Arc<Telemetry>,
+    /// Latest ingested epoch's `max_commit_ts` in micros — the "primary
+    /// now" the visibility-lag clock reads. An un-paced ingest loop has no
+    /// wall-clock relation to the primary, so within-epoch commit lag
+    /// (publish ts vs the epoch's high-water mark) is the freshness
+    /// measure.
+    primary_watermark: Arc<AtomicU64>,
 }
 
 impl DurableBackup {
@@ -119,7 +130,20 @@ impl DurableBackup {
         let (loaded, fallbacks) = ckpt.load_latest()?;
         metrics.manifest_fallbacks += fallbacks;
 
-        let board = Arc::new(VisibilityBoard::new(num_groups));
+        let telemetry = engine.telemetry().clone();
+        let primary_watermark = Arc::new(AtomicU64::new(0));
+        let board = Arc::new(if telemetry.is_enabled() {
+            let wm = primary_watermark.clone();
+            let primary_clock: aets_telemetry::ClockFn =
+                Arc::new(move || wm.load(Ordering::Relaxed));
+            VisibilityBoard::with_telemetry(num_groups, &telemetry, primary_clock)
+        } else {
+            VisibilityBoard::new(num_groups)
+        });
+        if fallbacks > 0 {
+            telemetry.registry().counter(names::MANIFEST_FALLBACKS).add(fallbacks);
+            telemetry.event(EventKind::RecoveryFallback { manifests_skipped: fallbacks });
+        }
         let (db, start_seq, restored_seq) = match loaded {
             Some(c) => {
                 if c.meta.tg_cmt_ts.len() != num_groups {
@@ -129,10 +153,21 @@ impl DurableBackup {
                         c.meta.tg_cmt_ts.len()
                     )));
                 }
+                // Seed the freshness clock at the restored high-water mark
+                // so the board-seeding publishes below record zero lag
+                // instead of a bogus warm-up sample.
+                primary_watermark.store(c.meta.global_cmt_ts.as_micros(), Ordering::Relaxed);
                 for (g, ts) in c.meta.tg_cmt_ts.iter().enumerate() {
                     board.publish_group(GroupId::new(g as u32), *ts);
                 }
                 board.publish_global(c.meta.global_cmt_ts);
+                // Recovery replays the suffix through a fresh engine, so a
+                // group the manifest recorded as quarantined is healthy
+                // again (the policy today never writes one, but the format
+                // carries the field).
+                for &g in &c.meta.quarantined {
+                    telemetry.event(EventKind::GroupUnquarantined { group: g as usize });
+                }
                 (c.db, c.meta.next_epoch_seq, Some(c.meta.next_epoch_seq))
             }
             None => (MemDb::new(num_tables), 0, None),
@@ -159,6 +194,7 @@ impl DurableBackup {
             metrics.absorb(&m);
         }
         metrics.recovery_suffix_epochs += suffix_epochs;
+        telemetry.registry().counter(names::RECOVERY_SUFFIX_EPOCHS).add(suffix_epochs);
 
         let next_seq = start_seq + suffix_epochs;
         let report = RecoveryReport {
@@ -179,6 +215,8 @@ impl DurableBackup {
             next_seq,
             last_ckpt_seq: restored_seq.unwrap_or(0),
             query_floor: Timestamp::MAX,
+            telemetry,
+            primary_watermark,
         })
     }
 
@@ -191,6 +229,11 @@ impl DurableBackup {
     pub fn ingest(&mut self, epoch: &EncodedEpoch) -> Result<()> {
         self.wal.append(epoch)?;
         self.metrics.wal_epochs_appended += 1;
+        self.telemetry.registry().counter(names::WAL_EPOCHS_APPENDED).inc();
+        // Advance "primary now" to this epoch's high-water mark before
+        // replaying it, so each group publish records its within-epoch
+        // commit lag against the freshest known primary timestamp.
+        self.primary_watermark.fetch_max(epoch.max_commit_ts.as_micros(), Ordering::Relaxed);
         let m = self.engine.replay(std::slice::from_ref(epoch), &self.db, &self.board)?;
         self.metrics.absorb(&m);
         self.next_seq = epoch.id.raw() + 1;
@@ -211,12 +254,18 @@ impl DurableBackup {
     pub fn checkpoint_now(&mut self) -> Result<bool> {
         if !self.engine.quarantined_groups().is_empty() {
             self.metrics.checkpoints_skipped_degraded += 1;
+            self.telemetry.registry().counter(names::CHECKPOINTS_SKIPPED).inc();
+            self.telemetry.event(EventKind::CheckpointSkippedDegraded);
             return Ok(false);
         }
         if self.opts.gc_before_checkpoint {
             let wm = self.board.gc_watermark(&[], self.query_floor);
-            self.metrics.gc.merge(gc_db(&self.db, wm));
+            let pass = gc_db(&self.db, wm);
+            self.metrics.gc.merge(pass);
             self.metrics.gc_passes += 1;
+            self.telemetry.registry().counter(names::GC_PASSES).inc();
+            self.telemetry.registry().counter(names::GC_PRUNED).add(pass.pruned as u64);
+            self.telemetry.event(EventKind::GcPass { nodes: pass.nodes, pruned: pass.pruned });
         }
         let num_groups = self.engine.grouping().num_groups();
         let meta = CheckpointMeta {
@@ -229,13 +278,20 @@ impl DurableBackup {
         };
         self.ckpt.write(&meta, &self.db, Timestamp::MAX)?;
         self.metrics.checkpoints_written += 1;
+        self.telemetry.registry().counter(names::CHECKPOINTS_WRITTEN).inc();
+        self.telemetry.event(EventKind::CheckpointWritten { next_epoch_seq: self.next_seq });
         self.last_ckpt_seq = self.next_seq;
         self.ckpt.retain(self.opts.keep_checkpoints)?;
         // Retire WAL only behind the OLDEST retained manifest: if the
         // newest one is later found corrupt, recovery falls back to an
         // older checkpoint and still needs the log from that point on.
         let oldest = self.ckpt.list()?.first().map_or(self.next_seq, |(s, _)| *s);
-        self.metrics.wal_segments_retired += self.wal.truncate_before(oldest)? as u64;
+        let retired = self.wal.truncate_before(oldest)? as u64;
+        self.metrics.wal_segments_retired += retired;
+        if retired > 0 {
+            self.telemetry.registry().counter(names::WAL_SEGMENTS_RETIRED).add(retired);
+            self.telemetry.event(EventKind::WalSegmentRetired { segments: retired });
+        }
         Ok(true)
     }
 
@@ -259,6 +315,12 @@ impl DurableBackup {
     /// The replay engine.
     pub fn engine(&self) -> &AetsEngine {
         &self.engine
+    }
+
+    /// The node's telemetry instance (disabled unless the engine was
+    /// built with [`AetsEngine::with_telemetry`]).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Accumulated metrics (replay + durability counters).
@@ -502,6 +564,58 @@ mod tests {
         );
         // An explicit checkpoint request is also refused.
         assert!(!node.checkpoint_now().unwrap());
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+
+    #[test]
+    fn durable_node_emits_checkpoint_and_freshness_telemetry() {
+        use aets_telemetry::{names, Telemetry};
+        let (epochs, num_tables, grouping) = tpcc_stream(800);
+        let wal_dir = scratch("tel-wal");
+        let ckpt_dir = scratch("tel-ckpt");
+        let tel = Arc::new(Telemetry::new());
+        let engine = AetsEngine::with_telemetry(
+            AetsConfig { threads: 2, ..Default::default() },
+            grouping.clone(),
+            tel.clone(),
+        )
+        .unwrap();
+        let opts = DurableOptions {
+            checkpoint_every: 4,
+            segment: SegmentConfig { epochs_per_segment: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let mut node =
+            DurableBackup::open(&wal_dir, &ckpt_dir, engine, num_tables, opts, None).unwrap();
+        for e in &epochs {
+            node.ingest(e).unwrap();
+        }
+        let snap = tel.snapshot();
+        // Durability counters mirror ReplayMetrics.
+        assert_eq!(
+            snap.counter_total(names::CHECKPOINTS_WRITTEN),
+            node.metrics().checkpoints_written
+        );
+        assert_eq!(
+            snap.counter_total(names::WAL_EPOCHS_APPENDED),
+            node.metrics().wal_epochs_appended
+        );
+        assert_eq!(
+            snap.counter_total(names::WAL_SEGMENTS_RETIRED),
+            node.metrics().wal_segments_retired
+        );
+        assert!(snap.counter_total(names::GC_PASSES) > 0);
+        // Freshness on the primary-watermark clock: lag samples exist and
+        // every one is bounded by the epoch span (no wall-clock bleed).
+        let lag = snap.histogram_summary_all(names::VISIBILITY_LAG_US).expect("lag histogram");
+        assert!(lag.count > 0);
+        let span = epochs.last().unwrap().max_commit_ts.as_micros();
+        assert!(lag.max_us <= span, "lag {} exceeds primary span {span}", lag.max_us);
+        // Lifecycle events: checkpoints and WAL retirement showed up.
+        let evs = tel.drain_events();
+        assert!(evs.iter().any(|e| e.kind.name() == "checkpoint_written"));
+        assert!(evs.iter().any(|e| e.kind.name() == "wal_segment_retired"));
         let _ = std::fs::remove_dir_all(&wal_dir);
         let _ = std::fs::remove_dir_all(&ckpt_dir);
     }

@@ -7,9 +7,29 @@
 //! `global_cmt_ts >= qts`; otherwise it waits for replay to catch up.
 
 use aets_common::{GroupId, Timestamp};
+use aets_telemetry::{names, ClockFn, Gauge, Histogram, Telemetry};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Freshness instrumentation attached to a board: on every group
+/// publish, the visibility lag `now − primary_commit_ts` is recorded
+/// into the group's histogram and the live watermark gauges advance.
+/// `clock` returns "now" on the *primary* clock in microseconds — the
+/// realtime runner maps wall time through its `time_scale`, the durable
+/// backup uses the latest ingested epoch's high-water mark.
+struct BoardTelemetry {
+    lag: Vec<Histogram>,
+    tg_gauge: Vec<Gauge>,
+    global_gauge: Gauge,
+    clock: ClockFn,
+}
+
+impl std::fmt::Debug for BoardTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoardTelemetry").field("groups", &self.lag.len()).finish()
+    }
+}
 
 /// Shared visibility state between the replay engine (writer) and query
 /// threads (waiters).
@@ -19,6 +39,7 @@ pub struct VisibilityBoard {
     global: AtomicU64,
     gate: Mutex<()>,
     cv: Condvar,
+    tel: Option<BoardTelemetry>,
 }
 
 impl VisibilityBoard {
@@ -29,7 +50,31 @@ impl VisibilityBoard {
             global: AtomicU64::new(0),
             gate: Mutex::new(()),
             cv: Condvar::new(),
+            tel: None,
         }
+    }
+
+    /// Creates a board whose publishes feed `telemetry`: per-group
+    /// `aets_visibility_lag_us` histograms (freshness, Figures 8b/9b
+    /// live), `aets_tg_cmt_ts_us{group}` gauges, and the
+    /// `aets_global_cmt_ts_us` gauge. `clock` must return "now" on the
+    /// primary clock in microseconds (see [`BoardTelemetry`] above).
+    pub fn with_telemetry(num_groups: usize, telemetry: &Telemetry, clock: ClockFn) -> Self {
+        let reg = telemetry.registry();
+        let mut board = Self::new(num_groups);
+        board.tel = Some(BoardTelemetry {
+            lag: (0..num_groups)
+                .map(|g| {
+                    reg.histogram_with(names::VISIBILITY_LAG_US, aets_telemetry::group_label(g))
+                })
+                .collect(),
+            tg_gauge: (0..num_groups)
+                .map(|g| reg.gauge_with(names::TG_CMT_TS_US, aets_telemetry::group_label(g)))
+                .collect(),
+            global_gauge: reg.gauge(names::GLOBAL_CMT_TS_US),
+            clock,
+        });
+        board
     }
 
     /// Number of groups on the board.
@@ -41,6 +86,11 @@ impl VisibilityBoard {
     /// Called by the group's commit thread at the end of Algorithm 1.
     pub fn publish_group(&self, g: GroupId, ts: Timestamp) {
         self.groups[g.index()].fetch_max(ts.as_micros(), Ordering::Release);
+        if let Some(t) = &self.tel {
+            let now = (t.clock)();
+            t.lag[g.index()].record_micros(now.saturating_sub(ts.as_micros()));
+            t.tg_gauge[g.index()].set_max(ts.as_micros());
+        }
         let _guard = self.gate.lock();
         self.cv.notify_all();
     }
@@ -48,6 +98,9 @@ impl VisibilityBoard {
     /// Publishes the global commit high-water mark.
     pub fn publish_global(&self, ts: Timestamp) {
         self.global.fetch_max(ts.as_micros(), Ordering::Release);
+        if let Some(t) = &self.tel {
+            t.global_gauge.set_max(ts.as_micros());
+        }
         let _guard = self.gate.lock();
         self.cv.notify_all();
     }
@@ -178,6 +231,32 @@ mod tests {
     fn empty_group_set_is_immediately_visible() {
         let b = VisibilityBoard::new(1);
         assert!(b.is_visible(&[], Timestamp::MAX));
+    }
+
+    #[test]
+    fn telemetry_board_records_lag_and_gauges() {
+        use aets_telemetry::{names, Telemetry};
+        let tel = Telemetry::new();
+        // Primary "now" is pinned at 1000us: a publish at 400us has
+        // 600us of visibility lag.
+        let clock: aets_telemetry::ClockFn = Arc::new(|| 1_000);
+        let b = VisibilityBoard::with_telemetry(2, &tel, clock);
+        b.publish_group(g(0), Timestamp::from_micros(400));
+        b.publish_group(g(1), Timestamp::from_micros(990));
+        b.publish_global(Timestamp::from_micros(990));
+        let snap = tel.snapshot();
+        let lag0 = snap
+            .histogram_summary(names::VISIBILITY_LAG_US, &aets_telemetry::group_label(0))
+            .expect("group 0 lag histogram");
+        assert_eq!(lag0.count, 1);
+        // 600us lands in the [512, 1024) log bucket; max is exact.
+        assert_eq!(lag0.max_us, 600);
+        assert_eq!(snap.gauge(names::TG_CMT_TS_US, &aets_telemetry::group_label(1)), Some(990));
+        assert_eq!(snap.gauge(names::GLOBAL_CMT_TS_US, ""), Some(990));
+        // Stale publish: watermark gauge must not regress.
+        b.publish_group(g(1), Timestamp::from_micros(100));
+        let snap = tel.snapshot();
+        assert_eq!(snap.gauge(names::TG_CMT_TS_US, &aets_telemetry::group_label(1)), Some(990));
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Bounded structured event ring.
+//!
+//! Replay emits one [`Event`] per interesting state transition (epoch
+//! dispatched/committed, group quarantined, checkpoint written/skipped,
+//! WAL segment retired, GC pass, recovery fallback). Events carry a
+//! monotonic sequence number assigned at emission, so a consumer that
+//! drains the ring can detect loss: a gap in sequence numbers means the
+//! ring overflowed and `dropped()` counts exactly how many fell out.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What happened. Timestamps inside payloads are primary-clock
+/// microseconds; `group` fields are visibility-board indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// The dispatcher finished the metadata scan of an epoch.
+    EpochDispatched {
+        /// Epoch sequence number in the stream.
+        seq: u64,
+    },
+    /// Both replay stages of an epoch completed and visibility advanced.
+    EpochCommitted {
+        /// Epoch sequence number in the stream.
+        seq: u64,
+        /// The epoch's last primary commit timestamp (micros).
+        max_commit_ts_us: u64,
+    },
+    /// A group hit an unrecoverable fault; its watermark is frozen.
+    GroupQuarantined {
+        /// Board index of the group.
+        group: usize,
+    },
+    /// A previously quarantined group was restored to health (restart
+    /// recovery re-replays its suffix through a fresh engine).
+    GroupUnquarantined {
+        /// Board index of the group.
+        group: usize,
+    },
+    /// First quarantine of the run: the node entered degraded mode.
+    DegradedEntered {
+        /// All groups quarantined at entry (ascending board indices).
+        groups: Vec<usize>,
+    },
+    /// A checkpoint manifest became durable.
+    CheckpointWritten {
+        /// `next_epoch_seq` the checkpoint covers up to.
+        next_epoch_seq: u64,
+    },
+    /// A checkpoint opportunity was refused because a group is
+    /// quarantined (truncating the WAL would lose its frozen suffix).
+    CheckpointSkippedDegraded,
+    /// WAL segments behind the checkpoint watermark were deleted.
+    WalSegmentRetired {
+        /// Segments removed in this retirement pass.
+        segments: u64,
+    },
+    /// A version-chain GC pass completed.
+    GcPass {
+        /// Record nodes visited.
+        nodes: usize,
+        /// Versions pruned.
+        pruned: usize,
+    },
+    /// Restart recovery skipped corrupt checkpoint manifests before
+    /// finding a valid one.
+    RecoveryFallback {
+        /// Manifests that failed validation.
+        manifests_skipped: u64,
+    },
+}
+
+/// One emitted event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (gap-free unless the ring overflowed).
+    pub seq: u64,
+    /// Emission time on the telemetry clock (micros).
+    pub at_us: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+#[derive(Debug, Default)]
+struct RingState {
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// Bounded MPSC-ish ring: any thread pushes, one consumer drains.
+#[derive(Debug)]
+pub struct EventRing {
+    capacity: usize,
+    next_seq: AtomicU64,
+    state: Mutex<RingState>,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` undelivered events
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            next_seq: AtomicU64::new(0),
+            state: Mutex::new(RingState::default()),
+        }
+    }
+
+    /// Appends an event, assigning the next sequence number. The oldest
+    /// undelivered event is evicted (and counted dropped) when full.
+    pub fn push(&self, at_us: u64, kind: EventKind) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.state.lock();
+        if s.buf.len() >= self.capacity {
+            s.buf.pop_front();
+            s.dropped += 1;
+        }
+        s.buf.push_back(Event { seq, at_us, kind });
+        seq
+    }
+
+    /// Takes every undelivered event, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        self.state.lock().buf.drain(..).collect()
+    }
+
+    /// Sequence number the next event will get (== total emitted so far).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted before being drained.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().dropped
+    }
+}
+
+impl EventKind {
+    /// Stable snake_case name used in exposition output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::EpochDispatched { .. } => "epoch_dispatched",
+            EventKind::EpochCommitted { .. } => "epoch_committed",
+            EventKind::GroupQuarantined { .. } => "group_quarantined",
+            EventKind::GroupUnquarantined { .. } => "group_unquarantined",
+            EventKind::DegradedEntered { .. } => "degraded_entered",
+            EventKind::CheckpointWritten { .. } => "checkpoint_written",
+            EventKind::CheckpointSkippedDegraded => "checkpoint_skipped_degraded",
+            EventKind::WalSegmentRetired { .. } => "wal_segment_retired",
+            EventKind::GcPass { .. } => "gc_pass",
+            EventKind::RecoveryFallback { .. } => "recovery_fallback",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_numbers_are_monotone_and_gap_free() {
+        let r = EventRing::new(8);
+        for i in 0..5 {
+            r.push(i, EventKind::EpochDispatched { seq: i });
+        }
+        let drained = r.drain();
+        assert_eq!(drained.len(), 5);
+        for (i, e) in drained.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.next_seq(), 5);
+        // Draining resets the buffer but not the sequence.
+        r.push(9, EventKind::CheckpointSkippedDegraded);
+        assert_eq!(r.drain()[0].seq, 5);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_counts_drops() {
+        let r = EventRing::new(3);
+        for i in 0..7 {
+            r.push(i, EventKind::EpochCommitted { seq: i, max_commit_ts_us: i * 10 });
+        }
+        assert_eq!(r.dropped(), 4);
+        let drained = r.drain();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].seq, 4, "oldest surviving event");
+        assert_eq!(drained[2].seq, 6);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_reuse_a_sequence() {
+        let r = EventRing::new(1024);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        r.push(0, EventKind::GcPass { nodes: 1, pruned: 0 });
+                    }
+                });
+            }
+        });
+        let mut seqs: Vec<u64> = r.drain().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs.len(), 400);
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 400, "no duplicate sequence numbers");
+        assert_eq!(r.next_seq(), 400);
+    }
+}

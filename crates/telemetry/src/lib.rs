@@ -1,0 +1,253 @@
+//! Live observability for the AETS backup node.
+//!
+//! The paper's promise is *real-time* visibility, so the replayer must be
+//! observable in real time too: this crate provides the allocation-light
+//! in-process layer the replay path is instrumented with —
+//!
+//! * a [`Registry`] of named counter/gauge/histogram families with
+//!   per-thread sharded counters and fixed-bucket log-scale histograms
+//!   ([`Histogram::record_micros`], p50/p95/p99/max summaries);
+//! * a bounded structured [`EventRing`] with monotonic sequence numbers
+//!   and a drain API, for state transitions (epoch committed, group
+//!   quarantined, checkpoint written, ...);
+//! * [`TelemetrySnapshot`]: a point-in-time copy renderable as Prometheus
+//!   text exposition or JSON, plus [`parse_exposition`] to validate it.
+//!
+//! Everything hangs off one [`Telemetry`] instance, shared via `Arc`
+//! between the engine, the visibility board, the realtime runner, and the
+//! durable backup. A [`Telemetry::disabled`] instance turns every record
+//! operation into a single relaxed atomic load, which is what the
+//! telemetry-on/off overhead benchmark compares against
+//! (`results/BENCH_observability.json`).
+//!
+//! No external dependencies (`parking_lot` is the in-repo vendored shim),
+//! matching the workspace's offline-build policy.
+
+// Telemetry runs inside replay and recovery threads: a panic here would
+// quarantine a healthy group, so fallible paths must not unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod events;
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+
+pub use events::{Event, EventKind, EventRing};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HistogramSummary};
+pub use registry::{group_label, Registry};
+pub use snapshot::{parse_exposition, Sample, TelemetrySnapshot};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A clock returning "now" in microseconds on whatever timeline the
+/// instrumentation point cares about (wall micros since start for event
+/// stamps, primary-clock micros for freshness lag).
+pub type ClockFn = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// Default event-ring capacity.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// Metric family names used by the replay stack, so producers and
+/// consumers (snapshot tests, dashboards, `ReplayMetrics::project`)
+/// agree on spelling.
+pub mod names {
+    /// Epochs fully replayed (both stages + global publish).
+    pub const EPOCHS: &str = "aets_epochs_total";
+    /// Transactions replayed.
+    pub const TXNS: &str = "aets_txns_total";
+    /// DML entries replayed.
+    pub const ENTRIES: &str = "aets_entries_total";
+    /// Encoded log bytes processed.
+    pub const BYTES: &str = "aets_bytes_total";
+    /// Per-epoch dispatcher (metadata scan + route) time histogram.
+    pub const DISPATCH_US: &str = "aets_dispatch_us";
+    /// Per-epoch stage-1 (hot groups) wall-time histogram.
+    pub const STAGE1_US: &str = "aets_stage1_us";
+    /// Per-epoch stage-2 (cold groups) wall-time histogram.
+    pub const STAGE2_US: &str = "aets_stage2_us";
+    /// Aggregate phase-1 worker busy time (micros counter).
+    pub const REPLAY_BUSY_US: &str = "aets_replay_busy_us_total";
+    /// Aggregate commit-thread busy time (micros counter).
+    pub const COMMIT_BUSY_US: &str = "aets_commit_busy_us_total";
+    /// Freshness: visibility lag (`now − primary_commit_ts`) per group.
+    pub const VISIBILITY_LAG_US: &str = "aets_visibility_lag_us";
+    /// Live per-group `tg_cmt_ts` watermark gauge (micros).
+    pub const TG_CMT_TS_US: &str = "aets_tg_cmt_ts_us";
+    /// Live `global_cmt_ts` watermark gauge (micros).
+    pub const GLOBAL_CMT_TS_US: &str = "aets_global_cmt_ts_us";
+    /// Ingest resync: epoch re-requests issued.
+    pub const INGEST_RETRIES: &str = "aets_ingest_retries_total";
+    /// Ingest resync: deliveries rejected by the epoch frame CRC.
+    pub const CHECKSUM_FAILURES: &str = "aets_ingest_checksum_failures_total";
+    /// Ingest resync: out-of-sequence deliveries.
+    pub const EPOCH_GAPS: &str = "aets_ingest_epoch_gaps_total";
+    /// Ingest resync: fetches that found the epoch unavailable.
+    pub const INGEST_STALLS: &str = "aets_ingest_stalls_total";
+    /// Groups currently quarantined.
+    pub const QUARANTINED_GROUPS: &str = "aets_quarantined_groups";
+    /// Phase-1 cell buffers served from the free-list pools.
+    pub const CELL_RECYCLED: &str = "aets_cell_buffers_recycled_total";
+    /// Phase-1 cell buffers freshly allocated.
+    pub const CELL_ALLOCATED: &str = "aets_cell_buffers_allocated_total";
+    /// Version-chain GC passes run.
+    pub const GC_PASSES: &str = "aets_gc_passes_total";
+    /// Versions pruned by GC.
+    pub const GC_PRUNED: &str = "aets_gc_pruned_total";
+    /// Checkpoints written durably.
+    pub const CHECKPOINTS_WRITTEN: &str = "aets_checkpoints_written_total";
+    /// Checkpoint opportunities skipped while degraded.
+    pub const CHECKPOINTS_SKIPPED: &str = "aets_checkpoints_skipped_degraded_total";
+    /// Epochs appended durably to the WAL segment store.
+    pub const WAL_EPOCHS_APPENDED: &str = "aets_wal_epochs_appended_total";
+    /// WAL segments retired past the checkpoint watermark.
+    pub const WAL_SEGMENTS_RETIRED: &str = "aets_wal_segments_retired_total";
+    /// Corrupt checkpoint manifests skipped at recovery.
+    pub const MANIFEST_FALLBACKS: &str = "aets_manifest_fallbacks_total";
+    /// Epochs re-replayed from the WAL suffix during recovery.
+    pub const RECOVERY_SUFFIX_EPOCHS: &str = "aets_recovery_suffix_epochs_total";
+}
+
+/// The shared telemetry instance: registry + event ring + clock.
+pub struct Telemetry {
+    enabled: Arc<AtomicBool>,
+    registry: Registry,
+    events: EventRing,
+    clock: ClockFn,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled.load(Ordering::Relaxed))
+            .field("events_emitted", &self.events.next_seq())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// An enabled instance with the default event capacity and a clock
+    /// counting microseconds since creation.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAPACITY, true)
+    }
+
+    /// An instance whose record operations are all no-ops (one relaxed
+    /// load each). Snapshots still render — empty.
+    pub fn disabled() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAPACITY, false)
+    }
+
+    /// An instance with an explicit event-ring capacity.
+    pub fn with_capacity(event_capacity: usize, enabled: bool) -> Self {
+        let start = Instant::now();
+        let enabled = Arc::new(AtomicBool::new(enabled));
+        Self {
+            registry: Registry::new(enabled.clone()),
+            events: EventRing::new(event_capacity),
+            clock: Arc::new(move || start.elapsed().as_micros() as u64),
+            enabled,
+        }
+    }
+
+    /// Whether record operations currently do anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The telemetry clock (micros since creation by default).
+    pub fn clock(&self) -> ClockFn {
+        self.clock.clone()
+    }
+
+    /// Emits a structured event (no-op when disabled). Returns the
+    /// assigned sequence number, or `None` when disabled.
+    pub fn event(&self, kind: EventKind) -> Option<u64> {
+        if !self.is_enabled() {
+            return None;
+        }
+        Some(self.events.push((self.clock)(), kind))
+    }
+
+    /// Takes every undelivered event, oldest first.
+    pub fn drain_events(&self) -> Vec<Event> {
+        self.events.drain()
+    }
+
+    /// Events evicted before being drained.
+    pub fn events_dropped(&self) -> u64 {
+        self.events.dropped()
+    }
+
+    /// Point-in-time copy of every registered series plus event
+    /// accounting.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot { at_us: (self.clock)(), ..Default::default() };
+        self.registry.snapshot_into(&mut snap);
+        snap.events_emitted = self.events.next_seq();
+        snap.events_dropped = self.events.dropped();
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_instance_records_nothing() {
+        let tel = Telemetry::disabled();
+        tel.registry().counter(names::EPOCHS).inc();
+        tel.registry().histogram(names::DISPATCH_US).record_micros(10);
+        assert_eq!(tel.event(EventKind::CheckpointSkippedDegraded), None);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter_total(names::EPOCHS), 0);
+        assert_eq!(snap.events_emitted, 0);
+    }
+
+    #[test]
+    fn events_carry_monotone_clock_stamps() {
+        let tel = Telemetry::new();
+        tel.event(EventKind::EpochDispatched { seq: 0 });
+        tel.event(EventKind::EpochCommitted { seq: 0, max_commit_ts_us: 5 });
+        let evs = tel.drain_events();
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].seq < evs[1].seq);
+        assert!(evs[0].at_us <= evs[1].at_us);
+        assert_eq!(evs[0].kind.name(), "epoch_dispatched");
+    }
+
+    #[test]
+    fn snapshot_reflects_live_state() {
+        let tel = Telemetry::new();
+        tel.registry().counter(names::TXNS).add(7);
+        tel.registry().gauge(names::GLOBAL_CMT_TS_US).set_max(123);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter_total(names::TXNS), 7);
+        assert_eq!(snap.gauge(names::GLOBAL_CMT_TS_US, ""), Some(123));
+    }
+
+    #[test]
+    fn kind_mismatch_yields_detached_handle_not_panic() {
+        let tel = Telemetry::new();
+        tel.registry().counter("aets_epochs_total").inc();
+        // Same name requested as a gauge: detached, snapshot unaffected.
+        let g = tel.registry().gauge("aets_epochs_total");
+        g.set(999);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter_total("aets_epochs_total"), 1);
+        assert_eq!(snap.gauge("aets_epochs_total", ""), None);
+    }
+}

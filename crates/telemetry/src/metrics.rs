@@ -1,0 +1,442 @@
+//! Metric primitives: sharded counters, gauges, and fixed-bucket
+//! log-scale histograms.
+//!
+//! All three are cheap enough for the replay hot path: a counter
+//! increment is one relaxed atomic add on a per-thread shard, a gauge
+//! update is one atomic store / fetch-max, and a histogram record is two
+//! relaxed adds plus a fetch-max. Every handle carries the owning
+//! [`Telemetry`](crate::Telemetry) instance's enabled flag, so a disabled
+//! instance reduces each operation to a single relaxed load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of counter shards (power of two).
+const SHARDS: usize = 16;
+
+/// Number of histogram buckets. Bucket `0` holds the value `0`; bucket
+/// `i >= 1` holds values in `[2^(i-1), 2^i)`; the last bucket also
+/// absorbs everything at or above its lower bound (the clamp bucket), so
+/// no sample is ever lost.
+pub const HISTOGRAM_BUCKETS: usize = 42;
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread is pinned to one shard for its lifetime; unrelated
+    /// threads spread across shards, so concurrent increments do not
+    /// contend on one cache line.
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+}
+
+/// One cache line per shard so neighbouring shards never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+#[derive(Debug, Default)]
+pub(crate) struct CounterCore {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl CounterCore {
+    fn add(&self, n: u64) {
+        MY_SHARD.with(|s| self.shards[*s].0.fetch_add(n, Ordering::Relaxed));
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A monotonically increasing counter, sharded per thread.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    pub(crate) enabled: Arc<AtomicBool>,
+    pub(crate) core: Arc<CounterCore>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.core.add(n);
+        }
+    }
+
+    /// Current value (sum over shards). Reads are exact once all writers
+    /// have quiesced; mid-run they are a consistent-enough live view.
+    pub fn get(&self) -> u64 {
+        self.core.get()
+    }
+}
+
+/// A last-value gauge (also supports monotone ratchet via
+/// [`Gauge::set_max`]).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    pub(crate) enabled: Arc<AtomicBool>,
+    pub(crate) core: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Stores `v` unconditionally.
+    pub fn set(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.core.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Ratchets the gauge up to `v` (keeps the maximum seen). Used for
+    /// watermarks like `tg_cmt_ts` where concurrent publishers may race.
+    pub fn set_max(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.core.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.core.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of value `v`: `0` for `0`, otherwise `floor(log2 v) + 1`,
+/// clamped into the last bucket.
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`None` for the unbounded clamp
+/// bucket).
+pub(crate) fn bucket_upper_bound(i: usize) -> Option<u64> {
+    if i + 1 >= HISTOGRAM_BUCKETS {
+        None
+    } else if i == 0 {
+        Some(0)
+    } else {
+        Some((1u64 << i) - 1)
+    }
+}
+
+impl HistogramCore {
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A fixed-bucket log-scale histogram of microsecond values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub(crate) enabled: Arc<AtomicBool>,
+    pub(crate) core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Records one microsecond sample.
+    pub fn record_micros(&self, us: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.core.record(us);
+        }
+    }
+
+    /// Records a [`std::time::Duration`] sample.
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_micros(d.as_micros() as u64);
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.core.snapshot()
+    }
+
+    /// Quantile summary of the current state.
+    pub fn summary(&self) -> HistogramSummary {
+        self.snapshot().summary()
+    }
+}
+
+/// A point-in-time copy of one histogram (or a merge of several).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts ([`HISTOGRAM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (microseconds).
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self { buckets: vec![0; HISTOGRAM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Accumulates `other` into `self` (used to merge per-group
+    /// histograms into an overall one).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Estimated value at quantile `q` in `[0, 1]`: the bucket holding
+    /// the rank is located and the value interpolated linearly inside
+    /// it. Zero samples yield `0`, never NaN.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= rank {
+                let est = match bucket_upper_bound(i) {
+                    None => self.max,
+                    Some(0) => 0,
+                    Some(ub) => {
+                        let lo = ub.div_ceil(2); // 2^(i-1)
+                        let frac = (rank - cum) as f64 / n as f64;
+                        lo + ((ub + 1 - lo) as f64 * frac) as u64
+                    }
+                };
+                return est.min(self.max);
+            }
+            cum += n;
+        }
+        self.max
+    }
+
+    /// p50/p95/p99/max summary. All fields are `0` when no sample was
+    /// recorded (empty, not NaN).
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum_us: self.sum,
+            mean_us: if self.count == 0 { 0.0 } else { self.sum as f64 / self.count as f64 },
+            p50_us: self.quantile(0.50),
+            p95_us: self.quantile(0.95),
+            p99_us: self.quantile(0.99),
+            max_us: self.max,
+        }
+    }
+}
+
+/// Quantile summary of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples in microseconds.
+    pub sum_us: u64,
+    /// Mean sample (0 when empty).
+    pub mean_us: f64,
+    /// Median estimate.
+    pub p50_us: u64,
+    /// 95th-percentile estimate.
+    pub p95_us: u64,
+    /// 99th-percentile estimate.
+    pub p99_us: u64,
+    /// Exact maximum.
+    pub max_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn hist() -> Histogram {
+        Histogram {
+            enabled: Arc::new(AtomicBool::new(true)),
+            core: Arc::new(HistogramCore::default()),
+        }
+    }
+
+    fn counter() -> Counter {
+        Counter { enabled: Arc::new(AtomicBool::new(true)), core: Arc::new(CounterCore::default()) }
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), Some(0));
+        assert_eq!(bucket_upper_bound(1), Some(1));
+        assert_eq!(bucket_upper_bound(2), Some(3));
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zero_not_nan() {
+        let s = hist().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.p95_us, 0);
+        assert_eq!(s.p99_us, 0);
+        assert_eq!(s.max_us, 0);
+        assert_eq!(s.mean_us, 0.0);
+        assert!(!s.mean_us.is_nan());
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let h = hist();
+        h.record_micros(777);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max_us, 777);
+        assert_eq!(s.p50_us, 777, "all quantiles of one sample are that sample");
+        assert_eq!(s.p99_us, 777);
+        assert_eq!(s.mean_us, 777.0);
+    }
+
+    #[test]
+    fn values_above_the_top_bucket_clamp() {
+        let h = hist();
+        h.record_micros(u64::MAX);
+        h.record_micros(u64::MAX - 1);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 2, "both land in the clamp bucket");
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max, u64::MAX);
+        // Quantiles in the clamp bucket report the exact max, never more.
+        assert_eq!(snap.quantile(0.99), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_order_of_magnitude_accurate() {
+        let h = hist();
+        for v in 1..=1000u64 {
+            h.record_micros(v);
+        }
+        let s = h.summary();
+        // Log-bucket interpolation: each estimate must land within the
+        // bucket of the true quantile (factor-of-2 accuracy).
+        assert!((250..=1000).contains(&s.p50_us), "p50 {}", s.p50_us);
+        assert!((475..=1900).contains(&s.p95_us), "p95 {}", s.p95_us);
+        assert_eq!(s.max_us, 1000);
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us && s.p99_us <= s.max_us);
+    }
+
+    #[test]
+    fn concurrent_recording_matches_serial_oracle_count() {
+        let h = hist();
+        let c = counter();
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = h.clone();
+                let c = c.clone();
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record_micros(t as u64 * 1_000 + i % 977);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        let want = THREADS as u64 * PER_THREAD;
+        assert_eq!(c.get(), want, "sharded counter equals the serial count");
+        let snap = h.snapshot();
+        assert_eq!(snap.count, want);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), want, "every sample landed in a bucket");
+    }
+
+    #[test]
+    fn disabled_handles_are_noops() {
+        let off = Arc::new(AtomicBool::new(false));
+        let h = Histogram { enabled: off.clone(), core: Arc::new(HistogramCore::default()) };
+        let c = Counter { enabled: off.clone(), core: Arc::new(CounterCore::default()) };
+        let g = Gauge { enabled: off, core: Arc::new(AtomicU64::new(0)) };
+        h.record_micros(5);
+        c.add(5);
+        g.set(5);
+        g.set_max(9);
+        assert_eq!(h.summary().count, 0);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_and_ratchet() {
+        let g =
+            Gauge { enabled: Arc::new(AtomicBool::new(true)), core: Arc::new(AtomicU64::new(0)) };
+        g.set(10);
+        assert_eq!(g.get(), 10);
+        g.set_max(5);
+        assert_eq!(g.get(), 10, "ratchet keeps the max");
+        g.set_max(20);
+        assert_eq!(g.get(), 20);
+        g.set(1);
+        assert_eq!(g.get(), 1, "plain set overwrites");
+    }
+
+    #[test]
+    fn merged_snapshots_accumulate() {
+        let a = hist();
+        let b = hist();
+        a.record_micros(10);
+        b.record_micros(1_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 2);
+        assert_eq!(m.sum, 1_010);
+        assert_eq!(m.max, 1_000);
+    }
+}

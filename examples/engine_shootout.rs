@@ -9,19 +9,19 @@
 use aets_suite::common::{FxHashSet, TableId, Timestamp};
 use aets_suite::memtable::MemDb;
 use aets_suite::replay::{
-    AetsConfig, AetsEngine, AtrEngine, C5Engine, ReplayEngine, SerialEngine, TableGrouping,
+    run_realtime, AetsConfig, AetsEngine, AtrEngine, C5Engine, ReplayEngine, RunnerConfig,
+    SerialEngine, TableGrouping,
 };
-use aets_suite::wal::{batch_into_epochs, encode_epoch};
+use aets_suite::telemetry::{names, Telemetry};
+use aets_suite::wal::{batch_into_epochs, encode_epoch, ReplicationTimeline};
 use aets_suite::workloads::{chbench, tpcc::TpccConfig};
+use std::sync::Arc;
 
 fn main() {
     let workload =
         chbench::generate(&TpccConfig { num_txns: 8_000, warehouses: 4, ..Default::default() });
-    let epochs: Vec<_> = batch_into_epochs(workload.txns.clone(), 2048)
-        .expect("positive epoch size")
-        .iter()
-        .map(encode_epoch)
-        .collect();
+    let raw = batch_into_epochs(workload.txns.clone(), 2048).expect("positive epoch size");
+    let epochs: Vec<_> = raw.iter().map(encode_epoch).collect();
     let n = workload.num_tables();
     println!(
         "CH-benCHmark: {} txns, {} entries, {} epochs, {} tables\n",
@@ -71,8 +71,67 @@ fn main() {
             r * 100.0,
             c * 100.0
         );
+        println!(
+            "        ingest resync: {} retries ({} checksum failures, {} epoch gaps, {} stalls)",
+            m.ingest_retries, m.checksum_failures, m.epoch_gaps, m.ingest_stalls
+        );
         assert_eq!(got, want, "{name} must converge to the oracle state");
     }
+    // ---- Live telemetry: the same AETS setup on a paced timeline. ------
+    // A real-time run with an instrumented engine records per-group
+    // visibility lag (freshness) on the primary clock and renders a
+    // Prometheus-style exposition snapshot on cadence. Smaller epochs and
+    // a half-speed timeline keep the feed inside this machine's replay
+    // capacity, so the lag readings reflect steady-state freshness rather
+    // than an overloaded backup.
+    let tel = Arc::new(Telemetry::new());
+    let grouping =
+        TableGrouping::per_table(n, &hot, |t| if written.contains(&t) { 100.0 } else { 1.0 });
+    let live = AetsEngine::with_telemetry(
+        AetsConfig { threads: 4, ..Default::default() },
+        grouping,
+        tel.clone(),
+    )
+    .expect("valid config");
+    let raw_live = batch_into_epochs(workload.txns.clone(), 256).expect("positive epoch size");
+    let arrivals_live = ReplicationTimeline::default().arrivals(&raw_live);
+    let epochs_live: Vec<_> = raw_live.iter().map(encode_epoch).collect();
+    let db = MemDb::new(n);
+    let cfg =
+        RunnerConfig { time_scale: 0.5, telemetry_every: epochs_live.len(), ..Default::default() };
+    let outcome =
+        run_realtime(&live, &epochs_live, &arrivals_live, &db, &[], &cfg).expect("realtime run");
+    let snap = tel.snapshot();
+    println!("\nlive telemetry (paced 0.5x real-time AETS run, {}-epoch feed):", epochs_live.len());
+    if let Some(lag) = snap.histogram_summary_all(names::VISIBILITY_LAG_US) {
+        println!(
+            "  freshness: visibility lag p50 {}us / p95 {}us / p99 {}us / max {}us \
+             over {} publishes",
+            lag.p50_us, lag.p95_us, lag.p99_us, lag.max_us, lag.count
+        );
+    }
+    println!(
+        "  ingest resync: {} retries ({} checksum failures, {} epoch gaps, {} stalls)",
+        outcome.metrics.ingest_retries,
+        outcome.metrics.checksum_failures,
+        outcome.metrics.epoch_gaps,
+        outcome.metrics.ingest_stalls
+    );
+    if let Some(text) = outcome.telemetry_snapshots.last() {
+        println!("  exposition snapshot excerpt:");
+        for line in text
+            .lines()
+            .filter(|l| {
+                l.starts_with(names::EPOCHS)
+                    || l.starts_with(names::GLOBAL_CMT_TS_US)
+                    || l.starts_with("aets_visibility_lag_us_count")
+            })
+            .take(6)
+        {
+            println!("    {line}");
+        }
+    }
+
     println!(
         "\nAll engines installed {} versions and agree bit-for-bit on every snapshot.",
         oracle.total_versions()

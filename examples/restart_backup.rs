@@ -18,8 +18,10 @@ use aets_suite::replay::{
     AetsConfig, AetsEngine, DurableBackup, DurableOptions, ReplayEngine, SerialEngine,
     TableGrouping,
 };
+use aets_suite::telemetry::{names, Telemetry};
 use aets_suite::wal::{batch_into_epochs, encode_epoch, SegmentConfig};
 use aets_suite::workloads::tpcc::{self, TpccConfig};
+use std::sync::Arc;
 
 fn engine(grouping: &TableGrouping) -> AetsEngine {
     AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping.clone())
@@ -57,21 +59,26 @@ fn main() {
     };
 
     // ---- First life: ingest everything durably, then die. -------------
+    let tel = Arc::new(Telemetry::new());
     let (ckpts, retired, ingest_wall) = {
-        let mut node = DurableBackup::open(
-            &wal_dir,
-            &ckpt_dir,
-            engine(&grouping),
-            num_tables,
-            opts.clone(),
-            None,
+        let live_engine = AetsEngine::with_telemetry(
+            AetsConfig { threads: 2, ..Default::default() },
+            grouping.clone(),
+            tel.clone(),
         )
-        .expect("cold start");
+        .expect("positive thread count");
+        let mut node =
+            DurableBackup::open(&wal_dir, &ckpt_dir, live_engine, num_tables, opts.clone(), None)
+                .expect("cold start");
         let t0 = std::time::Instant::now();
         for e in &epochs {
             node.ingest(e).expect("durable ingest");
         }
         let m = node.metrics();
+        println!(
+            "ingest resync: {} retries ({} checksum failures, {} epoch gaps, {} stalls)",
+            m.ingest_retries, m.checksum_failures, m.epoch_gaps, m.ingest_stalls
+        );
         (m.checkpoints_written, m.wal_segments_retired, t0.elapsed())
         // `node` dropped here without any shutdown handshake: the "crash".
     };
@@ -82,6 +89,13 @@ fn main() {
         ckpts,
         retired
     );
+    if let Some(lag) = tel.snapshot().histogram_summary_all(names::VISIBILITY_LAG_US) {
+        println!(
+            "freshness: visibility lag p50 {}us / p95 {}us / p99 {}us / max {}us \
+             over {} publishes (primary clock)",
+            lag.p50_us, lag.p95_us, lag.p99_us, lag.max_us, lag.count
+        );
+    }
 
     // ---- Second life: restart from disk. ------------------------------
     let node = DurableBackup::open(&wal_dir, &ckpt_dir, engine(&grouping), num_tables, opts, None)

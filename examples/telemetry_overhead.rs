@@ -1,0 +1,131 @@
+//! Telemetry overhead: the same bulk AETS replay with instrumentation on
+//! and off.
+//!
+//! ```sh
+//! cargo run --release --example telemetry_overhead
+//! ```
+//!
+//! "Off" is the default engine (a disabled `Telemetry`: every record
+//! operation is one relaxed atomic load) over a plain visibility board —
+//! exactly what `run_realtime` wires when no telemetry is attached. "On"
+//! is `AetsEngine::with_telemetry` plus an instrumented board, so the run
+//! pays for sharded counter increments, histogram records on every group
+//! publish, the freshness clock, and per-epoch lifecycle events.
+//!
+//! Run-to-run throughput on a shared machine drifts by far more than the
+//! true cost of a few hundred thousand relaxed atomics, so the comparison
+//! is *paired*: each rep measures both modes back to back, alternating
+//! which goes first to cancel drift, and the reported overhead is the
+//! median of the per-rep ratios. Results land in
+//! `results/BENCH_observability.json` when run from the repo root.
+//! Target: < 3% throughput cost.
+
+use aets_suite::memtable::MemDb;
+use aets_suite::replay::{AetsConfig, AetsEngine, ReplayEngine, TableGrouping, VisibilityBoard};
+use aets_suite::telemetry::Telemetry;
+use aets_suite::wal::{batch_into_epochs, encode_epoch, EncodedEpoch};
+use aets_suite::workloads::tpcc::{self, TpccConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+const REPS: usize = 7;
+
+fn grouping(workload: &aets_suite::workloads::Workload) -> TableGrouping {
+    let (groups, rates) = tpcc::paper_grouping();
+    TableGrouping::new(workload.num_tables(), groups, rates, &workload.analytic_tables)
+        .expect("paper grouping is well-formed")
+}
+
+/// One full replay; returns entries/s.
+fn run_once(epochs: &[EncodedEpoch], workload: &aets_suite::workloads::Workload, on: bool) -> f64 {
+    let cfg = AetsConfig { threads: 4, ..Default::default() };
+    let n = workload.num_tables();
+    let (engine, board) = if on {
+        let tel = Arc::new(Telemetry::new());
+        let engine =
+            AetsEngine::with_telemetry(cfg, grouping(workload), tel.clone()).expect("valid config");
+        let start = Instant::now();
+        let clock: aets_suite::telemetry::ClockFn =
+            Arc::new(move || start.elapsed().as_micros() as u64);
+        let board = VisibilityBoard::with_telemetry(engine.board_groups(), &tel, clock);
+        (engine, board)
+    } else {
+        let engine = AetsEngine::new(cfg, grouping(workload)).expect("valid config");
+        let board = VisibilityBoard::new(engine.board_groups());
+        (engine, board)
+    };
+    let db = MemDb::new(n);
+    let m = engine.replay(epochs, &db, &board).expect("replay succeeds");
+    m.entries_per_sec()
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let workload =
+        tpcc::generate(&TpccConfig { num_txns: 30_000, warehouses: 4, ..Default::default() });
+    let epochs: Vec<_> = batch_into_epochs(workload.txns.clone(), 256)
+        .expect("positive epoch size")
+        .iter()
+        .map(encode_epoch)
+        .collect();
+    println!(
+        "workload: {} txns / {} entries / {} epochs; {} paired reps, order alternated",
+        workload.txns.len(),
+        workload.total_entries(),
+        epochs.len(),
+        REPS
+    );
+
+    // Warm-up (allocator, page cache, thermal ramp) discarded.
+    run_once(&epochs, &workload, false);
+    run_once(&epochs, &workload, true);
+
+    let mut off = Vec::with_capacity(REPS);
+    let mut on = Vec::with_capacity(REPS);
+    let mut ratios = Vec::with_capacity(REPS);
+    for rep in 0..REPS {
+        // Alternate which mode runs first so slow drift (frequency
+        // scaling, noisy neighbours) cancels instead of biasing one mode.
+        let (o, t) = if rep % 2 == 0 {
+            let o = run_once(&epochs, &workload, false);
+            let t = run_once(&epochs, &workload, true);
+            (o, t)
+        } else {
+            let t = run_once(&epochs, &workload, true);
+            let o = run_once(&epochs, &workload, false);
+            (o, t)
+        };
+        let overhead = (o - t) / o * 100.0;
+        println!("rep {rep}: off {o:.0} entries/s, on {t:.0} entries/s ({overhead:+.2}%)");
+        off.push(o);
+        on.push(t);
+        ratios.push(overhead);
+    }
+    let off_med = median(&mut off);
+    let on_med = median(&mut on);
+    let overhead_pct = median(&mut ratios);
+    println!(
+        "\nmedian: off {off_med:.0} entries/s, on {on_med:.0} entries/s; \
+         paired median overhead {overhead_pct:+.2}% (target < 3%)"
+    );
+
+    if std::path::Path::new("results").is_dir() {
+        let json = format!(
+            "{{\n  \"benchmark\": \"telemetry_overhead\",\n  \"workload\": \"tpcc\",\n  \
+             \"txns\": {},\n  \"entries\": {},\n  \"epochs\": {},\n  \"threads\": 4,\n  \
+             \"paired_reps\": {REPS},\n  \
+             \"off_median_entries_per_sec\": {off_med:.0},\n  \
+             \"on_median_entries_per_sec\": {on_med:.0},\n  \
+             \"overhead_pct_paired_median\": {overhead_pct:.2},\n  \"target_pct\": 3.0\n}}\n",
+            workload.txns.len(),
+            workload.total_entries(),
+            epochs.len(),
+        );
+        std::fs::write("results/BENCH_observability.json", json).expect("write results");
+        println!("wrote results/BENCH_observability.json");
+    }
+}

@@ -1,0 +1,133 @@
+//! Telemetry smoke test: a short paced TPC-C replay with live
+//! instrumentation must produce parseable exposition snapshots, a
+//! monotone gap-free event stream, and registry totals that agree with
+//! the engine's own `ReplayMetrics`. This is the CI gate for the
+//! observability layer (`.github/workflows/ci.yml`, `telemetry-smoke`).
+
+use aets_suite::memtable::MemDb;
+use aets_suite::replay::{
+    run_realtime, AetsConfig, AetsEngine, ReplayMetrics, RunnerConfig, TableGrouping,
+};
+use aets_suite::telemetry::{names, parse_exposition, EventKind, Telemetry};
+use aets_suite::wal::{batch_into_epochs, encode_epoch, ReplicationTimeline};
+use aets_suite::workloads::tpcc::{self, TpccConfig};
+use std::sync::Arc;
+
+/// Metric families every live snapshot must expose (the dashboard
+/// contract): throughput counters, stage walls, freshness, watermarks.
+const REQUIRED_FAMILIES: &[&str] = &[
+    names::EPOCHS,
+    names::TXNS,
+    names::ENTRIES,
+    names::BYTES,
+    names::DISPATCH_US,
+    names::STAGE1_US,
+    names::VISIBILITY_LAG_US,
+    names::TG_CMT_TS_US,
+    names::GLOBAL_CMT_TS_US,
+];
+
+#[test]
+fn short_paced_replay_emits_parseable_consistent_telemetry() {
+    let w = tpcc::generate(&TpccConfig { num_txns: 2_000, warehouses: 2, ..Default::default() });
+    let raw = batch_into_epochs(w.txns.clone(), 128).expect("positive epoch size");
+    let arrivals = ReplicationTimeline::default().arrivals(&raw);
+    let epochs: Vec<_> = raw.iter().map(encode_epoch).collect();
+    assert!(epochs.len() >= 8, "smoke run needs a few epochs");
+
+    let (groups, rates) = tpcc::paper_grouping();
+    let grouping =
+        TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).expect("grouping");
+    let tel = Arc::new(Telemetry::new());
+    let engine = AetsEngine::with_telemetry(
+        AetsConfig { threads: 2, ..Default::default() },
+        grouping,
+        tel.clone(),
+    )
+    .expect("valid config");
+    let db = MemDb::new(w.num_tables());
+    let cfg = RunnerConfig { time_scale: 50.0, telemetry_every: 4, ..Default::default() };
+    let outcome = run_realtime(&engine, &epochs, &arrivals, &db, &[], &cfg).expect("realtime run");
+
+    // ---- Exposition snapshots parse and carry the metric families. ----
+    assert_eq!(outcome.telemetry_snapshots.len(), epochs.len() / 4);
+    for text in &outcome.telemetry_snapshots {
+        let samples = parse_exposition(text).expect("snapshot must parse");
+        assert!(!samples.is_empty());
+    }
+    let last = outcome.telemetry_snapshots.last().expect("at least one snapshot");
+    for family in REQUIRED_FAMILIES {
+        assert!(last.contains(family), "snapshot is missing metric family {family}");
+    }
+    assert!(outcome.degraded_snapshot.is_none(), "healthy run must not trip the flight recorder");
+
+    // ---- Registry totals agree with the engine's ReplayMetrics. -------
+    let snap = tel.snapshot();
+    assert_eq!(snap.counter_total(names::EPOCHS), epochs.len() as u64);
+    assert_eq!(snap.counter_total(names::TXNS), outcome.metrics.txns as u64);
+    assert_eq!(snap.counter_total(names::ENTRIES), outcome.metrics.entries as u64);
+    assert_eq!(snap.counter_total(names::BYTES), outcome.metrics.bytes);
+    assert_eq!(snap.gauge(names::QUARANTINED_GROUPS, ""), Some(0));
+
+    // A snapshot projects back into a ReplayMetrics with the same counts.
+    let projected = ReplayMetrics::project(&snap);
+    assert_eq!(projected.txns, outcome.metrics.txns);
+    assert_eq!(projected.entries, outcome.metrics.entries);
+    assert_eq!(projected.epochs, epochs.len());
+
+    // ---- Freshness was sampled on the primary clock. ------------------
+    let lag = snap.histogram_summary_all(names::VISIBILITY_LAG_US).expect("lag histogram");
+    assert!(lag.count > 0, "visibility lag must be sampled");
+    assert!(lag.p50_us <= lag.p95_us && lag.p95_us <= lag.max_us);
+    let last_ts = epochs.last().expect("nonempty").max_commit_ts.as_micros();
+    assert_eq!(snap.gauge(names::GLOBAL_CMT_TS_US, ""), Some(last_ts));
+
+    // ---- Event stream: monotone, gap-free, lifecycle-complete. --------
+    let events = tel.drain_events();
+    assert_eq!(tel.events_dropped(), 0, "short run must not overflow the ring");
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "event seqs must be strictly increasing");
+        assert!(pair[0].at_us <= pair[1].at_us, "event stamps must be monotone");
+    }
+    let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, (0..events.len() as u64).collect::<Vec<_>>(), "gap-free without drops");
+    let dispatched =
+        events.iter().filter(|e| matches!(e.kind, EventKind::EpochDispatched { .. })).count();
+    let committed =
+        events.iter().filter(|e| matches!(e.kind, EventKind::EpochCommitted { .. })).count();
+    assert_eq!(dispatched, epochs.len(), "one dispatch event per epoch");
+    assert_eq!(committed, epochs.len(), "one commit event per epoch");
+    // Commit timestamps inside the events replay the epoch watermarks.
+    let mut last_cmt = 0;
+    for e in &events {
+        if let EventKind::EpochCommitted { max_commit_ts_us, .. } = e.kind {
+            assert!(max_commit_ts_us >= last_cmt, "epoch watermarks are monotone");
+            last_cmt = max_commit_ts_us;
+        }
+    }
+    assert_eq!(last_cmt, last_ts);
+}
+
+#[test]
+fn disabled_telemetry_keeps_the_runner_silent() {
+    // The default engine carries a disabled instance: no snapshots are
+    // rendered even when a cadence is configured, and nothing is charged
+    // to the registry.
+    let w = tpcc::generate(&TpccConfig { num_txns: 500, warehouses: 1, ..Default::default() });
+    let raw = batch_into_epochs(w.txns.clone(), 128).expect("positive epoch size");
+    let arrivals = ReplicationTimeline::default().arrivals(&raw);
+    let epochs: Vec<_> = raw.iter().map(encode_epoch).collect();
+    let (groups, rates) = tpcc::paper_grouping();
+    let grouping =
+        TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).expect("grouping");
+    let engine =
+        AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping).expect("config");
+    let db = MemDb::new(w.num_tables());
+    let cfg = RunnerConfig { time_scale: 50.0, telemetry_every: 1, ..Default::default() };
+    let outcome = run_realtime(&engine, &epochs, &arrivals, &db, &[], &cfg).expect("realtime run");
+    assert!(outcome.telemetry_snapshots.is_empty());
+    assert!(outcome.degraded_snapshot.is_none());
+    let snap = engine.telemetry().snapshot();
+    assert_eq!(snap.counter_total(names::EPOCHS), 0);
+    assert_eq!(snap.events_emitted, 0);
+}
