@@ -1,6 +1,6 @@
 //! Tiny JSON document model replacing the external `serde_json`
 //! dependency for result blobs (offline build). Only what the experiment
-//! writers need: construction via the [`json!`] macro, conversion of the
+//! writers need: construction via the [`crate::json!`] macro, conversion of the
 //! workspace's scalar/collection types, and pretty printing.
 
 use std::collections::BTreeMap;

@@ -50,6 +50,31 @@ pub enum Error {
     /// this point on and the owning store must be dropped and re-opened.
     /// Never produced in production configurations (no clock installed).
     Crash(String),
+    /// The query service's bounded admission queue is full: the node is
+    /// saturated and sheds load instead of queueing unboundedly. Clients
+    /// should back off and retry.
+    ///
+    /// Static hot-path variant, like [`Error::CodecTruncated`]: returned
+    /// on every rejected submission under overload, so it must not
+    /// allocate.
+    Overloaded,
+    /// A query missed its deadline: either admission (Algorithm 3
+    /// visibility) or execution did not complete within the configured
+    /// per-query timeout.
+    ///
+    /// Static hot-path variant, like [`Error::CodecTruncated`].
+    QueryTimeout,
+    /// A query was cancelled by its client before completing.
+    ///
+    /// Static hot-path variant, like [`Error::CodecTruncated`].
+    Cancelled,
+    /// A query touches a quarantined table group whose watermark is
+    /// frozen below the query's `qts`: the backup is in degraded mode for
+    /// that group and refuses the read rather than serving a snapshot
+    /// that can never become consistent.
+    ///
+    /// Static hot-path variant, like [`Error::CodecTruncated`].
+    Degraded,
 }
 
 impl Error {
@@ -65,6 +90,10 @@ impl Error {
             Error::Numeric(_) => "numeric",
             Error::Io(_) => "io",
             Error::Crash(_) => "crash",
+            Error::Overloaded => "overloaded",
+            Error::QueryTimeout => "timeout",
+            Error::Cancelled => "cancelled",
+            Error::Degraded => "degraded",
         }
     }
 
@@ -97,6 +126,14 @@ impl fmt::Display for Error {
             Error::Numeric(m) => write!(f, "numeric error: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
             Error::Crash(m) => write!(f, "injected crash: {m}"),
+            Error::Overloaded => {
+                f.write_str("overloaded: admission queue full, back off and retry")
+            }
+            Error::QueryTimeout => f.write_str("query timed out"),
+            Error::Cancelled => f.write_str("query cancelled"),
+            Error::Degraded => {
+                f.write_str("degraded: query touches a quarantined group frozen below its qts")
+            }
         }
     }
 }
@@ -122,5 +159,11 @@ mod tests {
         let gap = Error::EpochGap { expected: 3, got: 5 };
         assert_eq!(gap.kind(), "protocol");
         assert_eq!(gap.to_string(), "protocol error: expected epoch 3, got epoch 5");
+        assert_eq!(Error::Overloaded.kind(), "overloaded");
+        assert!(Error::Overloaded.to_string().contains("admission queue full"));
+        assert_eq!(Error::QueryTimeout.kind(), "timeout");
+        assert_eq!(Error::Cancelled.kind(), "cancelled");
+        assert_eq!(Error::Degraded.kind(), "degraded");
+        assert!(Error::Degraded.to_string().contains("quarantined"));
     }
 }

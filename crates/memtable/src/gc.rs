@@ -19,6 +19,7 @@
 use crate::record::{OpType, RecordNode, Version};
 use crate::table::{MemDb, Table};
 use aets_common::Timestamp;
+use parking_lot::Mutex;
 
 /// Statistics from one GC pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -95,6 +96,61 @@ pub fn gc_db(db: &MemDb, watermark: Timestamp) -> GcStats {
         stats.merge(gc_table(t, watermark));
     }
     stats
+}
+
+/// A ticket returned by [`QueryFloor::pin`]; hand it back to
+/// [`QueryFloor::release`] when the reader is done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloorTicket(usize);
+
+/// Registry of active reader snapshot timestamps, shared between the
+/// query-serving layer (which pins one entry per open session) and the GC
+/// driver (which must never prune a version an active reader can still
+/// reconstruct).
+///
+/// [`QueryFloor::floor`] is the minimum pinned `qts`, or `Timestamp::MAX`
+/// when no reader is active — i.e. the value to pass as `query_floor`
+/// into the visibility board's GC watermark.
+#[derive(Debug, Default)]
+pub struct QueryFloor {
+    slots: Mutex<Vec<Option<Timestamp>>>,
+}
+
+impl QueryFloor {
+    /// An empty registry (floor at `Timestamp::MAX`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins `qts` into the floor until the ticket is released.
+    pub fn pin(&self, qts: Timestamp) -> FloorTicket {
+        let mut slots = self.slots.lock();
+        if let Some(i) = slots.iter().position(Option::is_none) {
+            slots[i] = Some(qts);
+            FloorTicket(i)
+        } else {
+            slots.push(Some(qts));
+            FloorTicket(slots.len() - 1)
+        }
+    }
+
+    /// Releases a pin. Releasing a ticket twice is a no-op.
+    pub fn release(&self, ticket: FloorTicket) {
+        let mut slots = self.slots.lock();
+        if let Some(slot) = slots.get_mut(ticket.0) {
+            *slot = None;
+        }
+    }
+
+    /// The minimum pinned `qts` (`Timestamp::MAX` when none are active).
+    pub fn floor(&self) -> Timestamp {
+        self.slots.lock().iter().flatten().min().copied().unwrap_or(Timestamp::MAX)
+    }
+
+    /// Number of currently pinned readers.
+    pub fn active(&self) -> usize {
+        self.slots.lock().iter().flatten().count()
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +287,30 @@ mod tests {
         assert_eq!(stats.consolidated, 0);
         assert_eq!(n.version_count(), 4);
         assert_eq!(n.read_at(Timestamp::from_micros(9)), None);
+    }
+
+    #[test]
+    fn query_floor_tracks_minimum_pin_and_reuses_slots() {
+        let f = QueryFloor::new();
+        assert_eq!(f.floor(), Timestamp::MAX, "empty registry never clamps GC");
+        assert_eq!(f.active(), 0);
+        let a = f.pin(Timestamp::from_micros(50));
+        let b = f.pin(Timestamp::from_micros(30));
+        let c = f.pin(Timestamp::from_micros(70));
+        assert_eq!(f.floor(), Timestamp::from_micros(30));
+        assert_eq!(f.active(), 3);
+        f.release(b);
+        assert_eq!(f.floor(), Timestamp::from_micros(50));
+        f.release(b); // double release is a no-op
+        assert_eq!(f.active(), 2);
+        // The freed slot is reused rather than growing the slab.
+        let d = f.pin(Timestamp::from_micros(10));
+        assert_eq!(d, FloorTicket(1));
+        assert_eq!(f.floor(), Timestamp::from_micros(10));
+        f.release(a);
+        f.release(c);
+        f.release(d);
+        assert_eq!(f.floor(), Timestamp::MAX);
     }
 
     #[test]

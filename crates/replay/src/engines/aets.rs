@@ -221,33 +221,74 @@ pub struct AetsEngine {
     stats: EngineStats,
 }
 
-impl AetsEngine {
-    /// Creates an engine over `grouping` with telemetry disabled (every
-    /// record operation is a single relaxed load).
-    pub fn new(cfg: AetsConfig, grouping: TableGrouping) -> Result<Self> {
-        Self::with_telemetry(cfg, grouping, Arc::new(Telemetry::disabled()))
+/// Builds an [`AetsEngine`]: the single construction path behind both
+/// shorthands (`AetsEngine::new` and the deprecated `with_telemetry`) and
+/// the one `BackupNode` uses.
+pub struct AetsEngineBuilder {
+    cfg: AetsConfig,
+    grouping: TableGrouping,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl AetsEngineBuilder {
+    /// Replaces the default [`AetsConfig`].
+    pub fn config(mut self, cfg: AetsConfig) -> Self {
+        self.cfg = cfg;
+        self
     }
 
-    /// Creates an engine whose replay path feeds `telemetry`: epoch /
-    /// txn / entry / byte counters, per-epoch dispatch and stage-wall
+    /// Attaches a telemetry instance the replay path feeds: epoch / txn /
+    /// entry / byte counters, per-epoch dispatch and stage-wall
     /// histograms, ingest-resync counters, quarantine gauge and events.
-    /// Share the same instance with [`VisibilityBoard::with_telemetry`]
-    /// so freshness lands in the same registry.
+    /// Share the same instance with the visibility board (via
+    /// [`crate::VisibilityBoard::builder`]) so freshness lands in the
+    /// same registry.
+    pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Finishes the engine. Fails on an invalid config (zero threads).
+    pub fn build(self) -> Result<AetsEngine> {
+        if self.cfg.threads == 0 {
+            return Err(Error::Config("threads must be positive".into()));
+        }
+        let telemetry = self.telemetry.unwrap_or_else(|| Arc::new(Telemetry::disabled()));
+        let quarantine = Quarantine::new(self.grouping.num_groups());
+        let stats = EngineStats::new(&telemetry);
+        Ok(AetsEngine { cfg: self.cfg, grouping: self.grouping, quarantine, telemetry, stats })
+    }
+}
+
+impl AetsEngine {
+    /// Starts building an engine over `grouping` (default config,
+    /// telemetry disabled).
+    pub fn builder(grouping: TableGrouping) -> AetsEngineBuilder {
+        AetsEngineBuilder { cfg: AetsConfig::default(), grouping, telemetry: None }
+    }
+
+    /// Creates an engine over `grouping` with telemetry disabled (every
+    /// record operation is a single relaxed load). Shorthand for
+    /// [`AetsEngine::builder`] with no telemetry attached.
+    pub fn new(cfg: AetsConfig, grouping: TableGrouping) -> Result<Self> {
+        Self::builder(grouping).config(cfg).build()
+    }
+
+    /// Creates an instrumented engine.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AetsEngine::builder(grouping).config(cfg).telemetry(tel).build()`"
+    )]
     pub fn with_telemetry(
         cfg: AetsConfig,
         grouping: TableGrouping,
         telemetry: Arc<Telemetry>,
     ) -> Result<Self> {
-        if cfg.threads == 0 {
-            return Err(Error::Config("threads must be positive".into()));
-        }
-        let quarantine = Quarantine::new(grouping.num_groups());
-        let stats = EngineStats::new(&telemetry);
-        Ok(Self { cfg, grouping, quarantine, telemetry, stats })
+        Self::builder(grouping).config(cfg).telemetry(telemetry).build()
     }
 
-    /// The engine's telemetry instance (disabled unless constructed via
-    /// [`AetsEngine::with_telemetry`]).
+    /// The engine's telemetry instance (disabled unless one was attached
+    /// via [`AetsEngineBuilder::telemetry`]).
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
     }
@@ -460,6 +501,13 @@ impl AetsEngine {
                 }
             }
             self.stats.quarantined.set(after.len() as u64);
+        }
+
+        // Mirror the quarantine ledger onto the board so admission waiters
+        // over a frozen group fail fast instead of sleeping out their
+        // timeout (the board wakes exactly the waiters this decides).
+        if self.quarantine.any() {
+            board.set_quarantined(&self.quarantine.poisoned());
         }
 
         // Algorithm 3 admits a query when `global_cmt_ts >= qts` *without*

@@ -52,7 +52,7 @@ impl CellPool {
     }
 
     /// Returns a drained buffer to the free list. Buffers with no backing
-    /// allocation (heartbeat mini-txns) and overflow beyond [`MAX_POOLED`]
+    /// allocation (heartbeat mini-txns) and overflow beyond `MAX_POOLED`
     /// are simply dropped.
     pub fn put(&self, mut v: Vec<Cell>) {
         v.clear();

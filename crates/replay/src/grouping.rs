@@ -109,12 +109,22 @@ impl TableGrouping {
             .collect();
         hot.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("rates are not NaN"));
         let labels = dbscan_1d(&hot.iter().map(|(_, r)| r.ln_1p()).collect::<Vec<_>>(), eps, 1);
-        let num_clusters = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let num_clusters = labels.iter().flatten().copied().max().map_or(0, |m| m + 1);
         let mut groups: Vec<Vec<TableId>> = vec![Vec::new(); num_clusters];
         let mut sums = vec![0.0f64; num_clusters];
         for ((t, r), l) in hot.iter().zip(&labels) {
-            groups[*l].push(*t);
-            sums[*l] += *r;
+            match l {
+                Some(l) => {
+                    groups[*l].push(*t);
+                    sums[*l] += *r;
+                }
+                // Noise under a stricter min_pts: every table still needs
+                // a group, so an outlier becomes a singleton group.
+                None => {
+                    groups.push(vec![*t]);
+                    sums.push(*r);
+                }
+            }
         }
         let mut rates: Vec<f64> =
             sums.iter().zip(&groups).map(|(s, g)| s / g.len() as f64).collect();
@@ -181,20 +191,74 @@ impl TableGrouping {
     }
 }
 
-/// 1-D DBSCAN over sorted points: returns a cluster label per point.
+/// 1-D DBSCAN over sorted points: returns a cluster label per point,
+/// `None` for noise.
 ///
-/// With sorted input, density clustering degenerates to gap splitting:
-/// consecutive points farther than `eps` apart start a new cluster;
-/// `min_pts` is kept for API completeness (clusters smaller than it are
-/// still emitted as their own label — every table must land in a group).
-pub fn dbscan_1d(sorted_points: &[f64], eps: f64, _min_pts: usize) -> Vec<usize> {
-    let mut labels = Vec::with_capacity(sorted_points.len());
-    let mut current = 0usize;
-    for (i, p) in sorted_points.iter().enumerate() {
-        if i > 0 && (p - sorted_points[i - 1]).abs() > eps {
-            current += 1;
+/// The real density rule, not just gap splitting: a point is a *core*
+/// when at least `min_pts` points (itself included) lie within `eps` of
+/// it. Cores within `eps` of each other chain into one cluster; a
+/// non-core point joins its nearest core's cluster when one is within
+/// `eps` (a *border* point) and is labelled `None` (noise) otherwise.
+/// With `min_pts <= 1` every point is core and the rule degenerates to
+/// splitting on gaps wider than `eps` — the previous behaviour, which
+/// silently ignored `min_pts` and glued sparse outliers into clusters.
+pub fn dbscan_1d(sorted_points: &[f64], eps: f64, min_pts: usize) -> Vec<Option<usize>> {
+    let n = sorted_points.len();
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    // Two-pointer eps-neighbourhood counts over the sorted input.
+    let mut core = vec![false; n];
+    let (mut lo, mut hi) = (0usize, 0usize);
+    for i in 0..n {
+        while sorted_points[i] - sorted_points[lo] > eps {
+            lo += 1;
         }
-        labels.push(current);
+        while hi + 1 < n && sorted_points[hi + 1] - sorted_points[i] <= eps {
+            hi += 1;
+        }
+        core[i] = hi - lo + 1 >= min_pts.max(1);
+    }
+    // Chain density-connected cores: consecutive cores at most eps apart
+    // share a cluster.
+    let mut next = 0usize;
+    let mut prev_core: Option<usize> = None;
+    for i in 0..n {
+        if !core[i] {
+            continue;
+        }
+        match prev_core {
+            Some(p) if sorted_points[i] - sorted_points[p] <= eps => labels[i] = labels[p],
+            _ => {
+                labels[i] = Some(next);
+                next += 1;
+            }
+        }
+        prev_core = Some(i);
+    }
+    // Border points adopt the nearest in-range core's label; the rest
+    // stay noise.
+    for i in 0..n {
+        if core[i] {
+            continue;
+        }
+        let left = (0..i)
+            .rev()
+            .take_while(|&j| sorted_points[i] - sorted_points[j] <= eps)
+            .find(|&j| core[j]);
+        let right = (i + 1..n)
+            .take_while(|&j| sorted_points[j] - sorted_points[i] <= eps)
+            .find(|&j| core[j]);
+        labels[i] = match (left, right) {
+            (Some(l), Some(r)) => {
+                if sorted_points[i] - sorted_points[l] <= sorted_points[r] - sorted_points[i] {
+                    labels[l]
+                } else {
+                    labels[r]
+                }
+            }
+            (Some(l), None) => labels[l],
+            (None, Some(r)) => labels[r],
+            (None, None) => None,
+        };
     }
     labels
 }
@@ -268,7 +332,47 @@ mod tests {
     #[test]
     fn dbscan_splits_on_gaps() {
         let labels = dbscan_1d(&[1.0, 1.1, 1.2, 5.0, 5.1, 20.0], 0.5, 1);
-        assert_eq!(labels, vec![0, 0, 0, 1, 1, 2]);
+        assert_eq!(
+            labels,
+            vec![Some(0), Some(0), Some(0), Some(1), Some(1), Some(2)],
+            "min_pts=1 keeps the pure gap-splitting behaviour"
+        );
+    }
+
+    #[test]
+    fn dbscan_min_pts_marks_sparse_points_as_noise() {
+        // Regression: min_pts used to be silently ignored, so the lone
+        // point at 20.0 was emitted as its own "cluster" and a straggler
+        // at 5.8 glued onto the {5.0, 5.1, 5.2} cluster even under a
+        // density requirement it cannot meet.
+        let pts = [1.0, 1.1, 1.2, 5.0, 5.1, 5.2, 5.8, 20.0];
+        let labels = dbscan_1d(&pts, 0.5, 3);
+        // Dense triplets survive as clusters.
+        assert_eq!(&labels[..3], &[Some(0), Some(0), Some(0)]);
+        assert_eq!(&labels[3..6], &[Some(1), Some(1), Some(1)]);
+        // 5.8 is no core (only {5.8} within 0.5... plus 5.3? no: [5.3,6.3]
+        // holds just itself) but sits within eps of nothing core-like
+        // either: nearest core 5.2 is 0.6 away -> noise.
+        assert_eq!(labels[6], None, "straggler must not join the cluster");
+        // The isolated point has a 1-point neighbourhood -> noise.
+        assert_eq!(labels[7], None, "lone outlier must be noise, not a cluster");
+
+        // A border point (non-core, but within eps of a core) still joins:
+        // 1.55 sees only {1.1, 1.55} in its eps-ball (not core), yet the
+        // core 1.1 reaches it.
+        let pts = [1.0, 1.05, 1.1, 1.55];
+        let labels = dbscan_1d(&pts, 0.5, 3);
+        assert_eq!(labels, vec![Some(0), Some(0), Some(0), Some(0)], "border point joins");
+
+        // Two dense runs bridged only by a non-core point stay separate
+        // clusters; the bridge becomes a border of the nearer one. (2.0
+        // sees just {1.3, 2.0, 2.7} — three points, below min_pts=4 — so
+        // it cannot density-connect the runs.)
+        let pts = [1.0, 1.1, 1.2, 1.3, 2.0, 2.7, 2.8, 2.9, 3.0];
+        let labels = dbscan_1d(&pts, 0.7, 4);
+        assert_eq!(&labels[..4], &[Some(0), Some(0), Some(0), Some(0)]);
+        assert_eq!(&labels[5..], &[Some(1), Some(1), Some(1), Some(1)]);
+        assert_eq!(labels[4], Some(0), "bridge adopts its nearest core's cluster");
     }
 
     #[test]

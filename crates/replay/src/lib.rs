@@ -39,6 +39,7 @@ pub mod metrics;
 #[cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod recovery;
 pub mod runner;
+pub mod service;
 pub mod visibility;
 
 pub use alloc::{allocate_threads, UrgencyMode};
@@ -55,5 +56,9 @@ pub use engines::{apply_entry, commit_cell, translate_entry, Cell, ReplayEngine}
 pub use grouping::{dbscan_1d, TableGrouping};
 pub use metrics::ReplayMetrics;
 pub use recovery::{DurableBackup, DurableOptions, RecoveryReport};
-pub use runner::{run_realtime, RunnerConfig, RunnerOutcome, RunnerQuery};
-pub use visibility::VisibilityBoard;
+pub use runner::{run_realtime, RunnerConfig, RunnerOutcome, RunnerQuery, Workload};
+pub use service::{
+    AdmissionMode, BackupNode, BackupNodeBuilder, NodeOptions, OutputKind, QueryHandle,
+    QueryOutput, QuerySpec, ReadSession,
+};
+pub use visibility::{VisibilityBoard, VisibilityBoardBuilder, WaitOutcome};

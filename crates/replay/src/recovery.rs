@@ -23,9 +23,10 @@ use crate::checkpoint::{CheckpointMeta, CheckpointStore};
 use crate::engines::aets::AetsEngine;
 use crate::engines::ReplayEngine;
 use crate::metrics::ReplayMetrics;
+use crate::service::{BackupNode, NodeOptions};
 use crate::visibility::VisibilityBoard;
 use aets_common::{Error, GroupId, Result, Timestamp};
-use aets_memtable::{gc_db, MemDb};
+use aets_memtable::{gc_db, MemDb, QueryFloor};
 use aets_telemetry::{names, EventKind, Telemetry};
 use aets_wal::crash::CrashClock;
 use aets_wal::{EncodedEpoch, EpochSource, SegmentConfig, SegmentStore};
@@ -80,8 +81,8 @@ pub struct RecoveryReport {
 /// epoch-aligned checkpoints, suffix-only restart recovery.
 #[derive(Debug)]
 pub struct DurableBackup {
-    engine: AetsEngine,
-    db: MemDb,
+    engine: Arc<AetsEngine>,
+    db: Arc<MemDb>,
     board: Arc<VisibilityBoard>,
     wal: SegmentStore,
     ckpt: CheckpointStore,
@@ -92,8 +93,13 @@ pub struct DurableBackup {
     next_seq: u64,
     /// `next_epoch_seq` of the last durable checkpoint (0 = none).
     last_ckpt_seq: u64,
-    /// Oldest still-active analytical query's `qts`; clamps GC.
+    /// Manually published replica floor ([`DurableBackup::set_query_floor`]);
+    /// clamps GC together with the pinned read sessions' floor.
     query_floor: Timestamp,
+    /// Read sessions' GC floor, shared with every [`BackupNode`] started
+    /// via [`DurableBackup::serve`]: a pinned session clamps the
+    /// pre-checkpoint GC pass exactly like the manual floor.
+    floor: Arc<QueryFloor>,
     /// The engine's telemetry (disabled unless the engine was built with
     /// one); durability events and counters land here too.
     telemetry: Arc<Telemetry>,
@@ -132,13 +138,13 @@ impl DurableBackup {
 
         let telemetry = engine.telemetry().clone();
         let primary_watermark = Arc::new(AtomicU64::new(0));
-        let board = Arc::new(if telemetry.is_enabled() {
+        let board = Arc::new({
+            // The builder skips the instrumentation when telemetry is
+            // disabled, so the one path covers both configurations.
             let wm = primary_watermark.clone();
             let primary_clock: aets_telemetry::ClockFn =
                 Arc::new(move || wm.load(Ordering::Relaxed));
-            VisibilityBoard::with_telemetry(num_groups, &telemetry, primary_clock)
-        } else {
-            VisibilityBoard::new(num_groups)
+            VisibilityBoard::builder(num_groups).telemetry(&telemetry, primary_clock).build()
         });
         if fallbacks > 0 {
             telemetry.registry().counter(names::MANIFEST_FALLBACKS).add(fallbacks);
@@ -204,8 +210,8 @@ impl DurableBackup {
             recovery_wall: t0.elapsed(),
         };
         Ok(Self {
-            engine,
-            db,
+            engine: Arc::new(engine),
+            db: Arc::new(db),
             board,
             wal,
             ckpt,
@@ -215,6 +221,7 @@ impl DurableBackup {
             next_seq,
             last_ckpt_seq: restored_seq.unwrap_or(0),
             query_floor: Timestamp::MAX,
+            floor: Arc::new(QueryFloor::new()),
             telemetry,
             primary_watermark,
         })
@@ -259,7 +266,9 @@ impl DurableBackup {
             return Ok(false);
         }
         if self.opts.gc_before_checkpoint {
-            let wm = self.board.gc_watermark(&[], self.query_floor);
+            // Both floors clamp: the manually published replica floor and
+            // the oldest read session pinned through a served node.
+            let wm = self.board.gc_watermark(&[], self.query_floor.min(self.floor.floor()));
             let pass = gc_db(&self.db, wm);
             self.metrics.gc.merge(pass);
             self.metrics.gc_passes += 1;
@@ -297,9 +306,28 @@ impl DurableBackup {
 
     /// Publishes the oldest still-active analytical query's `qts` so GC
     /// never prunes a version an admitted query may read. Pass
-    /// [`Timestamp::MAX`] when no query is active.
+    /// [`Timestamp::MAX`] when no query is active. Sessions opened
+    /// through [`DurableBackup::serve`] pin the floor automatically; this
+    /// manual override exists for externally coordinated readers.
     pub fn set_query_floor(&mut self, qts: Timestamp) {
         self.query_floor = qts;
+    }
+
+    /// Starts a query-serving [`BackupNode`] over this durable backup's
+    /// live state: the node shares the engine, database, visibility
+    /// board, telemetry, and GC floor, so sessions opened on it read the
+    /// epochs ingested here — including everything recovered from the
+    /// checkpoint + WAL suffix after a restart — and their pinned `qts`
+    /// clamps the pre-checkpoint GC pass.
+    pub fn serve(&self, opts: NodeOptions) -> Result<BackupNode> {
+        BackupNode::builder()
+            .engine(self.engine.clone())
+            .db(self.db.clone())
+            .board(self.board.clone())
+            .floor(self.floor.clone())
+            .telemetry(self.telemetry.clone())
+            .options(opts)
+            .build()
     }
 
     /// The Memtable.
@@ -318,7 +346,7 @@ impl DurableBackup {
     }
 
     /// The node's telemetry instance (disabled unless the engine was
-    /// built with [`AetsEngine::with_telemetry`]).
+    /// built with `AetsEngine::builder(..).telemetry(..)`).
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
     }
@@ -575,12 +603,11 @@ mod tests {
         let wal_dir = scratch("tel-wal");
         let ckpt_dir = scratch("tel-ckpt");
         let tel = Arc::new(Telemetry::new());
-        let engine = AetsEngine::with_telemetry(
-            AetsConfig { threads: 2, ..Default::default() },
-            grouping.clone(),
-            tel.clone(),
-        )
-        .unwrap();
+        let engine = AetsEngine::builder(grouping.clone())
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .telemetry(tel.clone())
+            .build()
+            .unwrap();
         let opts = DurableOptions {
             checkpoint_every: 4,
             segment: SegmentConfig { epochs_per_segment: 2, ..Default::default() },
@@ -616,6 +643,59 @@ mod tests {
         let evs = tel.drain_events();
         assert!(evs.iter().any(|e| e.kind.name() == "checkpoint_written"));
         assert!(evs.iter().any(|e| e.kind.name() == "wal_segment_retired"));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+
+    #[test]
+    fn restarted_backup_serves_pinned_read_sessions() {
+        use crate::service::{QueryOutput, QuerySpec};
+        use aets_memtable::Scan;
+
+        let (epochs, num_tables, grouping) = tpcc_stream(1_000);
+        let wal_dir = scratch("serve-wal");
+        let ckpt_dir = scratch("serve-ckpt");
+        let opts = DurableOptions { checkpoint_every: 6, ..Default::default() };
+        {
+            let mut node = DurableBackup::open(
+                &wal_dir,
+                &ckpt_dir,
+                fresh_engine(&grouping),
+                num_tables,
+                opts.clone(),
+                None,
+            )
+            .unwrap();
+            for e in &epochs {
+                node.ingest(e).unwrap();
+            }
+        }
+        // Second life: recover, then serve queries from the recovered
+        // state. The board was seeded from the checkpoint and advanced by
+        // the suffix replay, so a session at the stream's high-water mark
+        // admits without any further ingest.
+        let backup = DurableBackup::open(
+            &wal_dir,
+            &ckpt_dir,
+            fresh_engine(&grouping),
+            num_tables,
+            opts,
+            None,
+        )
+        .unwrap();
+        assert!(backup.recovery().restored_seq.is_some());
+        let node = backup.serve(crate::service::NodeOptions::default()).unwrap();
+        let qts = epochs.last().unwrap().max_commit_ts;
+        let table = TableId::new(0);
+        let session = node.open_session(qts, &[table]);
+        // A pinned session clamps the durable backup's GC floor too.
+        assert!(backup.floor.floor() <= qts);
+        let served = session.query(QuerySpec::count(table)).unwrap();
+        let oracle = Scan::at(qts).count(backup.db().table(table));
+        assert_eq!(served, QueryOutput::Count(oracle));
+        assert!(oracle > 0, "recovered warehouse table must have rows");
+        drop(session);
+        assert_eq!(backup.floor.floor(), Timestamp::MAX);
         let _ = std::fs::remove_dir_all(&wal_dir);
         let _ = std::fs::remove_dir_all(&ckpt_dir);
     }

@@ -1,21 +1,21 @@
 //! Real-time HTAP runner for the threaded engines.
 //!
-//! Wires the full pipeline the paper deploys: a feeder thread releases
-//! epochs according to the replication timeline (an epoch only becomes
-//! available after its last transaction committed on the primary, plus
-//! network latency); the replay engine consumes them as they arrive; and
-//! query threads issue analytical queries at their arrival timestamps,
-//! blocking on Algorithm 3 until their data is visible. Measured per-query
-//! waits are *wall-clock* visibility delays on the real engine — the
-//! hardware-independent counterpart lives in `aets-simulator`.
+//! A thin client of the query-serving [`BackupNode`]: the runner builds a
+//! node around the engine, releases epochs according to the replication
+//! timeline (an epoch only becomes available after its last transaction
+//! committed on the primary, plus network latency), and issues each
+//! analytical query at its arrival timestamp through a pinned
+//! [`crate::service::ReadSession`], blocking on Algorithm 3 until its
+//! data is visible. Measured per-query waits are *wall-clock* visibility
+//! delays on the real engine — the hardware-independent counterpart lives
+//! in `aets-simulator`.
 
 use crate::engines::ReplayEngine;
 use crate::metrics::ReplayMetrics;
-use crate::visibility::VisibilityBoard;
+use crate::service::{AdmissionMode, BackupNode, NodeOptions};
 use aets_common::{Error, Result, TableId, Timestamp};
-use aets_memtable::{gc_db, MemDb};
+use aets_memtable::MemDb;
 use aets_wal::EncodedEpoch;
-use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -28,6 +28,19 @@ pub struct RunnerQuery {
     pub tables: Vec<TableId>,
 }
 
+/// The paced input of a real-time run: the epoch stream with its
+/// replication-timeline arrivals, plus the analytical query mix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Workload<'a> {
+    /// Encoded epochs, in commit order.
+    pub epochs: &'a [EncodedEpoch],
+    /// Replication-timeline arrival of each epoch (`epochs[k]` is released
+    /// to the engine at wall time `arrivals[k] / time_scale`).
+    pub arrivals: &'a [Timestamp],
+    /// Analytical queries, issued at their own arrival timestamps.
+    pub queries: &'a [RunnerQuery],
+}
+
 /// Result of one real-time run.
 #[derive(Debug)]
 pub struct RunnerOutcome {
@@ -35,7 +48,9 @@ pub struct RunnerOutcome {
     pub metrics: ReplayMetrics,
     /// Wall-clock visibility delay per query, in the order submitted.
     pub delays: Vec<Duration>,
-    /// Queries that timed out waiting for visibility.
+    /// Queries that timed out waiting for visibility (or were refused
+    /// because their data sits behind a quarantined group's frozen
+    /// watermark).
     pub timed_out: usize,
     /// Prometheus-text telemetry snapshots taken every
     /// [`RunnerConfig::telemetry_every`] epochs (empty when the cadence is
@@ -74,18 +89,26 @@ pub struct RunnerConfig {
     /// Per-query visibility timeout.
     pub query_timeout: Duration,
     /// Run a version-chain GC pass after every `gc_every` released epochs
-    /// (`0` disables GC). The pass prunes at
-    /// [`VisibilityBoard::gc_watermark`]: the oldest not-yet-completed
-    /// query's `qts` (queries still to arrive count — they will read at
-    /// their arrival snapshot), the global commit high-water mark, and any
-    /// quarantined group's frozen `tg_cmt_ts` all clamp the watermark.
+    /// (`0` disables GC). The pass prunes at [`BackupNode::gc_watermark`]:
+    /// the oldest open session's `qts` (queries still to arrive count —
+    /// they will read at their arrival snapshot), the global commit
+    /// high-water mark, and any quarantined group's frozen `tg_cmt_ts`
+    /// all clamp the watermark.
     pub gc_every: usize,
     /// Render a telemetry exposition snapshot after every
     /// `telemetry_every` released epochs into
     /// [`RunnerOutcome::telemetry_snapshots`] (`0` disables the cadence).
     /// Has effect only when the engine carries an enabled telemetry
-    /// instance ([`crate::engines::aets::AetsEngine::with_telemetry`]).
+    /// instance (built via `AetsEngine::builder().telemetry(..)`).
     pub telemetry_every: usize,
+    /// Worker threads of the node's query pool (the runner's own
+    /// visibility waits run on the issuing threads, so the pool only
+    /// serves explicitly submitted [`crate::service::QuerySpec`]s).
+    pub query_workers: usize,
+    /// Admission-queue depth of the node.
+    pub queue_depth: usize,
+    /// How visibility waits park (event-driven by default).
+    pub admission: AdmissionMode,
 }
 
 impl Default for RunnerConfig {
@@ -95,23 +118,28 @@ impl Default for RunnerConfig {
             query_timeout: Duration::from_secs(30),
             gc_every: 64,
             telemetry_every: 0,
+            query_workers: 2,
+            queue_depth: 64,
+            admission: AdmissionMode::EventDriven,
         }
     }
 }
 
-/// Runs `engine` against a paced epoch stream while serving `queries`.
+/// Runs `engine` against the paced [`Workload`] while serving its queries.
 ///
 /// Epoch `k` is released to the engine at wall time
 /// `arrival_k / time_scale` after the run starts, where `arrival_k` is the
-/// epoch's replication-timeline arrival. Queries are issued the same way.
+/// epoch's replication-timeline arrival. Queries are issued the same way:
+/// each holds a pinned read session from the start of the run (it will
+/// read at its arrival snapshot, so GC must not prune past it), sleeps to
+/// its arrival instant, then blocks on Algorithm 3 admission.
 pub fn run_realtime(
-    engine: &dyn ReplayEngine,
-    epochs: &[EncodedEpoch],
-    arrivals: &[Timestamp],
-    db: &MemDb,
-    queries: &[RunnerQuery],
+    engine: Arc<dyn ReplayEngine>,
+    db: Arc<MemDb>,
+    workload: &Workload<'_>,
     cfg: &RunnerConfig,
 ) -> Result<RunnerOutcome> {
+    let Workload { epochs, arrivals, queries } = *workload;
     if epochs.len() != arrivals.len() {
         return Err(Error::Config("one arrival per epoch required".into()));
     }
@@ -120,48 +148,49 @@ pub fn run_realtime(
     }
     let start = Instant::now();
     let telemetry = engine.telemetry_handle().filter(|t| t.is_enabled());
-    let board = Arc::new(match &telemetry {
-        Some(tel) => {
-            // Freshness clock: map wall time back onto the primary clock
-            // through the pacing compression, so the recorded visibility
-            // lag (`now − primary_commit_ts`) is in primary microseconds
-            // regardless of `time_scale`.
-            let time_scale = cfg.time_scale;
-            let clock: aets_telemetry::ClockFn =
-                Arc::new(move || (start.elapsed().as_secs_f64() * time_scale * 1e6) as u64);
-            VisibilityBoard::with_telemetry(engine.board_groups(), tel, clock)
-        }
-        None => VisibilityBoard::new(engine.board_groups()),
-    });
+    // Freshness clock: map wall time back onto the primary clock through
+    // the pacing compression, so the recorded visibility lag
+    // (`now − primary_commit_ts`) is in primary microseconds regardless
+    // of `time_scale`.
+    let time_scale = cfg.time_scale;
+    let clock: aets_telemetry::ClockFn =
+        Arc::new(move || (start.elapsed().as_secs_f64() * time_scale * 1e6) as u64);
+    let node = BackupNode::builder()
+        .engine(engine.clone())
+        .db(db.clone())
+        .clock(clock)
+        .options(NodeOptions {
+            query_workers: cfg.query_workers,
+            queue_depth: cfg.queue_depth,
+            default_timeout: cfg.query_timeout,
+            admission: cfg.admission,
+            ..Default::default()
+        })
+        .build()?;
     let to_wall =
         |ts: Timestamp| -> Duration { Duration::from_secs_f64(ts.as_secs_f64() / cfg.time_scale) };
 
-    // One slot per query holding its `qts` until the query completes
-    // (served or timed out); the minimum over live slots is the GC query
-    // floor. Queries that have not arrived yet keep their slot occupied —
-    // they will read at their arrival snapshot, so GC must not prune past
-    // it.
-    let floor: Arc<Mutex<Vec<Option<u64>>>> =
-        Arc::new(Mutex::new(queries.iter().map(|q| Some(q.arrival.as_micros())).collect()));
+    // Pin every query's snapshot before the stream starts: a session's
+    // RAII floor pin is what keeps GC from pruning past a query that has
+    // not arrived yet.
+    let sessions: Vec<_> =
+        queries.iter().map(|q| node.open_session(q.arrival, &q.tables)).collect();
 
     std::thread::scope(|scope| -> Result<RunnerOutcome> {
-        // Query threads: sleep until arrival, then block on Algorithm 3.
+        // Query threads: sleep until arrival, then block on Algorithm 3
+        // on their own thread (pure visibility delay, no queueing noise).
         let mut waiters = Vec::with_capacity(queries.len());
-        for (qidx, q) in queries.iter().enumerate() {
-            let board = board.clone();
-            let floor = floor.clone();
+        for (q, session) in queries.iter().zip(sessions) {
             let offset = to_wall(q.arrival);
-            let gids = engine.board_groups_for(&q.tables);
             let timeout = cfg.query_timeout;
             waiters.push(scope.spawn(move || {
                 let target = start + offset;
                 if let Some(sleep) = target.checked_duration_since(Instant::now()) {
                     std::thread::sleep(sleep);
                 }
-                let issued = Instant::now();
-                let ok = board.wait_visible(&gids, q.arrival, timeout);
-                floor.lock()[qidx] = None;
-                (issued.elapsed(), ok)
+                // Dropping the session here (end of scope) releases the
+                // GC floor pin the moment the query completes.
+                session.wait_admitted(timeout)
             }));
         }
 
@@ -176,36 +205,15 @@ pub fn run_realtime(
             if let Some(sleep) = target.checked_duration_since(Instant::now()) {
                 std::thread::sleep(sleep);
             }
-            let m = engine.replay(std::slice::from_ref(epoch), db, &board)?;
+            let m = node.replay(std::slice::from_ref(epoch))?;
             // Quarantine state is cumulative on the engine; the latest
             // epoch's snapshot is the union of everything poisoned so far.
             metrics.absorb(&m);
 
             if cfg.gc_every > 0 && (eidx + 1) % cfg.gc_every == 0 {
-                let query_floor = {
-                    let slots = floor.lock();
-                    slots
-                        .iter()
-                        .flatten()
-                        .min()
-                        .copied()
-                        .map(Timestamp::from_micros)
-                        .unwrap_or(Timestamp::MAX)
-                };
-                let wm = board.gc_watermark(&metrics.quarantined_groups, query_floor);
-                let pass = gc_db(db, wm);
+                let pass = node.gc();
                 metrics.gc.merge(pass);
                 metrics.gc_passes += 1;
-                if let Some(tel) = &telemetry {
-                    tel.registry().counter(aets_telemetry::names::GC_PASSES).inc();
-                    tel.registry()
-                        .counter(aets_telemetry::names::GC_PRUNED)
-                        .add(pass.pruned as u64);
-                    tel.event(aets_telemetry::EventKind::GcPass {
-                        nodes: pass.nodes,
-                        pruned: pass.pruned,
-                    });
-                }
             }
 
             if let Some(tel) = &telemetry {
@@ -225,12 +233,10 @@ pub fn run_realtime(
         let mut delays = Vec::with_capacity(waiters.len());
         let mut timed_out = 0usize;
         for w in waiters {
-            let (delay, ok) =
-                w.join().map_err(|_| Error::Replay("query thread panicked".into()))?;
-            if ok {
-                delays.push(delay);
-            } else {
-                timed_out += 1;
+            match w.join().map_err(|_| Error::Replay("query thread panicked".into()))? {
+                Ok(delay) => delays.push(delay),
+                Err(Error::QueryTimeout | Error::Degraded) => timed_out += 1,
+                Err(e) => return Err(e),
             }
         }
         Ok(RunnerOutcome { metrics, delays, timed_out, telemetry_snapshots, degraded_snapshot })
@@ -247,7 +253,7 @@ mod tests {
 
     fn setup(
         num_txns: usize,
-    ) -> (aets_workloads::Workload, Vec<EncodedEpoch>, Vec<Timestamp>, AetsEngine) {
+    ) -> (aets_workloads::Workload, Vec<EncodedEpoch>, Vec<Timestamp>, Arc<dyn ReplayEngine>) {
         let w = tpcc::generate(&TpccConfig {
             num_txns,
             warehouses: 2,
@@ -261,15 +267,17 @@ mod tests {
         let (groups, rates) = tpcc::paper_grouping();
         let grouping =
             TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
-        let engine =
-            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping).unwrap();
-        (w, epochs, arrivals, engine)
+        let engine = AetsEngine::builder(grouping)
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .build()
+            .unwrap();
+        (w, epochs, arrivals, Arc::new(engine))
     }
 
     #[test]
     fn realtime_run_serves_all_queries() {
         let (w, epochs, arrivals, engine) = setup(1_000);
-        let db = MemDb::new(w.num_tables());
+        let db = Arc::new(MemDb::new(w.num_tables()));
         let queries: Vec<RunnerQuery> = w
             .queries
             .iter()
@@ -277,11 +285,9 @@ mod tests {
             .map(|q| RunnerQuery { arrival: q.arrival, tables: q.tables.clone() })
             .collect();
         let outcome = run_realtime(
-            &engine,
-            &epochs,
-            &arrivals,
-            &db,
-            &queries,
+            engine,
+            db.clone(),
+            &Workload { epochs: &epochs, arrivals: &arrivals, queries: &queries },
             &RunnerConfig { time_scale: 20.0, ..Default::default() },
         )
         .unwrap();
@@ -295,11 +301,17 @@ mod tests {
     #[test]
     fn pacing_spreads_replay_over_the_timeline() {
         let (w, epochs, arrivals, engine) = setup(600);
-        let db = MemDb::new(w.num_tables());
+        let db = Arc::new(MemDb::new(w.num_tables()));
         // 10x compression: a ~30ms primary window takes >= ~3ms wall.
         let cfg = RunnerConfig { time_scale: 10.0, ..Default::default() };
         let expected_min = Duration::from_secs_f64(arrivals.last().unwrap().as_secs_f64() / 10.0);
-        let outcome = run_realtime(&engine, &epochs, &arrivals, &db, &[], &cfg).unwrap();
+        let outcome = run_realtime(
+            engine,
+            db,
+            &Workload { epochs: &epochs, arrivals: &arrivals, queries: &[] },
+            &cfg,
+        )
+        .unwrap();
         assert!(
             outcome.metrics.wall >= expected_min,
             "run finished before the last epoch could arrive: {:?} < {:?}",
@@ -312,9 +324,15 @@ mod tests {
     #[test]
     fn periodic_gc_prunes_and_surfaces_stats() {
         let (w, epochs, arrivals, engine) = setup(2_000);
-        let db = MemDb::new(w.num_tables());
+        let db = Arc::new(MemDb::new(w.num_tables()));
         let cfg = RunnerConfig { time_scale: 50.0, gc_every: 2, ..Default::default() };
-        let outcome = run_realtime(&engine, &epochs, &arrivals, &db, &[], &cfg).unwrap();
+        let outcome = run_realtime(
+            engine,
+            db.clone(),
+            &Workload { epochs: &epochs, arrivals: &arrivals, queries: &[] },
+            &cfg,
+        )
+        .unwrap();
         assert_eq!(outcome.metrics.gc_passes as usize, epochs.len() / 2);
         assert!(outcome.metrics.gc.nodes > 0, "GC passes must visit chains");
         assert!(outcome.metrics.gc.pruned > 0, "hot TPC-C rows must shed versions");
@@ -330,11 +348,17 @@ mod tests {
         // active query set and checking reads at the query snapshot
         // still succeed afterwards.
         let (w, epochs, arrivals, engine) = setup(1_000);
-        let db = MemDb::new(w.num_tables());
+        let db = Arc::new(MemDb::new(w.num_tables()));
         let q_arrival = epochs[0].max_commit_ts;
         let queries = vec![RunnerQuery { arrival: q_arrival, tables: vec![TableId::new(0)] }];
         let cfg = RunnerConfig { time_scale: 50.0, gc_every: 1, ..Default::default() };
-        let outcome = run_realtime(&engine, &epochs, &arrivals, &db, &queries, &cfg).unwrap();
+        let outcome = run_realtime(
+            engine,
+            db.clone(),
+            &Workload { epochs: &epochs, arrivals: &arrivals, queries: &queries },
+            &cfg,
+        )
+        .unwrap();
         assert_eq!(outcome.timed_out, 0);
         assert!(outcome.metrics.gc_passes as usize >= epochs.len());
         assert!(db.all_chains_ordered());
@@ -348,15 +372,20 @@ mod tests {
         let grouping =
             TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
         let tel = Arc::new(Telemetry::new());
-        let engine = AetsEngine::with_telemetry(
-            AetsConfig { threads: 2, ..Default::default() },
-            grouping,
-            tel.clone(),
+        let engine = AetsEngine::builder(grouping)
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .telemetry(tel.clone())
+            .build()
+            .unwrap();
+        let db = Arc::new(MemDb::new(w.num_tables()));
+        let cfg = RunnerConfig { time_scale: 50.0, telemetry_every: 2, ..Default::default() };
+        let outcome = run_realtime(
+            Arc::new(engine),
+            db,
+            &Workload { epochs: &epochs, arrivals: &arrivals, queries: &[] },
+            &cfg,
         )
         .unwrap();
-        let db = MemDb::new(w.num_tables());
-        let cfg = RunnerConfig { time_scale: 50.0, telemetry_every: 2, ..Default::default() };
-        let outcome = run_realtime(&engine, &epochs, &arrivals, &db, &[], &cfg).unwrap();
         assert_eq!(outcome.telemetry_snapshots.len(), epochs.len() / 2);
         assert!(outcome.degraded_snapshot.is_none(), "healthy run");
         for text in &outcome.telemetry_snapshots {
@@ -379,22 +408,18 @@ mod tests {
     #[test]
     fn config_validation() {
         let (w, epochs, arrivals, engine) = setup(100);
-        let db = MemDb::new(w.num_tables());
+        let db = Arc::new(MemDb::new(w.num_tables()));
         assert!(run_realtime(
-            &engine,
-            &epochs,
-            &arrivals[..arrivals.len() - 1],
-            &db,
-            &[],
+            engine.clone(),
+            db.clone(),
+            &Workload { epochs: &epochs, arrivals: &arrivals[..arrivals.len() - 1], queries: &[] },
             &RunnerConfig::default(),
         )
         .is_err());
         assert!(run_realtime(
-            &engine,
-            &epochs,
-            &arrivals,
-            &db,
-            &[],
+            engine,
+            db,
+            &Workload { epochs: &epochs, arrivals: &arrivals, queries: &[] },
             &RunnerConfig { time_scale: 0.0, ..Default::default() },
         )
         .is_err());

@@ -5,12 +5,22 @@
 //! `global_cmt_ts` high-water mark. A query with arrival timestamp `qts`
 //! over groups `G` proceeds once `min_{g in G} tg_cmt_ts(g) >= qts` or
 //! `global_cmt_ts >= qts`; otherwise it waits for replay to catch up.
+//!
+//! Waiting is event-driven: each blocked query registers a wait cell and
+//! parks its thread; [`VisibilityBoard::publish_group`] and
+//! [`VisibilityBoard::publish_global`] evaluate the admission predicate
+//! per registered waiter and unpark exactly the threads whose condition
+//! just became decidable (admitted, or provably hopeless because a
+//! quarantined group froze below the waiter's `qts`). Publishes take no
+//! lock when nobody waits — one relaxed load guards the slow path.
 
 use aets_common::{GroupId, Timestamp};
 use aets_telemetry::{names, ClockFn, Gauge, Histogram, Telemetry};
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::Thread;
+use std::time::{Duration, Instant};
 
 /// Freshness instrumentation attached to a board: on every group
 /// publish, the visibility lag `now − primary_commit_ts` is recorded
@@ -31,15 +41,88 @@ impl std::fmt::Debug for BoardTelemetry {
     }
 }
 
+/// How a wait for Algorithm 3 admission ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The admission condition holds: the snapshot at `qts` is readable.
+    Visible,
+    /// The timeout elapsed before the condition held.
+    TimedOut,
+    /// The wait is hopeless: a group the query needs is quarantined with
+    /// its watermark frozen below `qts`, and the global high-water mark
+    /// (which also freezes under quarantine) is below `qts` too. The
+    /// snapshot can never become consistent without operator recovery.
+    Quarantined,
+}
+
+/// One parked admission waiter. Registered under the board's waiter lock;
+/// publishers evaluate the predicate against these fields and unpark the
+/// owning thread when it becomes decidable.
+struct WaitCell {
+    qts: u64,
+    gids: Vec<usize>,
+    thread: Thread,
+}
+
+/// Builds a [`VisibilityBoard`], optionally instrumented. The single
+/// construction path used by `BackupNode`; `new` remains as the bare
+/// shorthand.
+#[derive(Default)]
+pub struct VisibilityBoardBuilder {
+    num_groups: usize,
+    tel: Option<BoardTelemetry>,
+}
+
+impl VisibilityBoardBuilder {
+    /// Attaches freshness instrumentation: per-group
+    /// `aets_visibility_lag_us` histograms, `aets_tg_cmt_ts_us{group}`
+    /// gauges, and the `aets_global_cmt_ts_us` gauge. `clock` must return
+    /// "now" on the primary clock in microseconds (see `BoardTelemetry`).
+    /// A disabled `Telemetry` leaves the board uninstrumented.
+    pub fn telemetry(mut self, telemetry: &Telemetry, clock: ClockFn) -> Self {
+        if !telemetry.is_enabled() {
+            return self;
+        }
+        let reg = telemetry.registry();
+        self.tel = Some(BoardTelemetry {
+            lag: (0..self.num_groups)
+                .map(|g| {
+                    reg.histogram_with(names::VISIBILITY_LAG_US, aets_telemetry::group_label(g))
+                })
+                .collect(),
+            tg_gauge: (0..self.num_groups)
+                .map(|g| reg.gauge_with(names::TG_CMT_TS_US, aets_telemetry::group_label(g)))
+                .collect(),
+            global_gauge: reg.gauge(names::GLOBAL_CMT_TS_US),
+            clock,
+        });
+        self
+    }
+
+    /// Finishes the board.
+    pub fn build(self) -> VisibilityBoard {
+        let mut board = VisibilityBoard::new(self.num_groups);
+        board.tel = self.tel;
+        board
+    }
+}
+
 /// Shared visibility state between the replay engine (writer) and query
 /// threads (waiters).
 #[derive(Debug)]
 pub struct VisibilityBoard {
     groups: Vec<AtomicU64>,
+    quarantined: Vec<AtomicBool>,
     global: AtomicU64,
-    gate: Mutex<()>,
-    cv: Condvar,
+    n_waiters: AtomicUsize,
+    waiters: Mutex<Vec<Arc<WaitCell>>>,
     tel: Option<BoardTelemetry>,
+}
+
+impl std::fmt::Debug for WaitCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitCell").field("qts", &self.qts).field("gids", &self.gids).finish()
+    }
 }
 
 impl VisibilityBoard {
@@ -47,34 +130,26 @@ impl VisibilityBoard {
     pub fn new(num_groups: usize) -> Self {
         Self {
             groups: (0..num_groups).map(|_| AtomicU64::new(0)).collect(),
+            quarantined: (0..num_groups).map(|_| AtomicBool::new(false)).collect(),
             global: AtomicU64::new(0),
-            gate: Mutex::new(()),
-            cv: Condvar::new(),
+            n_waiters: AtomicUsize::new(0),
+            waiters: Mutex::new(Vec::new()),
             tel: None,
         }
     }
 
-    /// Creates a board whose publishes feed `telemetry`: per-group
-    /// `aets_visibility_lag_us` histograms (freshness, Figures 8b/9b
-    /// live), `aets_tg_cmt_ts_us{group}` gauges, and the
-    /// `aets_global_cmt_ts_us` gauge. `clock` must return "now" on the
-    /// primary clock in microseconds (see [`BoardTelemetry`] above).
+    /// Starts building a board for `num_groups` groups.
+    pub fn builder(num_groups: usize) -> VisibilityBoardBuilder {
+        VisibilityBoardBuilder { num_groups, tel: None }
+    }
+
+    /// Creates an instrumented board.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `VisibilityBoard::builder(n).telemetry(...).build()`"
+    )]
     pub fn with_telemetry(num_groups: usize, telemetry: &Telemetry, clock: ClockFn) -> Self {
-        let reg = telemetry.registry();
-        let mut board = Self::new(num_groups);
-        board.tel = Some(BoardTelemetry {
-            lag: (0..num_groups)
-                .map(|g| {
-                    reg.histogram_with(names::VISIBILITY_LAG_US, aets_telemetry::group_label(g))
-                })
-                .collect(),
-            tg_gauge: (0..num_groups)
-                .map(|g| reg.gauge_with(names::TG_CMT_TS_US, aets_telemetry::group_label(g)))
-                .collect(),
-            global_gauge: reg.gauge(names::GLOBAL_CMT_TS_US),
-            clock,
-        });
-        board
+        Self::builder(num_groups).telemetry(telemetry, clock).build()
     }
 
     /// Number of groups on the board.
@@ -82,7 +157,8 @@ impl VisibilityBoard {
         self.groups.len()
     }
 
-    /// Publishes a (monotone) group commit timestamp and wakes waiters.
+    /// Publishes a (monotone) group commit timestamp and wakes exactly
+    /// the waiters whose admission condition this publish decides.
     /// Called by the group's commit thread at the end of Algorithm 1.
     pub fn publish_group(&self, g: GroupId, ts: Timestamp) {
         self.groups[g.index()].fetch_max(ts.as_micros(), Ordering::Release);
@@ -91,8 +167,7 @@ impl VisibilityBoard {
             t.lag[g.index()].record_micros(now.saturating_sub(ts.as_micros()));
             t.tg_gauge[g.index()].set_max(ts.as_micros());
         }
-        let _guard = self.gate.lock();
-        self.cv.notify_all();
+        self.wake_decided();
     }
 
     /// Publishes the global commit high-water mark.
@@ -101,8 +176,44 @@ impl VisibilityBoard {
         if let Some(t) = &self.tel {
             t.global_gauge.set_max(ts.as_micros());
         }
-        let _guard = self.gate.lock();
-        self.cv.notify_all();
+        self.wake_decided();
+    }
+
+    /// Marks `groups` (board indices) quarantined: their watermarks are
+    /// frozen and waiters needing them past the freeze are woken to fail
+    /// fast instead of sleeping out their timeout. Called by the engine
+    /// when its quarantine ledger grows; never un-sets within a run
+    /// (recovery builds a fresh board).
+    pub fn set_quarantined(&self, groups: &[usize]) {
+        let mut changed = false;
+        for &g in groups {
+            if let Some(flag) = self.quarantined.get(g) {
+                changed |= !flag.swap(true, Ordering::Release);
+            }
+        }
+        if changed {
+            self.wake_decided();
+        }
+    }
+
+    /// Whether group `g` (board index) is quarantined.
+    pub fn is_quarantined(&self, g: usize) -> bool {
+        self.quarantined.get(g).map(|f| f.load(Ordering::Acquire)).unwrap_or(false)
+    }
+
+    /// Unparks every registered waiter whose wait became decidable —
+    /// admitted or provably hopeless. Lock-free when nobody waits.
+    fn wake_decided(&self) {
+        if self.n_waiters.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let waiters = self.waiters.lock();
+        for cell in waiters.iter() {
+            let qts = Timestamp::from_micros(cell.qts);
+            if self.is_visible_idx(&cell.gids, qts) || self.is_hopeless_idx(&cell.gids, qts) {
+                cell.thread.unpark();
+            }
+        }
     }
 
     /// Current `tg_cmt_ts` of `g`.
@@ -124,6 +235,24 @@ impl VisibilityBoard {
     /// `gids`.
     pub fn is_visible(&self, gids: &[GroupId], qts: Timestamp) -> bool {
         self.min_over(gids) >= qts || self.global_cmt_ts() >= qts
+    }
+
+    fn is_visible_idx(&self, gids: &[usize], qts: Timestamp) -> bool {
+        let min =
+            gids.iter().map(|&g| self.groups[g].load(Ordering::Acquire)).min().unwrap_or(u64::MAX);
+        min >= qts.as_micros() || self.global.load(Ordering::Acquire) >= qts.as_micros()
+    }
+
+    /// A wait at `qts` over `gids` (board indices) is hopeless when some
+    /// needed group is quarantined with its frozen watermark below `qts`
+    /// and the global mark — frozen too, since quarantine stops global
+    /// publishes — is also below `qts`.
+    fn is_hopeless_idx(&self, gids: &[usize], qts: Timestamp) -> bool {
+        self.global.load(Ordering::Acquire) < qts.as_micros()
+            && gids.iter().any(|&g| {
+                self.quarantined[g].load(Ordering::Acquire)
+                    && self.groups[g].load(Ordering::Acquire) < qts.as_micros()
+            })
     }
 
     /// The safe version-chain GC / checkpoint watermark given the current
@@ -148,27 +277,98 @@ impl VisibilityBoard {
         wm
     }
 
-    /// Blocks until [`VisibilityBoard::is_visible`] holds or `timeout`
-    /// elapses. Returns `true` if visibility was reached.
-    pub fn wait_visible(&self, gids: &[GroupId], qts: Timestamp, timeout: Duration) -> bool {
-        if self.is_visible(gids, qts) {
-            return true;
+    /// Parks the calling thread until the Algorithm 3 condition for
+    /// (`gids`, `qts`) is decided or `timeout` elapses.
+    ///
+    /// Event-driven: no polling — the thread sleeps until a publish (or
+    /// quarantine) makes its wait decidable. Returns
+    /// [`WaitOutcome::Quarantined`] as soon as the wait is provably
+    /// hopeless (see [`VisibilityBoard::set_quarantined`]) instead of
+    /// sleeping out the timeout.
+    pub fn wait_admission(
+        &self,
+        gids: &[GroupId],
+        qts: Timestamp,
+        timeout: Duration,
+    ) -> WaitOutcome {
+        let idx: Vec<usize> = gids.iter().map(|g| g.index()).collect();
+        if self.is_visible_idx(&idx, qts) {
+            return WaitOutcome::Visible;
         }
-        let deadline = std::time::Instant::now() + timeout;
-        let mut guard = self.gate.lock();
-        while !self.is_visible(gids, qts) {
-            if self.cv.wait_until(&mut guard, deadline).timed_out() {
-                return self.is_visible(gids, qts);
+        if self.is_hopeless_idx(&idx, qts) {
+            return WaitOutcome::Quarantined;
+        }
+        let deadline = Instant::now() + timeout;
+        let cell =
+            Arc::new(WaitCell { qts: qts.as_micros(), gids: idx, thread: std::thread::current() });
+        {
+            let mut waiters = self.waiters.lock();
+            waiters.push(cell.clone());
+            self.n_waiters.store(waiters.len(), Ordering::Release);
+        }
+        // Re-check after registering: a publish between the first check
+        // and registration would otherwise be a lost wakeup.
+        let outcome = loop {
+            if self.is_visible_idx(&cell.gids, qts) {
+                break WaitOutcome::Visible;
             }
+            if self.is_hopeless_idx(&cell.gids, qts) {
+                break WaitOutcome::Quarantined;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break WaitOutcome::TimedOut;
+            }
+            std::thread::park_timeout(deadline - now);
+        };
+        {
+            let mut waiters = self.waiters.lock();
+            waiters.retain(|w| !Arc::ptr_eq(w, &cell));
+            self.n_waiters.store(waiters.len(), Ordering::Release);
         }
-        true
+        outcome
+    }
+
+    /// The pre-redesign sleep-poll admission loop, kept as the baseline
+    /// the event-driven path is benchmarked against
+    /// (`examples/query_service_bench.rs`): re-checks the predicate every
+    /// `interval` instead of parking on publishes.
+    pub fn wait_admission_polling(
+        &self,
+        gids: &[GroupId],
+        qts: Timestamp,
+        timeout: Duration,
+        interval: Duration,
+    ) -> WaitOutcome {
+        let idx: Vec<usize> = gids.iter().map(|g| g.index()).collect();
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.is_visible_idx(&idx, qts) {
+                return WaitOutcome::Visible;
+            }
+            if self.is_hopeless_idx(&idx, qts) {
+                return WaitOutcome::Quarantined;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return WaitOutcome::TimedOut;
+            }
+            std::thread::sleep(interval.min(deadline - now));
+        }
+    }
+
+    /// Blocks until [`VisibilityBoard::is_visible`] holds or `timeout`
+    /// elapses. Returns `true` if visibility was reached. Thin wrapper
+    /// over [`VisibilityBoard::wait_admission`] for callers that do not
+    /// distinguish timeout from quarantine.
+    pub fn wait_visible(&self, gids: &[GroupId], qts: Timestamp, timeout: Duration) -> bool {
+        self.wait_admission(gids, qts, timeout) == WaitOutcome::Visible
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use std::thread;
 
     fn g(i: u32) -> GroupId {
@@ -234,13 +434,134 @@ mod tests {
     }
 
     #[test]
+    fn parked_waiters_deregister_after_wake() {
+        let b = Arc::new(VisibilityBoard::new(2));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let b = b.clone();
+                thread::spawn(move || {
+                    b.wait_admission(
+                        &[g(i % 2)],
+                        Timestamp::from_micros(100),
+                        Duration::from_secs(5),
+                    )
+                })
+            })
+            .collect();
+        // Let the waiters park, then satisfy only group 0.
+        thread::sleep(Duration::from_millis(20));
+        b.publish_group(g(0), Timestamp::from_micros(100));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.n_waiters.load(Ordering::Acquire), 2, "group-1 waiters still parked");
+        b.publish_group(g(1), Timestamp::from_micros(100));
+        for h in handles {
+            assert_eq!(h.join().unwrap(), WaitOutcome::Visible);
+        }
+        assert_eq!(b.n_waiters.load(Ordering::Acquire), 0, "all waiters deregistered");
+    }
+
+    #[test]
+    fn publish_racing_registration_is_not_a_lost_wakeup() {
+        // Hammer the register/publish race: the waiter re-checks after
+        // registering, so a publish that lands in between must still
+        // admit it promptly.
+        for ts in 1..50u64 {
+            let b = Arc::new(VisibilityBoard::new(1));
+            let waiter = {
+                let b = b.clone();
+                thread::spawn(move || {
+                    b.wait_admission(&[g(0)], Timestamp::from_micros(ts), Duration::from_secs(5))
+                })
+            };
+            b.publish_group(g(0), Timestamp::from_micros(ts));
+            assert_eq!(waiter.join().unwrap(), WaitOutcome::Visible);
+        }
+    }
+
+    #[test]
+    fn quarantine_fails_hopeless_waiters_fast() {
+        let b = Arc::new(VisibilityBoard::new(2));
+        b.publish_group(g(0), Timestamp::from_micros(10));
+        let waiter = {
+            let b = b.clone();
+            thread::spawn(move || {
+                b.wait_admission(&[g(0)], Timestamp::from_micros(100), Duration::from_secs(30))
+            })
+        };
+        thread::sleep(Duration::from_millis(20));
+        let start = Instant::now();
+        b.set_quarantined(&[0]);
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Quarantined);
+        assert!(start.elapsed() < Duration::from_secs(5), "no sleeping out the 30s timeout");
+        assert!(b.is_quarantined(0));
+        assert!(!b.is_quarantined(1));
+        // A fresh wait on the frozen group fails immediately.
+        assert_eq!(
+            b.wait_admission(&[g(0)], Timestamp::from_micros(100), Duration::from_secs(30)),
+            WaitOutcome::Quarantined
+        );
+    }
+
+    #[test]
+    fn quarantined_group_below_qts_still_admits_via_global() {
+        let b = VisibilityBoard::new(2);
+        b.set_quarantined(&[1]);
+        b.publish_global(Timestamp::from_micros(200));
+        assert_eq!(
+            b.wait_admission(&[g(1)], Timestamp::from_micros(100), Duration::from_millis(10)),
+            WaitOutcome::Visible,
+            "global high-water mark still admits"
+        );
+    }
+
+    #[test]
+    fn quarantined_group_at_or_past_qts_is_readable() {
+        let b = VisibilityBoard::new(1);
+        b.publish_group(g(0), Timestamp::from_micros(100));
+        b.set_quarantined(&[0]);
+        assert_eq!(
+            b.wait_admission(&[g(0)], Timestamp::from_micros(80), Duration::from_millis(10)),
+            WaitOutcome::Visible,
+            "frozen watermark already covers the snapshot"
+        );
+    }
+
+    #[test]
+    fn polling_admission_matches_event_driven_outcomes() {
+        let b = Arc::new(VisibilityBoard::new(1));
+        let tick = Duration::from_millis(2);
+        assert_eq!(
+            b.wait_admission_polling(&[g(0)], Timestamp::from_micros(10), tick * 5, tick),
+            WaitOutcome::TimedOut
+        );
+        let waiter = {
+            let b = b.clone();
+            thread::spawn(move || {
+                b.wait_admission_polling(
+                    &[g(0)],
+                    Timestamp::from_micros(10),
+                    Duration::from_secs(5),
+                    tick,
+                )
+            })
+        };
+        b.publish_group(g(0), Timestamp::from_micros(10));
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Visible);
+        b.set_quarantined(&[0]);
+        assert_eq!(
+            b.wait_admission_polling(&[g(0)], Timestamp::from_micros(99), tick * 5, tick),
+            WaitOutcome::Quarantined
+        );
+    }
+
+    #[test]
     fn telemetry_board_records_lag_and_gauges() {
         use aets_telemetry::{names, Telemetry};
         let tel = Telemetry::new();
         // Primary "now" is pinned at 1000us: a publish at 400us has
         // 600us of visibility lag.
         let clock: aets_telemetry::ClockFn = Arc::new(|| 1_000);
-        let b = VisibilityBoard::with_telemetry(2, &tel, clock);
+        let b = VisibilityBoard::builder(2).telemetry(&tel, clock).build();
         b.publish_group(g(0), Timestamp::from_micros(400));
         b.publish_group(g(1), Timestamp::from_micros(990));
         b.publish_global(Timestamp::from_micros(990));
@@ -257,6 +578,21 @@ mod tests {
         b.publish_group(g(1), Timestamp::from_micros(100));
         let snap = tel.snapshot();
         assert_eq!(snap.gauge(names::TG_CMT_TS_US, &aets_telemetry::group_label(1)), Some(990));
+    }
+
+    #[test]
+    fn deprecated_constructor_still_builds_an_instrumented_board() {
+        use aets_telemetry::Telemetry;
+        let tel = Telemetry::new();
+        let clock: aets_telemetry::ClockFn = Arc::new(|| 0);
+        #[allow(deprecated)]
+        let b = VisibilityBoard::with_telemetry(2, &tel, clock);
+        b.publish_group(g(0), Timestamp::from_micros(1));
+        assert_eq!(b.num_groups(), 2);
+        assert!(tel
+            .snapshot()
+            .histogram_summary(names::VISIBILITY_LAG_US, &aets_telemetry::group_label(0))
+            .is_some());
     }
 
     #[test]

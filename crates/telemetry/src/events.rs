@@ -69,6 +69,16 @@ pub enum EventKind {
         /// Manifests that failed validation.
         manifests_skipped: u64,
     },
+    /// A read session opened and pinned the GC floor at its `qts`.
+    SessionOpened {
+        /// The session's snapshot timestamp (micros).
+        qts_us: u64,
+    },
+    /// A read session closed and released its GC floor pin.
+    SessionClosed {
+        /// The session's snapshot timestamp (micros).
+        qts_us: u64,
+    },
 }
 
 /// One emitted event.
@@ -150,6 +160,8 @@ impl EventKind {
             EventKind::WalSegmentRetired { .. } => "wal_segment_retired",
             EventKind::GcPass { .. } => "gc_pass",
             EventKind::RecoveryFallback { .. } => "recovery_fallback",
+            EventKind::SessionOpened { .. } => "session_opened",
+            EventKind::SessionClosed { .. } => "session_closed",
         }
     }
 }

@@ -107,6 +107,37 @@ pub mod names {
     pub const MANIFEST_FALLBACKS: &str = "aets_manifest_fallbacks_total";
     /// Epochs re-replayed from the WAL suffix during recovery.
     pub const RECOVERY_SUFFIX_EPOCHS: &str = "aets_recovery_suffix_epochs_total";
+    /// Query service: end-to-end query latency (submit → reply, micros).
+    pub const QUERY_LATENCY_US: &str = "aets_query_latency_us";
+    /// Query service: time a query spent in the admission queue before a
+    /// worker picked it up (micros).
+    pub const QUERY_QUEUE_WAIT_US: &str = "aets_query_queue_wait_us";
+    /// Query service: time a worker spent parked on Algorithm 3
+    /// visibility before the snapshot became readable (micros).
+    pub const QUERY_ADMISSION_WAIT_US: &str = "aets_query_admission_wait_us";
+    /// Query service: queries completed successfully.
+    pub const QUERIES_SERVED: &str = "aets_queries_served_total";
+    /// Query service: queries that missed their deadline.
+    pub const QUERIES_TIMED_OUT: &str = "aets_queries_timed_out_total";
+    /// Query service: submissions rejected by the full admission queue.
+    pub const QUERIES_OVERLOADED: &str = "aets_queries_overloaded_total";
+    /// Query service: queries refused because a quarantined group's
+    /// frozen watermark can never reach their `qts`.
+    pub const QUERIES_REFUSED_DEGRADED: &str = "aets_queries_refused_degraded_total";
+    /// Query service: queries cancelled by their client.
+    pub const QUERIES_CANCELLED: &str = "aets_queries_cancelled_total";
+    /// Query service: queries currently executing on workers (level).
+    pub const QUERIES_INFLIGHT: &str = "aets_queries_inflight";
+    /// Query service: submissions currently waiting in the admission
+    /// queue (level).
+    pub const QUERY_QUEUE_DEPTH: &str = "aets_query_queue_depth";
+    /// Query service: read sessions opened.
+    pub const SESSIONS_OPENED: &str = "aets_sessions_opened_total";
+    /// Query service: read sessions closed (floor pin released).
+    pub const SESSIONS_CLOSED: &str = "aets_sessions_closed_total";
+    /// Query service: read sessions currently pinning the GC floor
+    /// (level).
+    pub const SESSIONS_ACTIVE: &str = "aets_sessions_active";
 }
 
 /// The shared telemetry instance: registry + event ring + clock.

@@ -100,6 +100,24 @@ impl Gauge {
         }
     }
 
+    /// Adds `n` to the gauge. Used for up/down levels such as in-flight
+    /// query counts and queue depths.
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.core.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `n` from the gauge, saturating at zero so a racy
+    /// decrement can never wrap a level gauge to `u64::MAX`.
+    pub fn sub(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            let _ = self
+                .core
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.core.load(Ordering::Relaxed)
@@ -425,6 +443,18 @@ mod tests {
         assert_eq!(g.get(), 20);
         g.set(1);
         assert_eq!(g.get(), 1, "plain set overwrites");
+    }
+
+    #[test]
+    fn gauge_add_sub_saturates_at_zero() {
+        let g =
+            Gauge { enabled: Arc::new(AtomicBool::new(true)), core: Arc::new(AtomicU64::new(0)) };
+        g.add(3);
+        assert_eq!(g.get(), 3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "level gauge never wraps below zero");
     }
 
     #[test]

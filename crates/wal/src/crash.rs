@@ -73,7 +73,7 @@ impl CrashClock {
 
     /// Charges one *write* of `len` bytes. `Ok(len)` while budget remains.
     /// The charge that crosses zero tears the write: `Err` carries no
-    /// length, and [`CrashClock::torn_len`] says how many bytes of this
+    /// length, and `CrashClock::torn_len` says how many bytes of this
     /// exact write became durable (a deterministic function of the
     /// operation index, so the same budget always tears the same way).
     pub fn charge_write(

@@ -49,7 +49,7 @@
 //! retention pass), are deleted outright.
 //!
 //! All filesystem traffic is metered through an optional
-//! [`CrashClock`](crate::crash::CrashClock), which is how the crash-matrix
+//! [`CrashClock`], which is how the crash-matrix
 //! tests kill the store mid-segment-write and mid-recovery
 //! deterministically.
 

@@ -10,7 +10,7 @@ use aets_suite::common::{FxHashSet, TableId, Timestamp};
 use aets_suite::memtable::MemDb;
 use aets_suite::replay::{
     run_realtime, AetsConfig, AetsEngine, AtrEngine, C5Engine, ReplayEngine, RunnerConfig,
-    SerialEngine, TableGrouping,
+    SerialEngine, TableGrouping, Workload,
 };
 use aets_suite::telemetry::{names, Telemetry};
 use aets_suite::wal::{batch_into_epochs, encode_epoch, ReplicationTimeline};
@@ -87,20 +87,24 @@ fn main() {
     let tel = Arc::new(Telemetry::new());
     let grouping =
         TableGrouping::per_table(n, &hot, |t| if written.contains(&t) { 100.0 } else { 1.0 });
-    let live = AetsEngine::with_telemetry(
-        AetsConfig { threads: 4, ..Default::default() },
-        grouping,
-        tel.clone(),
-    )
-    .expect("valid config");
+    let live = AetsEngine::builder(grouping)
+        .config(AetsConfig { threads: 4, ..Default::default() })
+        .telemetry(tel.clone())
+        .build()
+        .expect("valid config");
     let raw_live = batch_into_epochs(workload.txns.clone(), 256).expect("positive epoch size");
     let arrivals_live = ReplicationTimeline::default().arrivals(&raw_live);
     let epochs_live: Vec<_> = raw_live.iter().map(encode_epoch).collect();
-    let db = MemDb::new(n);
+    let db = Arc::new(MemDb::new(n));
     let cfg =
         RunnerConfig { time_scale: 0.5, telemetry_every: epochs_live.len(), ..Default::default() };
-    let outcome =
-        run_realtime(&live, &epochs_live, &arrivals_live, &db, &[], &cfg).expect("realtime run");
+    let outcome = run_realtime(
+        Arc::new(live),
+        db,
+        &Workload { epochs: &epochs_live, arrivals: &arrivals_live, queries: &[] },
+        &cfg,
+    )
+    .expect("realtime run");
     let snap = tel.snapshot();
     println!("\nlive telemetry (paced 0.5x real-time AETS run, {}-epoch feed):", epochs_live.len());
     if let Some(lag) = snap.histogram_summary_all(names::VISIBILITY_LAG_US) {

@@ -61,12 +61,11 @@ fn main() {
     // ---- First life: ingest everything durably, then die. -------------
     let tel = Arc::new(Telemetry::new());
     let (ckpts, retired, ingest_wall) = {
-        let live_engine = AetsEngine::with_telemetry(
-            AetsConfig { threads: 2, ..Default::default() },
-            grouping.clone(),
-            tel.clone(),
-        )
-        .expect("positive thread count");
+        let live_engine = AetsEngine::builder(grouping.clone())
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .telemetry(tel.clone())
+            .build()
+            .expect("positive thread count");
         let mut node =
             DurableBackup::open(&wal_dir, &ckpt_dir, live_engine, num_tables, opts.clone(), None)
                 .expect("cold start");

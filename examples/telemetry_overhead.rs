@@ -8,9 +8,10 @@
 //! "Off" is the default engine (a disabled `Telemetry`: every record
 //! operation is one relaxed atomic load) over a plain visibility board —
 //! exactly what `run_realtime` wires when no telemetry is attached. "On"
-//! is `AetsEngine::with_telemetry` plus an instrumented board, so the run
-//! pays for sharded counter increments, histogram records on every group
-//! publish, the freshness clock, and per-epoch lifecycle events.
+//! is `AetsEngine::builder(..).telemetry(..)` plus an instrumented board,
+//! so the run pays for sharded counter increments, histogram records on
+//! every group publish, the freshness clock, and per-epoch lifecycle
+//! events.
 //!
 //! Run-to-run throughput on a shared machine drifts by far more than the
 //! true cost of a few hundred thousand relaxed atomics, so the comparison
@@ -42,12 +43,15 @@ fn run_once(epochs: &[EncodedEpoch], workload: &aets_suite::workloads::Workload,
     let n = workload.num_tables();
     let (engine, board) = if on {
         let tel = Arc::new(Telemetry::new());
-        let engine =
-            AetsEngine::with_telemetry(cfg, grouping(workload), tel.clone()).expect("valid config");
+        let engine = AetsEngine::builder(grouping(workload))
+            .config(cfg)
+            .telemetry(tel.clone())
+            .build()
+            .expect("valid config");
         let start = Instant::now();
         let clock: aets_suite::telemetry::ClockFn =
             Arc::new(move || start.elapsed().as_micros() as u64);
-        let board = VisibilityBoard::with_telemetry(engine.board_groups(), &tel, clock);
+        let board = VisibilityBoard::builder(engine.board_groups()).telemetry(&tel, clock).build();
         (engine, board)
     } else {
         let engine = AetsEngine::new(cfg, grouping(workload)).expect("valid config");

@@ -17,7 +17,7 @@ use aets_suite::common::{
 use aets_suite::memtable::MemDb;
 use aets_suite::replay::{
     run_realtime, AetsConfig, AetsEngine, ReplayEngine, ReplayMetrics, RetryPolicy, RunnerConfig,
-    RunnerQuery, SerialEngine, TableGrouping, VisibilityBoard,
+    RunnerQuery, SerialEngine, TableGrouping, VisibilityBoard, Workload as RunnerWorkload,
 };
 use aets_suite::wal::{
     batch_into_epochs, crc32, encode_epoch, DmlEntry, EncodedEpoch, FaultInjector, FaultKind,
@@ -202,7 +202,7 @@ fn degraded_runner_times_out_quarantined_queries() {
     let arrivals: Vec<Timestamp> = epochs.iter().map(|e| e.max_commit_ts).collect();
     let engine =
         AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping).unwrap();
-    let db = MemDb::new(3);
+    let db = std::sync::Arc::new(MemDb::new(3));
     let queries = vec![
         RunnerQuery { arrival: epochs[0].max_commit_ts, tables: vec![TableId::new(0)] },
         RunnerQuery { arrival: epochs[2].max_commit_ts, tables: vec![TableId::new(2)] },
@@ -212,7 +212,13 @@ fn degraded_runner_times_out_quarantined_queries() {
         query_timeout: Duration::from_millis(300),
         ..Default::default()
     };
-    let outcome = run_realtime(&engine, &epochs, &arrivals, &db, &queries, &cfg).unwrap();
+    let outcome = run_realtime(
+        std::sync::Arc::new(engine),
+        db,
+        &RunnerWorkload { epochs: &epochs, arrivals: &arrivals, queries: &queries },
+        &cfg,
+    )
+    .unwrap();
     assert!(outcome.degraded(), "runner must surface the quarantine");
     assert_eq!(outcome.metrics.quarantined_groups, vec![1]);
     assert_eq!(outcome.delays.len(), 1, "the healthy-group query is served");

@@ -6,7 +6,7 @@
 
 use aets_suite::memtable::MemDb;
 use aets_suite::replay::{
-    run_realtime, AetsConfig, AetsEngine, ReplayMetrics, RunnerConfig, TableGrouping,
+    run_realtime, AetsConfig, AetsEngine, ReplayMetrics, RunnerConfig, TableGrouping, Workload,
 };
 use aets_suite::telemetry::{names, parse_exposition, EventKind, Telemetry};
 use aets_suite::wal::{batch_into_epochs, encode_epoch, ReplicationTimeline};
@@ -39,15 +39,20 @@ fn short_paced_replay_emits_parseable_consistent_telemetry() {
     let grouping =
         TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).expect("grouping");
     let tel = Arc::new(Telemetry::new());
-    let engine = AetsEngine::with_telemetry(
-        AetsConfig { threads: 2, ..Default::default() },
-        grouping,
-        tel.clone(),
-    )
-    .expect("valid config");
-    let db = MemDb::new(w.num_tables());
+    let engine = AetsEngine::builder(grouping)
+        .config(AetsConfig { threads: 2, ..Default::default() })
+        .telemetry(tel.clone())
+        .build()
+        .expect("valid config");
+    let db = Arc::new(MemDb::new(w.num_tables()));
     let cfg = RunnerConfig { time_scale: 50.0, telemetry_every: 4, ..Default::default() };
-    let outcome = run_realtime(&engine, &epochs, &arrivals, &db, &[], &cfg).expect("realtime run");
+    let outcome = run_realtime(
+        Arc::new(engine),
+        db,
+        &Workload { epochs: &epochs, arrivals: &arrivals, queries: &[] },
+        &cfg,
+    )
+    .expect("realtime run");
 
     // ---- Exposition snapshots parse and carry the metric families. ----
     assert_eq!(outcome.telemetry_snapshots.len(), epochs.len() / 4);
@@ -120,11 +125,18 @@ fn disabled_telemetry_keeps_the_runner_silent() {
     let (groups, rates) = tpcc::paper_grouping();
     let grouping =
         TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).expect("grouping");
-    let engine =
-        AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping).expect("config");
-    let db = MemDb::new(w.num_tables());
+    let engine = Arc::new(
+        AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping).expect("config"),
+    );
+    let db = Arc::new(MemDb::new(w.num_tables()));
     let cfg = RunnerConfig { time_scale: 50.0, telemetry_every: 1, ..Default::default() };
-    let outcome = run_realtime(&engine, &epochs, &arrivals, &db, &[], &cfg).expect("realtime run");
+    let outcome = run_realtime(
+        engine.clone(),
+        db,
+        &Workload { epochs: &epochs, arrivals: &arrivals, queries: &[] },
+        &cfg,
+    )
+    .expect("realtime run");
     assert!(outcome.telemetry_snapshots.is_empty());
     assert!(outcome.degraded_snapshot.is_none());
     let snap = engine.telemetry().snapshot();
