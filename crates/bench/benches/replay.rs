@@ -46,9 +46,10 @@ fn bench_replay(c: &mut Criterion) {
 
     g.throughput(Throughput::Elements(entries));
     g.bench_function("aets_full_replay_2t", |b| {
-        let engine =
-            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping.clone())
-                .unwrap();
+        let engine = AetsEngine::builder(grouping.clone())
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .build()
+            .unwrap();
         b.iter(|| {
             let db = MemDb::new(w.num_tables());
             engine.replay_all(std::hint::black_box(&epochs), &db).unwrap()
@@ -68,11 +69,10 @@ fn bench_replay(c: &mut Criterion) {
         [("aets_multi_epoch_2t_pipelined", 2usize), ("aets_multi_epoch_2t_inline_dispatch", 0)]
     {
         g.bench_function(label, |b| {
-            let engine = AetsEngine::new(
-                AetsConfig { threads: 2, pipeline_depth: depth, ..Default::default() },
-                grouping.clone(),
-            )
-            .unwrap();
+            let engine = AetsEngine::builder(grouping.clone())
+                .config(AetsConfig { threads: 2, pipeline_depth: depth, ..Default::default() })
+                .build()
+                .unwrap();
             b.iter(|| {
                 let db = MemDb::new(w.num_tables());
                 engine.replay_all(std::hint::black_box(&small_epochs), &db).unwrap()

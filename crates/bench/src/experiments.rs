@@ -603,11 +603,10 @@ pub fn validate(scale: Scale) {
             (
                 "AETS",
                 Box::new(
-                    AetsEngine::new(
-                        AetsConfig { threads: 4, ..Default::default() },
-                        bench.grouping.clone(),
-                    )
-                    .expect("valid config"),
+                    AetsEngine::builder(bench.grouping.clone())
+                        .config(AetsConfig { threads: 4, ..Default::default() })
+                        .build()
+                        .expect("valid config"),
                 ),
             ),
             (

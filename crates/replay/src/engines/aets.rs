@@ -48,8 +48,9 @@ use aets_memtable::MemDb;
 use aets_telemetry::{names, Counter, EventKind, Gauge, Histogram, Telemetry};
 use aets_wal::{EncodedEpoch, EpochSource, SliceSource};
 use parking_lot::{Condvar, Mutex};
+use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -183,6 +184,7 @@ struct EngineStats {
     epoch_gaps: Counter,
     ingest_stalls: Counter,
     quarantined: Gauge,
+    ingest_bps: Gauge,
     cell_recycled: Counter,
     cell_allocated: Counter,
 }
@@ -205,6 +207,7 @@ impl EngineStats {
             epoch_gaps: reg.counter(names::EPOCH_GAPS),
             ingest_stalls: reg.counter(names::INGEST_STALLS),
             quarantined: reg.gauge(names::QUARANTINED_GROUPS),
+            ingest_bps: reg.gauge(names::INGEST_BYTES_PER_SEC),
             cell_recycled: reg.counter(names::CELL_RECYCLED),
             cell_allocated: reg.counter(names::CELL_ALLOCATED),
         }
@@ -221,9 +224,9 @@ pub struct AetsEngine {
     stats: EngineStats,
 }
 
-/// Builds an [`AetsEngine`]: the single construction path behind both
-/// shorthands (`AetsEngine::new` and the deprecated `with_telemetry`) and
-/// the one `BackupNode` uses.
+/// Builds an [`AetsEngine`]: the single construction path —
+/// `AetsEngine::builder(grouping).config(cfg).build()`, with
+/// `.telemetry(..)` chained for an instrumented engine.
 pub struct AetsEngineBuilder {
     cfg: AetsConfig,
     grouping: TableGrouping,
@@ -267,26 +270,6 @@ impl AetsEngine {
         AetsEngineBuilder { cfg: AetsConfig::default(), grouping, telemetry: None }
     }
 
-    /// Creates an engine over `grouping` with telemetry disabled (every
-    /// record operation is a single relaxed load). Shorthand for
-    /// [`AetsEngine::builder`] with no telemetry attached.
-    pub fn new(cfg: AetsConfig, grouping: TableGrouping) -> Result<Self> {
-        Self::builder(grouping).config(cfg).build()
-    }
-
-    /// Creates an instrumented engine.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `AetsEngine::builder(grouping).config(cfg).telemetry(tel).build()`"
-    )]
-    pub fn with_telemetry(
-        cfg: AetsConfig,
-        grouping: TableGrouping,
-        telemetry: Arc<Telemetry>,
-    ) -> Result<Self> {
-        Self::builder(grouping).config(cfg).telemetry(telemetry).build()
-    }
-
     /// The engine's telemetry instance (disabled unless one was attached
     /// via [`AetsEngineBuilder::telemetry`]).
     pub fn telemetry(&self) -> &Arc<Telemetry> {
@@ -306,8 +289,9 @@ impl AetsEngine {
         hot_tables: &aets_common::FxHashSet<TableId>,
     ) -> Result<Self> {
         let grouping = TableGrouping::single(num_tables, hot_tables);
-        let mut eng =
-            Self::new(AetsConfig { threads, two_stage: false, ..Default::default() }, grouping)?;
+        let mut eng = Self::builder(grouping)
+            .config(AetsConfig { threads, two_stage: false, ..Default::default() })
+            .build()?;
         eng.cfg.adaptive = false;
         Ok(eng)
     }
@@ -343,16 +327,12 @@ impl AetsEngine {
                 }
                 let workers = alloc[gid.index()];
                 let pool = &pools[gid.index()];
-                let state = Arc::new(GroupRunState::new(gw.mini_txns.len()));
+                let queue = Arc::new(CommitQueue::new(gw.mini_txns.len()));
                 for _ in 0..workers {
-                    let state = state.clone();
+                    let queue = queue.clone();
                     scope.spawn(move || {
                         let t0 = Instant::now();
-                        loop {
-                            let i = state.next_task.fetch_add(1, Ordering::Relaxed);
-                            if i >= gw.mini_txns.len() {
-                                break;
-                            }
+                        while let Some(i) = queue.claim() {
                             let mt = &gw.mini_txns[i];
                             // Contained per mini-txn so a failure (or
                             // panic) still fills this slot and the worker
@@ -367,13 +347,13 @@ impl AetsEngine {
                                 Ok(cells)
                             }))
                             .unwrap_or_else(|p| Err(panic_error("phase-1 worker", p)));
-                            state.finish(i, res);
+                            queue.finish(i, res);
                         }
                         replay_busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     });
                 }
                 // The group's single commit thread (phase 2).
-                let state_c = state.clone();
+                let state_c = queue.clone();
                 scope.spawn(move || {
                     // Busy time excludes blocking on phase-1 workers: the
                     // Table II breakdown measures work, not waiting.
@@ -677,6 +657,13 @@ impl AetsEngine {
         m.replay_busy = std::time::Duration::from_nanos(replay_busy.load(Ordering::Relaxed));
         m.commit_busy = std::time::Duration::from_nanos(commit_busy.load(Ordering::Relaxed));
         m.wall = start.elapsed();
+        // Wall-normalised throughput of this call; single-epoch calls from
+        // the realtime runner overwrite it each tick, so the gauge always
+        // reads the most recent ingest rate.
+        let wall_us = m.wall.as_micros() as u64;
+        if let Some(bps) = m.bytes.saturating_mul(1_000_000).checked_div(wall_us) {
+            self.stats.ingest_bps.set(bps);
+        }
         // Per-call deltas feed the cumulative registry counters: the
         // realtime runner calls `replay` once per epoch through the same
         // engine, so the registry integrates what ReplayMetrics reports
@@ -693,52 +680,134 @@ impl AetsEngine {
     }
 }
 
-/// Shared state of one group's replay within a stage.
-struct GroupRunState {
-    next_task: AtomicUsize,
-    slots: Vec<Slot>,
+/// Pads a value to its own cache line so the producer- and consumer-side
+/// cursors of a [`CommitQueue`] never false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+const SLOT_EMPTY: u8 = 0;
+const SLOT_READY: u8 = 1;
+
+/// How long the commit thread spins on the head slot before parking on
+/// the condvar. Translating one mini-txn is a few µs of work, so a short
+/// spin absorbs almost every wait without burning a futex syscall.
+const SPIN_LIMIT: u32 = 128;
+
+/// Lock-free in-order commit queue of one group's replay within a stage
+/// (the phase-1→phase-2 edge; DESIGN.md §11 "Ingest hot path").
+///
+/// Phase-1 workers claim mini-txn indices from the cache-line-padded
+/// `tail` cursor and publish each translation outcome into its slot with
+/// a single release-store; the group's single commit thread — the unique
+/// consumer — walks the padded `head` cursor strictly in mini-txn order
+/// with acquire-loads. The hand-off hot path is entirely atomic: no
+/// mutex, no condvar. The condvar only backs the consumer's *parked*
+/// fallback after a bounded spin, preserving the blocking semantics of
+/// the mutexed slot protocol this replaces (and its integration with
+/// quarantine supervision: failed or panic-contained translations travel
+/// through the slots as `Err` outcomes exactly as before).
+///
+/// Safety of the `UnsafeCell` payloads: slot `i` is written exactly
+/// once, by the unique worker whose `claim()` returned `i`, strictly
+/// before its `SLOT_READY` release-store; the consumer reads it exactly
+/// once, strictly after acquire-loading `SLOT_READY`, and `head` never
+/// revisits an index. The release/acquire pair on `state` orders the
+/// payload write before the payload read.
+#[doc(hidden)] // public only for `examples/ingest_bench.rs`
+pub struct CommitQueue {
+    /// Producer claim cursor: workers hammer it with `fetch_add`.
+    tail: CachePadded<AtomicUsize>,
+    /// Consumer position, padded away from `tail` and the slots.
+    head: CachePadded<AtomicUsize>,
+    slots: Box<[CommitSlot]>,
+    /// 1 while the consumer is parked on `cv`; producers skip the mutex
+    /// entirely whenever it is 0 (the common case).
+    parked: AtomicUsize,
     mx: Mutex<()>,
     cv: Condvar,
 }
 
-struct Slot {
-    ready: AtomicBool,
+struct CommitSlot {
+    state: AtomicU8,
     /// The translation outcome: cells on success, the worker's (typed or
     /// panic-contained) failure otherwise.
-    cells: Mutex<Result<Vec<Cell>>>,
+    cells: UnsafeCell<Result<Vec<Cell>>>,
 }
 
-impl GroupRunState {
-    fn new(n: usize) -> Self {
+// SAFETY: cross-thread access to `cells` is mediated by `state` as
+// described on [`CommitQueue`].
+unsafe impl Sync for CommitSlot {}
+
+impl CommitQueue {
+    #[doc(hidden)]
+    pub fn new(n: usize) -> Self {
         Self {
-            next_task: AtomicUsize::new(0),
+            tail: CachePadded(AtomicUsize::new(0)),
+            head: CachePadded(AtomicUsize::new(0)),
             slots: (0..n)
-                .map(|_| Slot { ready: AtomicBool::new(false), cells: Mutex::new(Ok(Vec::new())) })
+                .map(|_| CommitSlot {
+                    state: AtomicU8::new(SLOT_EMPTY),
+                    cells: UnsafeCell::new(Ok(Vec::new())),
+                })
                 .collect(),
+            parked: AtomicUsize::new(0),
             mx: Mutex::new(()),
             cv: Condvar::new(),
         }
     }
 
-    /// Worker: store the translation outcome of mini-txn `i` and mark it
-    /// ready.
-    fn finish(&self, i: usize, cells: Result<Vec<Cell>>) {
-        *self.slots[i].cells.lock() = cells;
-        self.slots[i].ready.store(true, Ordering::Release);
-        let _g = self.mx.lock();
-        self.cv.notify_all();
+    /// Worker: claims the next untranslated mini-txn index, or `None`
+    /// once the stage is exhausted.
+    pub fn claim(&self) -> Option<usize> {
+        let i = self.tail.0.fetch_add(1, Ordering::Relaxed);
+        (i < self.slots.len()).then_some(i)
     }
 
-    /// Commit thread: block until mini-txn `i` is translated, then take
-    /// its outcome.
-    fn wait_take(&self, i: usize) -> Result<Vec<Cell>> {
-        if !self.slots[i].ready.load(Ordering::Acquire) {
+    /// Worker: publishes the translation outcome of mini-txn `i`.
+    pub fn finish(&self, i: usize, cells: Result<Vec<Cell>>) {
+        let slot = &self.slots[i];
+        // SAFETY: unique writer of slot `i` (see type docs); the consumer
+        // is excluded until the release-store below.
+        unsafe { *slot.cells.get() = cells };
+        slot.state.store(SLOT_READY, Ordering::Release);
+        // Dekker hand-off with `wait_take`'s park path: the fences order
+        // this READY store against the consumer's `parked` store, so
+        // either this load observes the consumer parked (and takes the
+        // mutex to wake it), or the consumer's re-check after its own
+        // fence observes READY and never sleeps. Without the fences both
+        // loads could see stale values and the wakeup would be lost.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        if self.parked.load(Ordering::Relaxed) != 0 {
+            let _g = self.mx.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Commit thread: blocks until mini-txn `i` — which must be the next
+    /// in-order index — is translated, then takes its outcome.
+    pub fn wait_take(&self, i: usize) -> Result<Vec<Cell>> {
+        debug_assert_eq!(self.head.0.load(Ordering::Relaxed), i, "single in-order consumer");
+        let slot = &self.slots[i];
+        let mut spins = 0u32;
+        while slot.state.load(Ordering::Acquire) != SLOT_READY {
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
             let mut g = self.mx.lock();
-            while !self.slots[i].ready.load(Ordering::Acquire) {
+            self.parked.store(1, Ordering::Relaxed);
+            std::sync::atomic::fence(Ordering::SeqCst);
+            while slot.state.load(Ordering::Acquire) != SLOT_READY {
                 self.cv.wait(&mut g);
             }
+            self.parked.store(0, Ordering::Relaxed);
+            break;
         }
-        std::mem::replace(&mut *self.slots[i].cells.lock(), Ok(Vec::new()))
+        self.head.0.store(i + 1, Ordering::Relaxed);
+        // SAFETY: `SLOT_READY` acquired above; `head` has moved past `i`,
+        // so this is the slot's unique (and final) reader.
+        unsafe { std::mem::replace(&mut *slot.cells.get(), Ok(Vec::new())) }
     }
 }
 
@@ -826,9 +895,10 @@ mod tests {
         let db_serial = MemDb::new(w.table_names.len());
         SerialEngine.replay_all(&epochs, &db_serial).unwrap();
 
-        let eng =
-            AetsEngine::new(AetsConfig { threads: 4, ..Default::default() }, tpcc_grouping(&w))
-                .unwrap();
+        let eng = AetsEngine::builder(tpcc_grouping(&w))
+            .config(AetsConfig { threads: 4, ..Default::default() })
+            .build()
+            .unwrap();
         let db = MemDb::new(w.table_names.len());
         let m = eng.replay_all(&epochs, &db).unwrap();
 
@@ -860,11 +930,12 @@ mod tests {
         // must equal the last epoch's max commit ts.
         let w = tpcc::generate(&TpccConfig { num_txns: 400, warehouses: 2, ..Default::default() });
         let epochs = encode(&w, 100);
-        let eng =
-            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, tpcc_grouping(&w))
-                .unwrap();
+        let eng = AetsEngine::builder(tpcc_grouping(&w))
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .build()
+            .unwrap();
         let db = MemDb::new(w.table_names.len());
-        let board = VisibilityBoard::new(eng.board_groups());
+        let board = VisibilityBoard::builder(eng.board_groups()).build();
         eng.replay(&epochs, &db, &board).unwrap();
         let last = epochs.last().unwrap().max_commit_ts;
         for g in 0..eng.board_groups() as u32 {
@@ -877,9 +948,10 @@ mod tests {
     fn single_thread_still_completes() {
         let w = tpcc::generate(&TpccConfig { num_txns: 300, warehouses: 2, ..Default::default() });
         let epochs = encode(&w, 64);
-        let eng =
-            AetsEngine::new(AetsConfig { threads: 1, ..Default::default() }, tpcc_grouping(&w))
-                .unwrap();
+        let eng = AetsEngine::builder(tpcc_grouping(&w))
+            .config(AetsConfig { threads: 1, ..Default::default() })
+            .build()
+            .unwrap();
         let db = MemDb::new(w.table_names.len());
         let m = eng.replay_all(&epochs, &db).unwrap();
         assert_eq!(m.txns, w.txns.len());
@@ -893,11 +965,10 @@ mod tests {
         let db_serial = MemDb::new(w.table_names.len());
         SerialEngine.replay_all(&epochs, &db_serial).unwrap();
         for (two_stage, adaptive) in [(false, true), (true, false), (false, false)] {
-            let eng = AetsEngine::new(
-                AetsConfig { threads: 3, two_stage, adaptive, ..Default::default() },
-                tpcc_grouping(&w),
-            )
-            .unwrap();
+            let eng = AetsEngine::builder(tpcc_grouping(&w))
+                .config(AetsConfig { threads: 3, two_stage, adaptive, ..Default::default() })
+                .build()
+                .unwrap();
             let db = MemDb::new(w.table_names.len());
             eng.replay_all(&epochs, &db).unwrap();
             assert_eq!(
@@ -914,11 +985,10 @@ mod tests {
         let epochs = encode(&w, 64);
         let n_groups = tpcc_grouping(&w).num_groups();
         let rate_fn: RateFn = Arc::new(move |_eidx| vec![5.0; n_groups]);
-        let eng = AetsEngine::new(
-            AetsConfig { threads: 2, rate_fn: Some(rate_fn), ..Default::default() },
-            tpcc_grouping(&w),
-        )
-        .unwrap();
+        let eng = AetsEngine::builder(tpcc_grouping(&w))
+            .config(AetsConfig { threads: 2, rate_fn: Some(rate_fn), ..Default::default() })
+            .build()
+            .unwrap();
         let db = MemDb::new(w.table_names.len());
         let m = eng.replay_all(&epochs, &db).unwrap();
         assert!(m.entries > 0);
@@ -928,7 +998,10 @@ mod tests {
     fn rejects_bad_configs() {
         let hot: FxHashSet<TableId> = FxHashSet::default();
         let g = TableGrouping::single(2, &hot);
-        assert!(AetsEngine::new(AetsConfig { threads: 0, ..Default::default() }, g).is_err());
+        assert!(AetsEngine::builder(g)
+            .config(AetsConfig { threads: 0, ..Default::default() })
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -943,11 +1016,10 @@ mod tests {
         let oracle = db_oracle.digest_at(Timestamp::MAX);
 
         for depth in [0usize, 1, 4] {
-            let eng = AetsEngine::new(
-                AetsConfig { threads: 3, pipeline_depth: depth, ..Default::default() },
-                tpcc_grouping(&w),
-            )
-            .unwrap();
+            let eng = AetsEngine::builder(tpcc_grouping(&w))
+                .config(AetsConfig { threads: 3, pipeline_depth: depth, ..Default::default() })
+                .build()
+                .unwrap();
             let db = MemDb::new(w.table_names.len());
             let m = eng.replay_all(&epochs, &db).unwrap();
             assert_eq!(m.txns, w.txns.len(), "depth={depth}");
@@ -963,9 +1035,10 @@ mod tests {
         let w = tpcc::generate(&TpccConfig { num_txns: 1200, warehouses: 2, ..Default::default() });
         let epochs = encode(&w, 64);
         assert!(epochs.len() > 10);
-        let eng =
-            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, tpcc_grouping(&w))
-                .unwrap();
+        let eng = AetsEngine::builder(tpcc_grouping(&w))
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .build()
+            .unwrap();
         let db = MemDb::new(w.table_names.len());
         let m = eng.replay_all(&epochs, &db).unwrap();
         assert!(m.cell_buffers_allocated > 0);
@@ -988,9 +1061,10 @@ mod tests {
         let cut = b.split_to(b.len() - 3);
         let corrupt = aets_wal::EncodedEpoch { bytes: cut, ..last.clone() };
         *epochs.last_mut().unwrap() = corrupt;
-        let eng =
-            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, tpcc_grouping(&w))
-                .unwrap();
+        let eng = AetsEngine::builder(tpcc_grouping(&w))
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .build()
+            .unwrap();
         let db = MemDb::new(w.table_names.len());
         let err = eng.replay_all(&epochs, &db).unwrap_err();
         assert!(matches!(err.kind(), "codec" | "protocol"), "got {err}");
@@ -1056,13 +1130,12 @@ mod tests {
         for depth in [0usize, 2] {
             let mut epochs = two_group_epochs();
             epochs[1] = corrupt_first_dml_of(&epochs[1], TableId::new(2));
-            let eng = AetsEngine::new(
-                AetsConfig { threads: 2, pipeline_depth: depth, ..Default::default() },
-                two_group_grouping(),
-            )
-            .unwrap();
+            let eng = AetsEngine::builder(two_group_grouping())
+                .config(AetsConfig { threads: 2, pipeline_depth: depth, ..Default::default() })
+                .build()
+                .unwrap();
             let db = MemDb::new(3);
-            let board = VisibilityBoard::new(2);
+            let board = VisibilityBoard::builder(2).build();
             let last_consistent = epochs[0].max_commit_ts;
 
             let m = eng.replay(&epochs[..2], &db, &board).unwrap();
@@ -1096,17 +1169,65 @@ mod tests {
     }
 
     #[test]
+    fn commit_queue_delivers_every_outcome_in_order_under_contention() {
+        // Pinned-seed stress of the lock-free hand-off: several producer
+        // workers claim and fill slots out of order (with splitmix-driven
+        // jitter so interleavings vary but reproduce), while the single
+        // consumer takes outcomes strictly in index order — the
+        // linearization the old mutexed slot protocol guaranteed. Each
+        // outcome carries its index as an `Err` payload so delivery is
+        // checked for identity, order, and exactly-once.
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let n = 4_000usize;
+        let producers = 4usize;
+        let seed: u64 =
+            std::env::var("AETS_TEST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xA375);
+        let queue = Arc::new(CommitQueue::new(n));
+        std::thread::scope(|scope| {
+            for p in 0..producers {
+                let queue = queue.clone();
+                let mut rng = seed.wrapping_add(p as u64);
+                scope.spawn(move || {
+                    while let Some(i) = queue.claim() {
+                        // Jitter: sometimes yield so slots complete out of
+                        // claim order and the consumer races ahead/behind.
+                        if splitmix(&mut rng).is_multiple_of(7) {
+                            std::thread::yield_now();
+                        }
+                        queue.finish(i, Err(Error::Replay(i.to_string())));
+                    }
+                });
+            }
+            for i in 0..n {
+                match queue.wait_take(i) {
+                    Err(Error::Replay(tag)) => {
+                        assert_eq!(tag, i.to_string(), "slot {i} delivered a foreign outcome")
+                    }
+                    other => panic!("slot {i}: unexpected outcome {other:?}"),
+                }
+            }
+        });
+    }
+
+    #[test]
     fn worker_panic_is_contained_and_quarantines_the_group() {
         let epochs = two_group_epochs();
-        let eng =
-            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, two_group_grouping())
-                .unwrap();
+        let eng = AetsEngine::builder(two_group_grouping())
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .build()
+            .unwrap();
         // A db sized below the workload's table span makes the replay
         // workers panic when they touch table 2. The panic must be
         // contained (no propagation out of replay), poison group 1 from
         // the first epoch on, and leave group 0 fully replayed.
         let db = MemDb::new(2);
-        let board = VisibilityBoard::new(2);
+        let board = VisibilityBoard::builder(2).build();
         let m = eng.replay(&epochs, &db, &board).unwrap();
         assert_eq!(m.quarantined_groups, vec![1]);
         assert_eq!(board.tg_cmt_ts(GroupId::new(0)), epochs.last().unwrap().max_commit_ts);
@@ -1131,13 +1252,12 @@ mod tests {
             FaultKind::Stall,
         ];
         let retry = RetryPolicy { max_retries: 4, base_backoff_us: 1, max_backoff_us: 50 };
-        let eng = AetsEngine::new(
-            AetsConfig { threads: 2, retry, ..Default::default() },
-            tpcc_grouping(&w),
-        )
-        .unwrap();
+        let eng = AetsEngine::builder(tpcc_grouping(&w))
+            .config(AetsConfig { threads: 2, retry, ..Default::default() })
+            .build()
+            .unwrap();
         let db = MemDb::new(w.table_names.len());
-        let board = VisibilityBoard::new(eng.board_groups());
+        let board = VisibilityBoard::builder(eng.board_groups()).build();
         let mut source = FaultInjector::new(epochs, FaultPlan::new(42, 0.6, kinds));
         let m = eng.replay_stream(&mut source, &db, &board).unwrap();
         assert!(!m.degraded(), "transient faults must fully heal");
@@ -1150,9 +1270,10 @@ mod tests {
     fn metrics_breakdown_is_replay_dominated() {
         let w = tpcc::generate(&TpccConfig { num_txns: 2000, warehouses: 2, ..Default::default() });
         let epochs = encode(&w, 512);
-        let eng =
-            AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, tpcc_grouping(&w))
-                .unwrap();
+        let eng = AetsEngine::builder(tpcc_grouping(&w))
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .build()
+            .unwrap();
         let db = MemDb::new(w.table_names.len());
         let m = eng.replay_all(&epochs, &db).unwrap();
         let (d, r, _c) = m.breakdown();

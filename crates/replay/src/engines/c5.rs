@@ -218,7 +218,7 @@ mod tests {
         let last = w.txns.last().unwrap().commit_ts;
         let epochs = encode(w.txns.clone(), 100);
         let db = MemDb::new(w.table_names.len());
-        let board = VisibilityBoard::new(1);
+        let board = VisibilityBoard::builder(1).build();
         C5Engine::new(2).unwrap().replay(&epochs, &db, &board).unwrap();
         assert!(board.is_visible(&[GroupId::new(0)], last));
     }

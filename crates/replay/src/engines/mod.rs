@@ -55,7 +55,7 @@ pub trait ReplayEngine: Send + Sync {
 
     /// Convenience: replay with a throwaway board.
     fn replay_all(&self, epochs: &[EncodedEpoch], db: &MemDb) -> Result<ReplayMetrics> {
-        let board = VisibilityBoard::new(self.board_groups());
+        let board = VisibilityBoard::builder(self.board_groups()).build();
         self.replay(epochs, db, &board)
     }
 

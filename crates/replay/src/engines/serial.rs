@@ -6,7 +6,7 @@ use crate::metrics::ReplayMetrics;
 use crate::visibility::VisibilityBoard;
 use aets_common::{GroupId, Result, TableId};
 use aets_memtable::MemDb;
-use aets_wal::{assemble_txns, decode_batch, EncodedEpoch};
+use aets_wal::{assemble_txns, EncodedEpoch, LogRecord};
 use std::time::Instant;
 
 /// Decodes and applies everything in primary commit order on the calling
@@ -35,8 +35,10 @@ impl ReplayEngine for SerialEngine {
     ) -> Result<ReplayMetrics> {
         let start = Instant::now();
         let mut m = ReplayMetrics { engine: self.name(), ..Default::default() };
+        // One scratch record vector reused across every epoch frame.
+        let mut records: Vec<LogRecord> = Vec::new();
         for epoch in epochs {
-            let records = decode_batch(epoch.bytes.clone())?;
+            epoch.decode_records_into(&mut records)?;
             let txns = assemble_txns(&records)?;
             for t in &txns {
                 for e in &t.entries {
@@ -90,7 +92,7 @@ mod tests {
             .map(aets_wal::encode_epoch)
             .collect();
         let db = MemDb::new(w.table_names.len());
-        let board = VisibilityBoard::new(1);
+        let board = VisibilityBoard::builder(1).build();
         SerialEngine.replay(&epochs, &db, &board).unwrap();
         assert_eq!(board.global_cmt_ts(), last_ts);
         assert!(board.tg_cmt_ts(GroupId::new(0)) >= last_ts);

@@ -47,6 +47,8 @@ pub use checkpoint::{Checkpoint, CheckpointMeta, CheckpointStore};
 pub use dispatch::{
     dispatch_epoch, ingest_epoch, DispatchedEpoch, GroupWork, IngestStats, MiniTxn, RetryPolicy,
 };
+#[doc(hidden)]
+pub use engines::aets::CommitQueue;
 pub use engines::aets::{AetsConfig, AetsEngine, RateFn};
 pub use engines::atr::AtrEngine;
 pub use engines::c5::C5Engine;

@@ -179,7 +179,11 @@ impl DurableBackup {
             None => (MemDb::new(num_tables), 0, None),
         };
 
-        let wal = SegmentStore::open(wal_dir, opts.segment, clock)?;
+        let mut wal = SegmentStore::open(wal_dir, opts.segment, clock)?;
+        // Group-commit observability: every fsync point reports how many
+        // frames it made durable (always 1 under `FsyncPolicy::EveryEpoch`).
+        let fsync_hist = telemetry.registry().histogram(names::WAL_FSYNC_COALESCED_FRAMES);
+        wal.set_sync_observer(Box::new(move |frames| fsync_hist.record_micros(frames)));
         // The WAL must cover everything past the checkpoint: a retained
         // prefix starting *after* `start_seq` means log was truncated
         // beyond the newest restorable checkpoint and recovery cannot be
@@ -209,7 +213,7 @@ impl DurableBackup {
             suffix_epochs,
             recovery_wall: t0.elapsed(),
         };
-        Ok(Self {
+        let mut node = Self {
             engine: Arc::new(engine),
             db: Arc::new(db),
             board,
@@ -224,7 +228,17 @@ impl DurableBackup {
             floor: Arc::new(QueryFloor::new()),
             telemetry,
             primary_watermark,
-        })
+        };
+        // If the replayed suffix already spans a full cadence the
+        // checkpoint is overdue: cut it now, before any new ingest, so a
+        // repeated crash-during-checkpoint can never grow the suffix past
+        // `checkpoint_every` across restarts.
+        if node.opts.checkpoint_every > 0
+            && node.next_seq - node.last_ckpt_seq >= node.opts.checkpoint_every
+        {
+            node.checkpoint_now()?;
+        }
+        Ok(node)
     }
 
     /// Ingests one epoch: durable WAL append first, then replay through
@@ -242,6 +256,10 @@ impl DurableBackup {
         // commit lag against the freshest known primary timestamp.
         self.primary_watermark.fetch_max(epoch.max_commit_ts.as_micros(), Ordering::Relaxed);
         let m = self.engine.replay(std::slice::from_ref(epoch), &self.db, &self.board)?;
+        let wall_us = m.wall.as_micros() as u64;
+        if let Some(bps) = m.bytes.saturating_mul(1_000_000).checked_div(wall_us) {
+            self.telemetry.registry().gauge(names::INGEST_BYTES_PER_SEC).set(bps);
+        }
         self.metrics.absorb(&m);
         self.next_seq = epoch.id.raw() + 1;
 
@@ -276,6 +294,11 @@ impl DurableBackup {
             self.telemetry.registry().counter(names::GC_PRUNED).add(pass.pruned as u64);
             self.telemetry.event(EventKind::GcPass { nodes: pass.nodes, pruned: pass.pruned });
         }
+        // Group-commit invariant: the WAL prefix below the checkpoint
+        // barrier must be durable before the manifest is — otherwise a
+        // crash could leave a checkpoint that outruns the durable log,
+        // and the resumed stream would hit an epoch gap.
+        self.wal.sync()?;
         let num_groups = self.engine.grouping().num_groups();
         let meta = CheckpointMeta {
             next_epoch_seq: self.next_seq,
@@ -370,6 +393,14 @@ impl DurableBackup {
     pub fn last_checkpoint_seq(&self) -> u64 {
         self.last_ckpt_seq
     }
+
+    /// Highest epoch sequence the WAL knows durable (covered by an fsync
+    /// point). Under [`aets_wal::FsyncPolicy::Coalesced`] this is the
+    /// crash-loss bound: acknowledged epochs past it may be re-requested
+    /// from the primary after a crash, but never epochs at or below it.
+    pub fn wal_synced_seq(&self) -> Option<u64> {
+        self.wal.synced_seq()
+    }
 }
 
 #[cfg(test)]
@@ -406,13 +437,16 @@ mod tests {
     }
 
     fn fresh_engine(grouping: &TableGrouping) -> AetsEngine {
-        AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping.clone()).unwrap()
+        AetsEngine::builder(grouping.clone())
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .build()
+            .unwrap()
     }
 
     fn oracle_digest(epochs: &[EncodedEpoch], num_tables: usize, grouping: &TableGrouping) -> u64 {
         let engine = fresh_engine(grouping);
         let db = MemDb::new(num_tables);
-        let board = VisibilityBoard::new(grouping.num_groups());
+        let board = VisibilityBoard::builder(grouping.num_groups()).build();
         engine.replay(epochs, &db, &board).unwrap();
         db.digest_at(Timestamp::MAX)
     }

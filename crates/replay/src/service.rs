@@ -905,7 +905,7 @@ mod tests {
             .options(NodeOptions { query_workers: 0, ..Default::default() })
             .build()
             .is_err());
-        let wrong_board = Arc::new(VisibilityBoard::new(5));
+        let wrong_board = Arc::new(VisibilityBoard::builder(5).build());
         assert!(BackupNode::builder()
             .engine(engine)
             .num_tables(1)

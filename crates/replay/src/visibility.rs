@@ -65,8 +65,8 @@ struct WaitCell {
 }
 
 /// Builds a [`VisibilityBoard`], optionally instrumented. The single
-/// construction path used by `BackupNode`; `new` remains as the bare
-/// shorthand.
+/// construction path: `VisibilityBoard::builder(n).build()` for a bare
+/// board, with `.telemetry(..)` chained for an instrumented one.
 #[derive(Default)]
 pub struct VisibilityBoardBuilder {
     num_groups: usize,
@@ -99,11 +99,16 @@ impl VisibilityBoardBuilder {
         self
     }
 
-    /// Finishes the board.
+    /// Finishes the board: `num_groups` groups, all at timestamp zero.
     pub fn build(self) -> VisibilityBoard {
-        let mut board = VisibilityBoard::new(self.num_groups);
-        board.tel = self.tel;
-        board
+        VisibilityBoard {
+            groups: (0..self.num_groups).map(|_| AtomicU64::new(0)).collect(),
+            quarantined: (0..self.num_groups).map(|_| AtomicBool::new(false)).collect(),
+            global: AtomicU64::new(0),
+            n_waiters: AtomicUsize::new(0),
+            waiters: Mutex::new(Vec::new()),
+            tel: self.tel,
+        }
     }
 }
 
@@ -126,30 +131,9 @@ impl std::fmt::Debug for WaitCell {
 }
 
 impl VisibilityBoard {
-    /// Creates a board for `num_groups` groups, all at timestamp zero.
-    pub fn new(num_groups: usize) -> Self {
-        Self {
-            groups: (0..num_groups).map(|_| AtomicU64::new(0)).collect(),
-            quarantined: (0..num_groups).map(|_| AtomicBool::new(false)).collect(),
-            global: AtomicU64::new(0),
-            n_waiters: AtomicUsize::new(0),
-            waiters: Mutex::new(Vec::new()),
-            tel: None,
-        }
-    }
-
     /// Starts building a board for `num_groups` groups.
     pub fn builder(num_groups: usize) -> VisibilityBoardBuilder {
         VisibilityBoardBuilder { num_groups, tel: None }
-    }
-
-    /// Creates an instrumented board.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `VisibilityBoard::builder(n).telemetry(...).build()`"
-    )]
-    pub fn with_telemetry(num_groups: usize, telemetry: &Telemetry, clock: ClockFn) -> Self {
-        Self::builder(num_groups).telemetry(telemetry, clock).build()
     }
 
     /// Number of groups on the board.
@@ -377,7 +361,7 @@ mod tests {
 
     #[test]
     fn publishes_are_monotone() {
-        let b = VisibilityBoard::new(2);
+        let b = VisibilityBoard::builder(2).build();
         b.publish_group(g(0), Timestamp::from_micros(100));
         b.publish_group(g(0), Timestamp::from_micros(50)); // stale, ignored
         assert_eq!(b.tg_cmt_ts(g(0)), Timestamp::from_micros(100));
@@ -388,7 +372,7 @@ mod tests {
 
     #[test]
     fn min_over_takes_the_laggard() {
-        let b = VisibilityBoard::new(3);
+        let b = VisibilityBoard::builder(3).build();
         b.publish_group(g(0), Timestamp::from_micros(100));
         b.publish_group(g(1), Timestamp::from_micros(10));
         b.publish_group(g(2), Timestamp::from_micros(200));
@@ -398,7 +382,7 @@ mod tests {
 
     #[test]
     fn global_watermark_unblocks_idle_groups() {
-        let b = VisibilityBoard::new(2);
+        let b = VisibilityBoard::builder(2).build();
         b.publish_group(g(0), Timestamp::from_micros(5)); // group 1 never updated
         let qts = Timestamp::from_micros(50);
         assert!(!b.is_visible(&[g(0), g(1)], qts));
@@ -408,7 +392,7 @@ mod tests {
 
     #[test]
     fn wait_visible_blocks_until_publish() {
-        let b = Arc::new(VisibilityBoard::new(1));
+        let b = Arc::new(VisibilityBoard::builder(1).build());
         let waiter = {
             let b = b.clone();
             thread::spawn(move || {
@@ -422,20 +406,20 @@ mod tests {
 
     #[test]
     fn wait_visible_times_out() {
-        let b = VisibilityBoard::new(1);
+        let b = VisibilityBoard::builder(1).build();
         let ok = b.wait_visible(&[g(0)], Timestamp::from_micros(100), Duration::from_millis(30));
         assert!(!ok);
     }
 
     #[test]
     fn empty_group_set_is_immediately_visible() {
-        let b = VisibilityBoard::new(1);
+        let b = VisibilityBoard::builder(1).build();
         assert!(b.is_visible(&[], Timestamp::MAX));
     }
 
     #[test]
     fn parked_waiters_deregister_after_wake() {
-        let b = Arc::new(VisibilityBoard::new(2));
+        let b = Arc::new(VisibilityBoard::builder(2).build());
         let handles: Vec<_> = (0..4)
             .map(|i| {
                 let b = b.clone();
@@ -466,7 +450,7 @@ mod tests {
         // registering, so a publish that lands in between must still
         // admit it promptly.
         for ts in 1..50u64 {
-            let b = Arc::new(VisibilityBoard::new(1));
+            let b = Arc::new(VisibilityBoard::builder(1).build());
             let waiter = {
                 let b = b.clone();
                 thread::spawn(move || {
@@ -480,7 +464,7 @@ mod tests {
 
     #[test]
     fn quarantine_fails_hopeless_waiters_fast() {
-        let b = Arc::new(VisibilityBoard::new(2));
+        let b = Arc::new(VisibilityBoard::builder(2).build());
         b.publish_group(g(0), Timestamp::from_micros(10));
         let waiter = {
             let b = b.clone();
@@ -504,7 +488,7 @@ mod tests {
 
     #[test]
     fn quarantined_group_below_qts_still_admits_via_global() {
-        let b = VisibilityBoard::new(2);
+        let b = VisibilityBoard::builder(2).build();
         b.set_quarantined(&[1]);
         b.publish_global(Timestamp::from_micros(200));
         assert_eq!(
@@ -516,7 +500,7 @@ mod tests {
 
     #[test]
     fn quarantined_group_at_or_past_qts_is_readable() {
-        let b = VisibilityBoard::new(1);
+        let b = VisibilityBoard::builder(1).build();
         b.publish_group(g(0), Timestamp::from_micros(100));
         b.set_quarantined(&[0]);
         assert_eq!(
@@ -528,7 +512,7 @@ mod tests {
 
     #[test]
     fn polling_admission_matches_event_driven_outcomes() {
-        let b = Arc::new(VisibilityBoard::new(1));
+        let b = Arc::new(VisibilityBoard::builder(1).build());
         let tick = Duration::from_millis(2);
         assert_eq!(
             b.wait_admission_polling(&[g(0)], Timestamp::from_micros(10), tick * 5, tick),
@@ -586,7 +570,7 @@ mod tests {
         let tel = Telemetry::new();
         let clock: aets_telemetry::ClockFn = Arc::new(|| 0);
         #[allow(deprecated)]
-        let b = VisibilityBoard::with_telemetry(2, &tel, clock);
+        let b = VisibilityBoard::builder(2).telemetry(&tel, clock).build();
         b.publish_group(g(0), Timestamp::from_micros(1));
         assert_eq!(b.num_groups(), 2);
         assert!(tel
@@ -597,7 +581,7 @@ mod tests {
 
     #[test]
     fn gc_watermark_is_clamped_by_global_query_floor_and_quarantine() {
-        let b = VisibilityBoard::new(3);
+        let b = VisibilityBoard::builder(3).build();
         b.publish_group(g(0), Timestamp::from_micros(100));
         b.publish_group(g(1), Timestamp::from_micros(40)); // frozen by quarantine
         b.publish_group(g(2), Timestamp::from_micros(90));

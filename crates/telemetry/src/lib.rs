@@ -138,6 +138,12 @@ pub mod names {
     /// Query service: read sessions currently pinning the GC floor
     /// (level).
     pub const SESSIONS_ACTIVE: &str = "aets_sessions_active";
+    /// Ingest hot path: encoded log bytes replayed per wall second,
+    /// sampled per epoch (level gauge).
+    pub const INGEST_BYTES_PER_SEC: &str = "aets_ingest_bytes_per_sec";
+    /// WAL group commit: frames made durable per fsync point (batch-size
+    /// histogram; always 1 under `FsyncPolicy::EveryEpoch`).
+    pub const WAL_FSYNC_COALESCED_FRAMES: &str = "wal_fsync_coalesced_frames";
 }
 
 /// The shared telemetry instance: registry + event ring + clock.

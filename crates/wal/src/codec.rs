@@ -253,53 +253,79 @@ pub struct RecordMeta {
 /// The dispatch path instead relies on the per-epoch CRC checked once at
 /// ingest; record CRCs are verified wherever full records are decoded.
 pub fn decode_meta(buf: &mut Bytes) -> Result<RecordMeta> {
-    need(buf, 1)?;
-    let tag = buf.get_u8();
-    need(buf, 24)?;
-    let lsn = Lsn::new(buf.get_u64_le());
-    let txn_id = TxnId::new(buf.get_u64_le());
-    let ts = Timestamp::from_micros(buf.get_u64_le());
+    let (meta, consumed) = meta_at(buf.as_ref(), 0)?;
+    buf.advance(consumed);
+    Ok(meta)
+}
+
+/// Advances `pos` past `n` bytes of `data`, returning the skipped slice.
+#[inline]
+fn take<'a>(data: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
+    let end = pos.checked_add(n).ok_or(Error::CodecTruncated)?;
+    let slice = data.get(*pos..end).ok_or(Error::CodecTruncated)?;
+    *pos = end;
+    Ok(slice)
+}
+
+#[inline]
+fn take_u16(data: &[u8], pos: &mut usize) -> Result<u16> {
+    let b = take(data, pos, 2)?;
+    Ok(u16::from_le_bytes([b[0], b[1]]))
+}
+
+#[inline]
+fn take_u32(data: &[u8], pos: &mut usize) -> Result<u32> {
+    let b = take(data, pos, 4)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+#[inline]
+fn take_u64(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let b = take(data, pos, 8)?;
+    Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+}
+
+/// Parses the metadata of the record starting at byte `start` of `data`
+/// and returns it with the record's total consumed length (CRC trailer
+/// included). Pure offset arithmetic over the borrowed frame — the
+/// scanner's hot loop calls this once per record, so a metadata pass
+/// never touches the `Bytes` refcount or materializes sub-slices.
+fn meta_at(data: &[u8], start: usize) -> Result<(RecordMeta, usize)> {
+    let mut pos = start;
+    let tag = take(data, &mut pos, 1)?[0];
+    let lsn = Lsn::new(take_u64(data, &mut pos)?);
+    let txn_id = TxnId::new(take_u64(data, &mut pos)?);
+    let ts = Timestamp::from_micros(take_u64(data, &mut pos)?);
     let meta = match tag {
         TAG_BEGIN | TAG_COMMIT => RecordMeta { lsn, txn_id, ts, table: None },
         TAG_DML => {
-            need(buf, 21)?;
-            let table = TableId::new(buf.get_u32_le());
-            let _op = buf.get_u8();
-            let _key = buf.get_u64_le();
-            let _row_version = buf.get_u64_le();
-            need(buf, 1)?;
-            let has_before = buf.get_u8() != 0;
-            skip_row(buf)?;
+            let table = TableId::new(take_u32(data, &mut pos)?);
+            take(data, &mut pos, 17)?; // op(1) + key(8) + row_version(8)
+            let has_before = take(data, &mut pos, 1)?[0] != 0;
+            skip_row_at(data, &mut pos)?;
             if has_before {
-                skip_row(buf)?;
+                skip_row_at(data, &mut pos)?;
             }
             RecordMeta { lsn, txn_id, ts, table: Some(table) }
         }
         _ => return Err(Error::CodecBadTag),
     };
-    need(buf, 4)?;
-    buf.advance(4); // record CRC32 trailer
-    Ok(meta)
+    take(data, &mut pos, 4)?; // record CRC32 trailer
+    Ok((meta, pos - start))
 }
 
-fn skip_row(buf: &mut Bytes) -> Result<()> {
-    need(buf, 2)?;
-    let n = buf.get_u16_le() as usize;
+fn skip_row_at(data: &[u8], pos: &mut usize) -> Result<()> {
+    let n = take_u16(data, pos)? as usize;
     for _ in 0..n {
-        need(buf, 3)?;
-        buf.advance(2); // column id
-        let vtag = buf.get_u8();
+        take(data, pos, 2)?; // column id
+        let vtag = take(data, pos, 1)?[0];
         let skip = match vtag {
             VTAG_NULL => 0,
             VTAG_INT | VTAG_FLOAT => 8,
-            VTAG_TEXT | VTAG_BYTES => {
-                need(buf, 4)?;
-                buf.get_u32_le() as usize
-            }
+            VTAG_TEXT | VTAG_BYTES => take_u32(data, pos)? as usize,
             _ => return Err(Error::CodecBadTag),
         };
-        need(buf, skip)?;
-        buf.advance(skip);
+        take(data, pos, skip)?;
     }
     Ok(())
 }
@@ -334,11 +360,11 @@ impl Iterator for MetaScanner {
         if self.pos >= self.buf.len() {
             return None;
         }
-        let mut rest = self.buf.slice(self.pos..);
-        let before = rest.remaining();
-        match decode_meta(&mut rest) {
-            Ok(meta) => {
-                let consumed = before - rest.remaining();
+        // One pass over the borrowed frame: no per-record `Bytes` slicing
+        // (each `slice()` is an atomic refcount round-trip, paid once per
+        // record on the dispatch hot path before this was offset-based).
+        match meta_at(self.buf.as_ref(), self.pos) {
+            Ok((meta, consumed)) => {
                 let range = self.pos..self.pos + consumed;
                 self.pos += consumed;
                 Some(Ok((meta, range)))
@@ -368,12 +394,33 @@ pub fn encode_batch(records: &[LogRecord]) -> Bytes {
 }
 
 /// Decodes a whole buffer into records.
-pub fn decode_batch(mut buf: Bytes) -> Result<Vec<LogRecord>> {
+pub fn decode_batch(buf: Bytes) -> Result<Vec<LogRecord>> {
     let mut out = Vec::new();
-    while buf.has_remaining() {
-        out.push(decode_record(&mut buf)?);
-    }
+    decode_batch_into(&buf, &mut out)?;
     Ok(out)
+}
+
+/// Decodes a whole epoch frame in one pass, appending records to `out`.
+///
+/// The batched twin of [`decode_batch`]: the caller owns the output
+/// vector, so a replay loop reuses one scratch allocation across epochs,
+/// and the frame is walked with a single cursor — each record's CRC is
+/// verified against the original buffer by offset instead of cloning a
+/// `Bytes` snapshot per record the way [`decode_record`] must.
+pub fn decode_batch_into(buf: &Bytes, out: &mut Vec<LogRecord>) -> Result<()> {
+    let total = buf.len();
+    let mut cursor = buf.clone();
+    while cursor.has_remaining() {
+        let start = total - cursor.remaining();
+        let rec = decode_body(&mut cursor)?;
+        let body_end = total - cursor.remaining();
+        need(&cursor, 4)?;
+        if cursor.get_u32_le() != crc32(&buf[start..body_end]) {
+            return Err(Error::CodecChecksum);
+        }
+        out.push(rec);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -432,6 +479,41 @@ mod tests {
         let m2 = decode_meta(&mut buf).unwrap();
         assert_eq!(m2.txn_id, TxnId::new(7));
         assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn batched_decode_matches_per_record_decode_and_reuses_scratch() {
+        let records = vec![
+            LogRecord::Begin {
+                lsn: Lsn::new(1),
+                txn_id: TxnId::new(7),
+                ts: Timestamp::from_micros(5),
+            },
+            sample_dml(),
+            LogRecord::Commit {
+                lsn: Lsn::new(43),
+                txn_id: TxnId::new(7),
+                ts: Timestamp::from_micros(123460),
+            },
+        ];
+        let buf = encode_batch(&records);
+        let mut scratch = vec![sample_dml()]; // stale content must be dropped
+        decode_batch_into(&buf, &mut scratch).unwrap();
+        // decode_batch_into appends; callers clear. Compare against the
+        // per-record path on the tail it appended.
+        assert_eq!(&scratch[1..], records.as_slice());
+        assert_eq!(decode_batch(buf).unwrap(), records);
+
+        // A corrupted record inside the batch fails the same way.
+        let full = encode_batch(&records);
+        let pos = full.as_slice().windows(5).position(|w| w == b"hello").unwrap();
+        let mut tampered = full.to_vec();
+        tampered[pos] ^= 0x20;
+        let mut out = Vec::new();
+        assert!(matches!(
+            decode_batch_into(&Bytes::from(tampered), &mut out),
+            Err(Error::CodecChecksum)
+        ));
     }
 
     #[test]

@@ -162,6 +162,15 @@ impl EncodedEpoch {
             Err(Error::CodecChecksum)
         }
     }
+
+    /// Decodes the frame's records in one pass into `scratch` (cleared
+    /// first). A replay loop that calls this per epoch amortizes one
+    /// record-vector allocation across the whole stream instead of
+    /// growing a fresh `Vec` for every frame.
+    pub fn decode_records_into(&self, scratch: &mut Vec<LogRecord>) -> Result<()> {
+        scratch.clear();
+        crate::codec::decode_batch_into(&self.bytes, scratch)
+    }
 }
 
 /// Encodes an epoch into its wire form: each transaction becomes

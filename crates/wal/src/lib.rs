@@ -21,15 +21,15 @@ pub mod segment;
 pub mod stream;
 
 pub use codec::{
-    decode_at, decode_batch, decode_meta, decode_record, decode_row, encode_batch, encode_record,
-    encode_row, MetaScanner, RecordMeta,
+    decode_at, decode_batch, decode_batch_into, decode_meta, decode_record, decode_row,
+    encode_batch, encode_record, encode_row, MetaScanner, RecordMeta,
 };
 pub use crash::CrashClock;
-pub use crc::crc32;
+pub use crc::{crc32, crc32_scalar};
 pub use entry::{DmlEntry, LogRecord, TxnLog};
 pub use epoch::{
     assemble_txns, batch_into_epochs, encode_epoch, heartbeat_txn, EncodedEpoch, Epoch,
 };
 pub use faults::{EpochSource, FaultInjector, FaultKind, FaultPlan, SliceSource};
-pub use segment::{SegmentConfig, SegmentStore, SegmentSuffixSource};
+pub use segment::{FsyncPolicy, SegmentConfig, SegmentStore, SegmentSuffixSource};
 pub use stream::{insert_heartbeats, ReplicationTimeline};

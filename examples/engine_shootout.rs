@@ -47,7 +47,9 @@ fn main() {
         (
             "AETS",
             Box::new(
-                AetsEngine::new(AetsConfig { threads: 4, ..Default::default() }, grouping)
+                AetsEngine::builder(grouping)
+                    .config(AetsConfig { threads: 4, ..Default::default() })
+                    .build()
                     .expect("valid config"),
             ),
         ),

@@ -41,11 +41,13 @@ fn main() {
     let grouping =
         TableGrouping::new(workload.num_tables(), groups, rates, &workload.analytic_tables)
             .expect("valid grouping");
-    let engine = AetsEngine::new(AetsConfig { threads: 4, ..Default::default() }, grouping)
+    let engine = AetsEngine::builder(grouping)
+        .config(AetsConfig { threads: 4, ..Default::default() })
+        .build()
         .expect("valid config");
 
     // 4. Replay, publishing visibility per table group.
-    let board = VisibilityBoard::new(engine.board_groups());
+    let board = VisibilityBoard::builder(engine.board_groups()).build();
     let metrics = engine.replay(&epochs, &db, &board).expect("replay succeeds");
     println!(
         "replayed {} entries in {:?} ({:.0} entries/s)",

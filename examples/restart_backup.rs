@@ -24,7 +24,9 @@ use aets_suite::workloads::tpcc::{self, TpccConfig};
 use std::sync::Arc;
 
 fn engine(grouping: &TableGrouping) -> AetsEngine {
-    AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping.clone())
+    AetsEngine::builder(grouping.clone())
+        .config(AetsConfig { threads: 2, ..Default::default() })
+        .build()
         .expect("positive thread count")
 }
 

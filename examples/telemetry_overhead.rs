@@ -54,8 +54,9 @@ fn run_once(epochs: &[EncodedEpoch], workload: &aets_suite::workloads::Workload,
         let board = VisibilityBoard::builder(engine.board_groups()).telemetry(&tel, clock).build();
         (engine, board)
     } else {
-        let engine = AetsEngine::new(cfg, grouping(workload)).expect("valid config");
-        let board = VisibilityBoard::new(engine.board_groups());
+        let engine =
+            AetsEngine::builder(grouping(workload)).config(cfg).build().expect("valid config");
+        let board = VisibilityBoard::builder(engine.board_groups()).build();
         (engine, board)
     };
     let db = MemDb::new(n);

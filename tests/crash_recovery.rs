@@ -19,11 +19,14 @@ use aets_suite::replay::{
     AetsConfig, AetsEngine, DurableBackup, DurableOptions, ReplayEngine, SerialEngine,
     TableGrouping,
 };
-use aets_suite::wal::{batch_into_epochs, encode_epoch, CrashClock, EncodedEpoch, SegmentConfig};
+use aets_suite::wal::{
+    batch_into_epochs, encode_epoch, CrashClock, EncodedEpoch, FsyncPolicy, SegmentConfig,
+};
 use aets_suite::workloads::{bustracker, tpcc, Workload};
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
+use std::time::Duration;
 
 // ---------------------------------------------------------------------
 // Fixtures
@@ -88,7 +91,10 @@ fn bustracker_fixture() -> &'static Fixture {
 }
 
 fn fresh_engine(grouping: &TableGrouping) -> AetsEngine {
-    AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping.clone()).unwrap()
+    AetsEngine::builder(grouping.clone())
+        .config(AetsConfig { threads: 2, ..Default::default() })
+        .build()
+        .unwrap()
 }
 
 fn scratch(tag: &str) -> PathBuf {
@@ -106,6 +112,19 @@ fn durable_opts() -> DurableOptions {
         keep_checkpoints: 2,
         segment: SegmentConfig { epochs_per_segment: 2, ..Default::default() },
         gc_before_checkpoint: true,
+    }
+}
+
+/// Group-commit variant: one fsync covers up to four frames, so acked
+/// epochs past [`aets_suite::replay::DurableBackup::wal_synced_seq`] may
+/// be lost to a crash and re-ingested on resync.
+fn coalesced_opts() -> DurableOptions {
+    DurableOptions {
+        segment: SegmentConfig {
+            epochs_per_segment: 4,
+            fsync: FsyncPolicy::Coalesced { max_frames: 4, max_wait: Duration::from_secs(3600) },
+        },
+        ..durable_opts()
     }
 }
 
@@ -138,6 +157,9 @@ fn supervised_run(
     let mut max_suffix = 0u64;
     // Newest checkpoint seq whose write was acked before any crash.
     let mut known_ckpt = 0u64;
+    // Highest WAL sequence known fsync-covered before any crash: the
+    // crash-loss bound under a coalescing fsync policy.
+    let mut known_synced: Option<u64> = None;
     loop {
         let clock = schedule.get(life).map(|b| CrashClock::with_budget(*b));
         life += 1;
@@ -170,12 +192,24 @@ fn supervised_run(
             ),
         }
         max_suffix = max_suffix.max(rec.suffix_epochs);
+        if let Some(synced) = known_synced {
+            assert!(
+                node.next_seq() > synced,
+                "life {life}: epoch {synced} was fsync-covered before the \
+                 crash but recovery resumed at {} — a torn batch truncated \
+                 below the durable prefix",
+                node.next_seq()
+            );
+        }
 
         let mut crashed = false;
         while (node.next_seq() as usize) < fx.epochs.len() {
             let e = &fx.epochs[node.next_seq() as usize];
             match node.ingest(e) {
-                Ok(()) => known_ckpt = known_ckpt.max(node.last_checkpoint_seq()),
+                Ok(()) => {
+                    known_ckpt = known_ckpt.max(node.last_checkpoint_seq());
+                    known_synced = known_synced.max(node.wal_synced_seq());
+                }
                 Err(err) if err.is_crash() => {
                     restarts += 1;
                     crashed = true;
@@ -195,10 +229,18 @@ fn supervised_run(
 }
 
 fn run_schedule(fx: &Fixture, schedule: &[u64], tag: &str) -> SupervisedOutcome {
+    run_schedule_opts(fx, &durable_opts(), schedule, tag)
+}
+
+fn run_schedule_opts(
+    fx: &Fixture,
+    opts: &DurableOptions,
+    schedule: &[u64],
+    tag: &str,
+) -> SupervisedOutcome {
     let wal_dir = scratch(&format!("{tag}-wal"));
     let ckpt_dir = scratch(&format!("{tag}-ckpt"));
-    let opts = durable_opts();
-    let out = supervised_run(fx, &opts, &wal_dir, &ckpt_dir, schedule);
+    let out = supervised_run(fx, opts, &wal_dir, &ckpt_dir, schedule);
     assert_eq!(
         out.digest, fx.oracle_digest,
         "{tag}: recovered digest diverged from the fault-free serial oracle \
@@ -374,6 +416,58 @@ fn stale_manifest_falls_back() {
     );
     let _ = std::fs::remove_dir_all(&wal_dir);
     let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
+/// Crash-matrix seed 4 (group commit): under `FsyncPolicy::Coalesced`
+/// an acked append is no longer durable — only the fsync-covered prefix
+/// is. Crash at every filesystem operation of a short run and require,
+/// at every cut: (1) recovery never resumes below the fsync-covered
+/// bound (asserted inside the harness via `wal_synced_seq`), (2) a torn
+/// coalesced batch truncates to the last fully-written frame — no
+/// half-frame is ever replayed, because the recovered digest still
+/// converges to the fault-free oracle after the lost tail re-ingests.
+#[test]
+fn coalesced_group_commit_crash_sweep() {
+    let fx = tpcc_fixture();
+    let opts = coalesced_opts();
+    // Probe the total op count of a clean metered run over a short
+    // prefix of the stream.
+    let total = {
+        let wal_dir = scratch("coalesced-probe-wal");
+        let ckpt_dir = scratch("coalesced-probe-ckpt");
+        let clock = CrashClock::unlimited();
+        let mut node = DurableBackup::open(
+            &wal_dir,
+            &ckpt_dir,
+            fresh_engine(&fx.grouping),
+            fx.num_tables,
+            opts.clone(),
+            Some(clock.clone()),
+        )
+        .unwrap();
+        for e in &fx.epochs[..6.min(fx.epochs.len())] {
+            node.ingest(e).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        clock.used()
+    };
+    for budget in 1..=total {
+        let out = run_schedule_opts(fx, &opts, &[budget], "coalesced");
+        assert!(out.restarts <= 1);
+    }
+}
+
+/// Group commit under arbitrary multi-crash schedules (including crashes
+/// during the recovery of a previous crash): same convergence contract
+/// as the default-policy property above.
+#[test]
+fn coalesced_multi_crash_schedules_converge() {
+    let fx = tpcc_fixture();
+    let opts = coalesced_opts();
+    for schedule in [&[7u64, 5][..], &[23, 11, 3], &[64, 64], &[150, 2, 90]] {
+        run_schedule_opts(fx, &opts, schedule, "coalesced-multi");
+    }
 }
 
 /// Dense sweep on a short stream: crash at EVERY filesystem operation of

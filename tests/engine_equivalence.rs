@@ -8,7 +8,7 @@ use aets_suite::replay::{
     AetsConfig, AetsEngine, AtrEngine, C5Engine, ReplayEngine, SerialEngine, TableGrouping,
     VisibilityBoard,
 };
-use aets_suite::wal::{batch_into_epochs, encode_epoch, EncodedEpoch};
+use aets_suite::wal::{batch_into_epochs, crc32, crc32_scalar, encode_epoch, EncodedEpoch};
 use aets_suite::workloads::{bustracker, chbench, tpcc, Workload};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,7 +25,10 @@ fn engines_for(w: &Workload) -> Vec<Box<dyn ReplayEngine>> {
         TableGrouping::per_table(n, &hot, |t| if written.contains(&t) { 50.0 } else { 1.0 });
     vec![
         Box::new(
-            AetsEngine::new(AetsConfig { threads: 3, ..Default::default() }, per_table).unwrap(),
+            AetsEngine::builder(per_table)
+                .config(AetsConfig { threads: 3, ..Default::default() })
+                .build()
+                .unwrap(),
         ),
         Box::new(AetsEngine::tplr_baseline(3, n, &hot).unwrap()),
         Box::new(AtrEngine::new(3).unwrap()),
@@ -126,11 +129,10 @@ fn pipelined_aets_matches_oracle_on_tpcc_and_bustracker() {
                     1.0
                 }
             });
-            let eng = AetsEngine::new(
-                AetsConfig { threads: 3, pipeline_depth: depth, ..Default::default() },
-                grouping,
-            )
-            .unwrap();
+            let eng = AetsEngine::builder(grouping)
+                .config(AetsConfig { threads: 3, pipeline_depth: depth, ..Default::default() })
+                .build()
+                .unwrap();
             let db = MemDb::new(n);
             let m = eng.replay_all(&epochs, &db).unwrap();
             assert_eq!(m.txns, w.txns.len(), "depth={depth} txn count");
@@ -138,6 +140,61 @@ fn pipelined_aets_matches_oracle_on_tpcc_and_bustracker() {
             assert_eq!(db.digest_at(Timestamp::MAX), want, "depth={depth} final state");
             assert_eq!(db.digest_at(mid), want_mid, "depth={depth} mid snapshot");
         }
+    }
+}
+
+/// The lock-free SPSC commit queues inside AETS must be linearizable:
+/// under heavy producer/consumer contention (more worker threads than
+/// cores see groups, single-digit epochs, deep pipeline) the committed
+/// MVCC state must still be byte-identical to the serial oracle's at
+/// every probed snapshot. The schedule is pinned by a seed so a CI
+/// failure replays exactly; override with `AETS_TEST_SEED=<u64>`.
+#[test]
+fn spsc_commit_queues_linearize_under_contention() {
+    let seed: u64 =
+        std::env::var("AETS_TEST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0x5E1F);
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    let mut rng = seed;
+    for round in 0..6 {
+        // Seed-derived shapes: small epochs maximize queue churn, thread
+        // counts above the group count force workers to contend on the
+        // same group's producer side.
+        let num_txns = 400 + (splitmix(&mut rng) % 400) as usize;
+        let epoch_size = 1 + (splitmix(&mut rng) % 24) as usize;
+        let threads = 2 + (splitmix(&mut rng) % 6) as usize;
+        let depth = (splitmix(&mut rng) % 4) as usize;
+        let w = tpcc::generate(&tpcc::TpccConfig { num_txns, warehouses: 2, ..Default::default() });
+        let epochs = encode(&w, epoch_size);
+        let n = w.num_tables();
+        let oracle = MemDb::new(n);
+        SerialEngine.replay_all(&epochs, &oracle).unwrap();
+        let want = oracle.digest_at(Timestamp::MAX);
+        let mid = w.txns[w.txns.len() / 2].commit_ts;
+        let want_mid = oracle.digest_at(mid);
+
+        let k = 1 + (splitmix(&mut rng) % 4) as usize;
+        let grouping = round_robin_grouping(n, k.min(n), &w.analytic_tables);
+        let eng = AetsEngine::builder(grouping)
+            .config(AetsConfig { threads, pipeline_depth: depth, ..Default::default() })
+            .build()
+            .unwrap();
+        let db = MemDb::new(n);
+        let m = eng.replay_all(&epochs, &db).unwrap();
+        let tag = format!(
+            "seed={seed:#x} round={round} txns={num_txns} epoch={epoch_size} \
+             threads={threads} depth={depth} groups={k}"
+        );
+        assert_eq!(m.txns, w.txns.len(), "{tag}: txn count");
+        assert!(db.all_chains_ordered(), "{tag}: version order");
+        assert_eq!(db.digest_at(Timestamp::MAX), want, "{tag}: final state");
+        assert_eq!(db.digest_at(mid), want_mid, "{tag}: mid snapshot");
     }
 }
 
@@ -149,6 +206,34 @@ fn round_robin_grouping(n: usize, k: usize, hot: &FxHashSet<TableId>) -> TableGr
     }
     let rates: Vec<f64> = (0..k).map(|i| 1.0 + i as f64).collect();
     TableGrouping::new(n, groups, rates, hot).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The slice-by-8 CRC kernel on the ingest hot path must be a drop-in
+    /// for the bytewise reference: identical digests on arbitrary byte
+    /// strings, including lengths that leave a non-8-aligned head/tail.
+    #[test]
+    fn crc_slice_by_8_matches_bytewise_reference(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(crc32(&bytes), crc32_scalar(&bytes));
+    }
+}
+
+/// Deterministic CRC edge cases the proptest could miss in a short run:
+/// empty input, every sub-word length straddling the 8-byte step, and
+/// misaligned views into a larger buffer.
+#[test]
+fn crc_kernels_agree_on_empty_and_unaligned_inputs() {
+    assert_eq!(crc32(&[]), crc32_scalar(&[]));
+    let buf: Vec<u8> = (0..257u32).map(|i| (i.wrapping_mul(131).wrapping_add(7)) as u8).collect();
+    for len in 0..=buf.len() {
+        assert_eq!(crc32(&buf[..len]), crc32_scalar(&buf[..len]), "prefix len {len}");
+    }
+    for start in 1..16 {
+        let view = &buf[start..];
+        assert_eq!(crc32(view), crc32_scalar(view), "offset {start}");
+    }
 }
 
 proptest! {
@@ -176,14 +261,11 @@ proptest! {
         let n = w.num_tables();
         let grouping = round_robin_grouping(n, num_groups.min(n), &w.analytic_tables);
         let ng = grouping.num_groups();
-        let eng = AetsEngine::new(
-            AetsConfig { threads: 2, pipeline_depth: depth, ..Default::default() },
-            grouping,
-        )
+        let eng = AetsEngine::builder(grouping).config(AetsConfig { threads: 2, pipeline_depth: depth, ..Default::default() }).build()
         .unwrap();
 
         let db = MemDb::new(n);
-        let board = VisibilityBoard::new(ng);
+        let board = VisibilityBoard::builder(ng).build();
         let stop = AtomicBool::new(false);
         let violation = std::thread::scope(|scope| {
             // Concurrent observer: samples the board while replay runs.

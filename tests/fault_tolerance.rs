@@ -42,7 +42,10 @@ fn engine(w: &Workload) -> AetsEngine {
     let grouping =
         TableGrouping::new(w.table_names.len(), groups, rates, &w.analytic_tables).unwrap();
     let retry = RetryPolicy { max_retries: 5, base_backoff_us: 1, max_backoff_us: 50 };
-    AetsEngine::new(AetsConfig { threads: 2, retry, ..Default::default() }, grouping).unwrap()
+    AetsEngine::builder(grouping)
+        .config(AetsConfig { threads: 2, retry, ..Default::default() })
+        .build()
+        .unwrap()
 }
 
 /// Replays a tpcc stream under a seeded transient fault schedule and
@@ -52,7 +55,7 @@ fn assert_recovers(kinds: Vec<FaultKind>, seed: u64) -> ReplayMetrics {
     let (w, epochs, want) = tpcc_setup(600, 64);
     let eng = engine(&w);
     let db = MemDb::new(w.table_names.len());
-    let board = VisibilityBoard::new(eng.board_groups());
+    let board = VisibilityBoard::builder(eng.board_groups()).build();
     let mut source = FaultInjector::new(epochs, FaultPlan::new(seed, 0.5, kinds));
     let m = eng.replay_stream(&mut source, &db, &board).unwrap();
     assert!(!m.degraded(), "transient faults must heal, not quarantine");
@@ -95,7 +98,7 @@ fn persistent_corruption_quarantines_without_panic() {
     let (w, epochs, _) = tpcc_setup(600, 64);
     let eng = engine(&w);
     let db = MemDb::new(w.table_names.len());
-    let board = VisibilityBoard::new(eng.board_groups());
+    let board = VisibilityBoard::builder(eng.board_groups()).build();
     let plan = FaultPlan::new(21, 1.0, vec![FaultKind::RecordCorruption]).persistent();
     let mut source = FaultInjector::new(epochs.clone(), plan);
     let m = eng.replay_stream(&mut source, &db, &board).unwrap();
@@ -123,7 +126,7 @@ fn unhealable_delivery_faults_exhaust_retries_with_typed_errors() {
     // retries on the frame CRC and surfaces a codec error.
     let eng = engine(&w);
     let db = MemDb::new(w.table_names.len());
-    let board = VisibilityBoard::new(eng.board_groups());
+    let board = VisibilityBoard::builder(eng.board_groups()).build();
     let plan = FaultPlan::new(7, 1.0, vec![FaultKind::TornTail]).persistent();
     let mut source = FaultInjector::new(epochs.clone(), plan);
     let err = eng.replay_stream(&mut source, &db, &board).unwrap_err();
@@ -133,7 +136,7 @@ fn unhealable_delivery_faults_exhaust_retries_with_typed_errors() {
     // its retries on the sequence check and surfaces a protocol error.
     let eng = engine(&w);
     let db = MemDb::new(w.table_names.len());
-    let board = VisibilityBoard::new(eng.board_groups());
+    let board = VisibilityBoard::builder(eng.board_groups()).build();
     let plan = FaultPlan::new(7, 1.0, vec![FaultKind::Drop]).persistent();
     let mut source = FaultInjector::new(epochs, plan);
     let err = eng.replay_stream(&mut source, &db, &board).unwrap_err();
@@ -200,8 +203,10 @@ fn degraded_runner_times_out_quarantined_queries() {
     let (mut epochs, grouping) = two_group_stream();
     epochs[1] = corrupt_first_dml_of(&epochs[1], TableId::new(2));
     let arrivals: Vec<Timestamp> = epochs.iter().map(|e| e.max_commit_ts).collect();
-    let engine =
-        AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping).unwrap();
+    let engine = AetsEngine::builder(grouping)
+        .config(AetsConfig { threads: 2, ..Default::default() })
+        .build()
+        .unwrap();
     let db = std::sync::Arc::new(MemDb::new(3));
     let queries = vec![
         RunnerQuery { arrival: epochs[0].max_commit_ts, tables: vec![TableId::new(0)] },

@@ -30,10 +30,13 @@ fn queries_admitted_by_algorithm3_see_consistent_prefixes() {
     let (groups, rates) = tpcc::paper_grouping();
     let grouping = TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
     let engine = Arc::new(
-        AetsEngine::new(AetsConfig { threads: 3, ..Default::default() }, grouping).unwrap(),
+        AetsEngine::builder(grouping)
+            .config(AetsConfig { threads: 3, ..Default::default() })
+            .build()
+            .unwrap(),
     );
     let db = Arc::new(MemDb::new(w.num_tables()));
-    let board = Arc::new(VisibilityBoard::new(engine.board_groups()));
+    let board = Arc::new(VisibilityBoard::builder(engine.board_groups()).build());
 
     // Replay concurrently with query threads waiting on the board.
     let queries: Vec<_> = w.queries.iter().take(40).cloned().collect();
@@ -97,10 +100,12 @@ fn heartbeats_unblock_queries_on_idle_groups() {
     let epochs: Vec<_> = batch_into_epochs(with_hb, 64).unwrap().iter().map(encode_epoch).collect();
     let (groups, rates) = tpcc::paper_grouping();
     let grouping = TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).unwrap();
-    let engine =
-        AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping).unwrap();
+    let engine = AetsEngine::builder(grouping)
+        .config(AetsConfig { threads: 2, ..Default::default() })
+        .build()
+        .unwrap();
     let db = MemDb::new(w.num_tables());
-    let board = VisibilityBoard::new(engine.board_groups());
+    let board = VisibilityBoard::builder(engine.board_groups()).build();
     engine.replay(&epochs, &db, &board).unwrap();
 
     // Every group's timestamp advanced to the stream's end even if the

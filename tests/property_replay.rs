@@ -106,10 +106,7 @@ proptest! {
         .unwrap();
 
         let engines: Vec<Box<dyn ReplayEngine>> = vec![
-            Box::new(AetsEngine::new(
-                AetsConfig { threads: 2, ..Default::default() },
-                grouping,
-            ).unwrap()),
+            Box::new(AetsEngine::builder(grouping).config(AetsConfig { threads: 2, ..Default::default() }).build().unwrap()),
             Box::new(AetsEngine::tplr_baseline(2, TABLES, &hot).unwrap()),
             Box::new(AtrEngine::new(2).unwrap()),
             Box::new(C5Engine::new(2).unwrap()),
@@ -168,13 +165,10 @@ proptest! {
         )
         .unwrap();
         let retry = RetryPolicy { max_retries: 4, base_backoff_us: 1, max_backoff_us: 20 };
-        let eng = AetsEngine::new(
-            AetsConfig { threads: 2, retry, ..Default::default() },
-            grouping,
-        )
+        let eng = AetsEngine::builder(grouping).config(AetsConfig { threads: 2, retry, ..Default::default() }).build()
         .unwrap();
         let db = MemDb::new(TABLES);
-        let board = VisibilityBoard::new(eng.board_groups());
+        let board = VisibilityBoard::builder(eng.board_groups()).build();
         let kinds = vec![
             FaultKind::TornTail,
             FaultKind::BitFlip,

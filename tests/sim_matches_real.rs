@@ -21,8 +21,10 @@ fn simulator_and_real_engine_account_identical_work() {
     // Real engine.
     let epochs: Vec<_> =
         batch_into_epochs(w.txns.clone(), 512).unwrap().iter().map(encode_epoch).collect();
-    let engine =
-        AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping.clone()).unwrap();
+    let engine = AetsEngine::builder(grouping.clone())
+        .config(AetsConfig { threads: 2, ..Default::default() })
+        .build()
+        .unwrap();
     let db = MemDb::new(w.num_tables());
     let real = engine.replay_all(&epochs, &db).unwrap();
 

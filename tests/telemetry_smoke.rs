@@ -25,6 +25,7 @@ const REQUIRED_FAMILIES: &[&str] = &[
     names::VISIBILITY_LAG_US,
     names::TG_CMT_TS_US,
     names::GLOBAL_CMT_TS_US,
+    names::INGEST_BYTES_PER_SEC,
 ];
 
 #[test]
@@ -73,6 +74,10 @@ fn short_paced_replay_emits_parseable_consistent_telemetry() {
     assert_eq!(snap.counter_total(names::ENTRIES), outcome.metrics.entries as u64);
     assert_eq!(snap.counter_total(names::BYTES), outcome.metrics.bytes);
     assert_eq!(snap.gauge(names::QUARANTINED_GROUPS, ""), Some(0));
+    assert!(
+        snap.gauge(names::INGEST_BYTES_PER_SEC, "").unwrap_or(0) > 0,
+        "a replay that moved bytes must publish a nonzero ingest rate"
+    );
 
     // A snapshot projects back into a ReplayMetrics with the same counts.
     let projected = ReplayMetrics::project(&snap);
@@ -114,6 +119,65 @@ fn short_paced_replay_emits_parseable_consistent_telemetry() {
 }
 
 #[test]
+fn coalesced_durable_ingest_records_fsync_batch_sizes() {
+    // The durable path under a coalesced fsync policy must surface how
+    // many frames each group-committed fsync covered: the segment store's
+    // sync observer feeds `wal_fsync_coalesced_frames`, and the ingest
+    // throughput gauge reflects the engine's replay of each epoch.
+    use aets_suite::replay::{DurableBackup, DurableOptions};
+    use aets_suite::wal::{FsyncPolicy, SegmentConfig};
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aets-telsmoke-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    let w = tpcc::generate(&TpccConfig { num_txns: 600, warehouses: 1, ..Default::default() });
+    let raw = batch_into_epochs(w.txns.clone(), 64).expect("positive epoch size");
+    let epochs: Vec<_> = raw.iter().map(encode_epoch).collect();
+    assert!(epochs.len() >= 9, "needs enough epochs to fill two fsync batches");
+
+    let (groups, rates) = tpcc::paper_grouping();
+    let grouping =
+        TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).expect("grouping");
+    let tel = Arc::new(Telemetry::new());
+    let engine = AetsEngine::builder(grouping)
+        .config(AetsConfig { threads: 2, ..Default::default() })
+        .telemetry(tel.clone())
+        .build()
+        .expect("valid config");
+    let opts = DurableOptions {
+        checkpoint_every: 0,
+        segment: SegmentConfig {
+            fsync: FsyncPolicy::Coalesced { max_frames: 4, max_wait: Duration::from_secs(3600) },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut node =
+        DurableBackup::open(scratch("wal"), scratch("ckpt"), engine, w.num_tables(), opts, None)
+            .expect("open durable backup");
+    for e in &epochs {
+        node.ingest(e).expect("ingest");
+    }
+
+    let snap = tel.snapshot();
+    let frames =
+        snap.histogram_summary_all(names::WAL_FSYNC_COALESCED_FRAMES).expect("frames histogram");
+    // max_frames = 4 ⇒ every recorded batch holds exactly 4 frames, and
+    // with ≥ 9 epochs at least two batches must have group-committed.
+    assert!(frames.count >= 2, "at least two coalesced fsyncs must have fired");
+    assert_eq!(frames.max_us, 4, "no batch may exceed the max_frames bound");
+    assert!(
+        snap.gauge(names::INGEST_BYTES_PER_SEC, "").unwrap_or(0) > 0,
+        "durable ingest must publish a nonzero ingest rate"
+    );
+}
+
+#[test]
 fn disabled_telemetry_keeps_the_runner_silent() {
     // The default engine carries a disabled instance: no snapshots are
     // rendered even when a cadence is configured, and nothing is charged
@@ -126,7 +190,10 @@ fn disabled_telemetry_keeps_the_runner_silent() {
     let grouping =
         TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).expect("grouping");
     let engine = Arc::new(
-        AetsEngine::new(AetsConfig { threads: 2, ..Default::default() }, grouping).expect("config"),
+        AetsEngine::builder(grouping)
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .build()
+            .expect("config"),
     );
     let db = Arc::new(MemDb::new(w.num_tables()));
     let cfg = RunnerConfig { time_scale: 50.0, telemetry_every: 1, ..Default::default() };
