@@ -1,0 +1,148 @@
+//! Epoch-stream partitioning: one primary stream fans out into one
+//! sub-stream per shard.
+//!
+//! Every transaction is retained on **every** shard — a shard that owns
+//! none of a transaction's tables receives it with an empty entry list,
+//! i.e. as a heartbeat. That is deliberate, not waste:
+//!
+//! * the dispatcher places heartbeat mini-txns in every group, so the
+//!   `tg_cmt_ts` of groups a shard does not own (and of owned groups the
+//!   transaction skipped) still advance every epoch;
+//! * each sub-epoch keeps the original epoch id and the original
+//!   `max_commit_ts` (the last transaction's commit timestamp survives
+//!   filtering because the transaction itself survives), so all shards
+//!   publish the *same* `global_cmt_ts` after replaying the same epoch —
+//!   the property the fleet-wide watermark aggregation relies on.
+//!
+//! Heartbeats cost a dozen bytes of WAL each; congruent watermarks are
+//! what they buy.
+
+use aets_common::Result;
+use aets_wal::{encode_epoch, EncodedEpoch, Epoch, TxnLog};
+
+use crate::plan::ShardPlan;
+
+/// Splits `epoch` into one sub-epoch per shard (same epoch id, entries
+/// filtered to the shard's tables, every transaction retained).
+pub fn partition_epoch(epoch: &Epoch, plan: &ShardPlan) -> Vec<Epoch> {
+    let n = plan.num_shards();
+    let mut out: Vec<Epoch> = (0..n)
+        .map(|_| Epoch { id: epoch.id, txns: Vec::with_capacity(epoch.txns.len()) })
+        .collect();
+    for txn in &epoch.txns {
+        let mut per_shard: Vec<Vec<aets_wal::DmlEntry>> = vec![Vec::new(); n];
+        for entry in &txn.entries {
+            per_shard[plan.shard_of_table(entry.table)].push(entry.clone());
+        }
+        for (shard, entries) in per_shard.into_iter().enumerate() {
+            out[shard].txns.push(TxnLog { txn_id: txn.txn_id, commit_ts: txn.commit_ts, entries });
+        }
+    }
+    out
+}
+
+/// Partitions and encodes a whole stream: `result[shard]` is the encoded
+/// sub-stream that shard ingests, epoch ids preserved.
+pub fn partition_stream(epochs: &[Epoch], plan: &ShardPlan) -> Result<Vec<Vec<EncodedEpoch>>> {
+    let mut out: Vec<Vec<EncodedEpoch>> =
+        (0..plan.num_shards()).map(|_| Vec::with_capacity(epochs.len())).collect();
+    for epoch in epochs {
+        for (shard, sub) in partition_epoch(epoch, plan).iter().enumerate() {
+            out[shard].push(encode_epoch(sub));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aets_common::{FxHashSet, RowKey, TableId, Timestamp, TxnId};
+    use aets_replay::TableGrouping;
+    use aets_wal::DmlEntry;
+
+    fn entry(table: u32, key: u64, ts: u64, txn: u64) -> DmlEntry {
+        use aets_common::{DmlOp, Lsn, Value};
+        DmlEntry {
+            lsn: Lsn::new(key),
+            txn_id: TxnId::new(txn),
+            ts: Timestamp::from_micros(ts),
+            table: TableId::new(table),
+            op: DmlOp::Insert,
+            key: RowKey::new(key),
+            row_version: 1,
+            cols: vec![(aets_common::ColumnId::new(0), Value::Int(ts as i64))],
+            before: None,
+        }
+    }
+
+    fn plan() -> ShardPlan {
+        let g = TableGrouping::new(
+            4,
+            vec![
+                vec![TableId::new(0), TableId::new(1)],
+                vec![TableId::new(2)],
+                vec![TableId::new(3)],
+            ],
+            vec![10.0, 5.0, 1.0],
+            &FxHashSet::default(),
+        )
+        .unwrap();
+        // Groups 0,2 -> shard 0; group 1 -> shard 1.
+        ShardPlan::new(g, vec![0, 1, 0], 2).unwrap()
+    }
+
+    #[test]
+    fn entries_split_by_owner_and_every_txn_survives() {
+        let epoch = Epoch {
+            id: aets_common::EpochId::new(7),
+            txns: vec![
+                TxnLog {
+                    txn_id: TxnId::new(1),
+                    commit_ts: Timestamp::from_micros(100),
+                    entries: vec![entry(0, 1, 100, 1), entry(2, 2, 100, 1)],
+                },
+                // Touches only shard 1's table: shard 0 sees a heartbeat.
+                TxnLog {
+                    txn_id: TxnId::new(2),
+                    commit_ts: Timestamp::from_micros(200),
+                    entries: vec![entry(2, 3, 200, 2)],
+                },
+            ],
+        };
+        let parts = partition_epoch(&epoch, &plan());
+        assert_eq!(parts.len(), 2);
+        for p in &parts {
+            assert_eq!(p.id, epoch.id);
+            assert_eq!(p.txns.len(), 2, "every txn must reach every shard");
+            assert_eq!(p.max_commit_ts(), epoch.max_commit_ts(), "watermarks stay congruent");
+        }
+        assert_eq!(parts[0].txns[0].entries.len(), 1);
+        assert_eq!(parts[1].txns[0].entries.len(), 1);
+        assert!(parts[0].txns[1].is_heartbeat(), "non-owned txn degrades to heartbeat");
+        assert_eq!(parts[1].txns[1].entries.len(), 1);
+    }
+
+    #[test]
+    fn encoded_substreams_verify_and_keep_ids() {
+        let epochs: Vec<Epoch> = (0..3)
+            .map(|i| Epoch {
+                id: aets_common::EpochId::new(i),
+                txns: vec![TxnLog {
+                    txn_id: TxnId::new(i),
+                    commit_ts: Timestamp::from_micros(10 * (i + 1)),
+                    entries: vec![entry((i % 4) as u32, i, 10 * (i + 1), i)],
+                }],
+            })
+            .collect();
+        let streams = partition_stream(&epochs, &plan()).unwrap();
+        assert_eq!(streams.len(), 2);
+        for stream in &streams {
+            assert_eq!(stream.len(), 3);
+            for (i, enc) in stream.iter().enumerate() {
+                assert!(enc.verify().is_ok());
+                assert_eq!(enc.id.raw(), i as u64);
+            }
+        }
+    }
+}

@@ -401,6 +401,30 @@ impl DurableBackup {
     pub fn wal_synced_seq(&self) -> Option<u64> {
         self.wal.synced_seq()
     }
+
+    /// The read sessions' GC floor registry, shared with every
+    /// [`BackupNode`] started via [`DurableBackup::serve`]. A fleet
+    /// coordinator pins cross-shard session `qts` values here directly so
+    /// the pins survive the serving node being torn down and rebuilt.
+    pub fn floor(&self) -> &Arc<QueryFloor> {
+        &self.floor
+    }
+
+    /// First epoch sequence the WAL still retains, or `None` for an empty
+    /// store. Pair with [`DurableBackup::oldest_checkpoint_seq`] to check
+    /// the retention invariant: the log always covers every retained
+    /// manifest's suffix.
+    pub fn wal_first_retained_seq(&self) -> Option<u64> {
+        self.wal.first_retained_seq()
+    }
+
+    /// `next_epoch_seq` of the oldest checkpoint manifest still on disk,
+    /// or `None` when no manifest exists. WAL segments are only ever
+    /// retired behind this barrier — never behind just the newest one —
+    /// so a corrupt newest manifest can still fall back and re-replay.
+    pub fn oldest_checkpoint_seq(&self) -> Result<Option<u64>> {
+        Ok(self.ckpt.list()?.first().map(|(s, _)| *s))
+    }
 }
 
 #[cfg(test)]

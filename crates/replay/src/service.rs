@@ -538,15 +538,13 @@ impl BackupNode {
 
     /// The watermark [`BackupNode::gc_clamped`] would prune at.
     pub fn gc_watermark(&self, extra_floor: Timestamp) -> Timestamp {
-        let quarantined: Vec<usize> =
-            (0..self.board.num_groups()).filter(|&g| self.board.is_quarantined(g)).collect();
-        self.board.gc_watermark(&quarantined, self.floor.floor().min(extra_floor))
+        self.board.gc_watermark(&self.board.quarantined(), self.floor.floor().min(extra_floor))
     }
 
     /// Whether any group is quarantined (the node is degraded: reads
     /// needing a frozen group past its watermark are refused).
     pub fn is_degraded(&self) -> bool {
-        (0..self.board.num_groups()).any(|g| self.board.is_quarantined(g))
+        self.board.any_quarantined()
     }
 
     /// The node's database.

@@ -185,6 +185,18 @@ impl VisibilityBoard {
         self.quarantined.get(g).map(|f| f.load(Ordering::Acquire)).unwrap_or(false)
     }
 
+    /// Board indices of every quarantined group, ascending — the set the
+    /// GC/checkpoint clamp and degraded-mode health checks consult.
+    pub fn quarantined(&self) -> Vec<usize> {
+        (0..self.quarantined.len()).filter(|&g| self.is_quarantined(g)).collect()
+    }
+
+    /// Whether any group is quarantined (degraded mode: reads needing a
+    /// frozen group past its watermark are refused).
+    pub fn any_quarantined(&self) -> bool {
+        self.quarantined.iter().any(|f| f.load(Ordering::Acquire))
+    }
+
     /// Unparks every registered waiter whose wait became decidable —
     /// admitted or provably hopeless. Lock-free when nobody waits.
     fn wake_decided(&self) {

@@ -79,6 +79,32 @@ pub enum EventKind {
         /// The session's snapshot timestamp (micros).
         qts_us: u64,
     },
+    /// The fleet supervisor declared a shard dead (crash observed, or
+    /// heartbeat liveness exhausted on a hung shard) and removed it from
+    /// the routing table.
+    ShardDown {
+        /// Fleet index of the shard.
+        shard: usize,
+    },
+    /// A replacement shard finished bootstrapping from checkpoint
+    /// shipping + WAL-suffix replay and rejoined the routing table.
+    ShardFailover {
+        /// Fleet index of the shard.
+        shard: usize,
+        /// Heartbeat intervals between the shard leaving and rejoining
+        /// the routing table.
+        intervals_down: u64,
+        /// Epochs the replacement re-replayed from the shipped WAL suffix
+        /// (everything else came from the checkpoint manifest).
+        suffix_epochs: u64,
+    },
+    /// A shard missed a coordinator heartbeat interval.
+    ShardHeartbeatMissed {
+        /// Fleet index of the shard.
+        shard: usize,
+        /// Consecutive intervals missed so far.
+        missed: u32,
+    },
 }
 
 /// One emitted event.
@@ -162,6 +188,9 @@ impl EventKind {
             EventKind::RecoveryFallback { .. } => "recovery_fallback",
             EventKind::SessionOpened { .. } => "session_opened",
             EventKind::SessionClosed { .. } => "session_closed",
+            EventKind::ShardDown { .. } => "shard_down",
+            EventKind::ShardFailover { .. } => "shard_failover",
+            EventKind::ShardHeartbeatMissed { .. } => "shard_heartbeat_missed",
         }
     }
 }

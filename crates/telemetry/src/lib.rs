@@ -144,6 +144,31 @@ pub mod names {
     /// WAL group commit: frames made durable per fsync point (batch-size
     /// histogram; always 1 under `FsyncPolicy::EveryEpoch`).
     pub const WAL_FSYNC_COALESCED_FRAMES: &str = "wal_fsync_coalesced_frames";
+    /// Fleet: per-shard health gauge, labeled `shard="N"` (see
+    /// [`super::shard_label`]). Levels: 0 = down, 1 = hung, 2 = lagging,
+    /// 3 = healthy.
+    pub const FLEET_SHARD_HEALTH: &str = "fleet_shard_health";
+    /// Fleet: failovers completed (replacement shard bootstrapped from
+    /// checkpoint shipping and rejoined the routing table).
+    pub const FLEET_FAILOVERS: &str = "fleet_failovers_total";
+    /// Fleet: end-to-end routed query latency (route + fan-out + merge,
+    /// micros).
+    pub const FLEET_ROUTED_LATENCY_US: &str = "fleet_routed_query_latency_us";
+    /// Fleet: the fleet-wide `global_cmt_ts` watermark gauge (micros) —
+    /// the minimum over every shard's last heartbeat-reported watermark.
+    pub const FLEET_GLOBAL_CMT_TS_US: &str = "fleet_global_cmt_ts_us";
+    /// Fleet: coordinator heartbeat intervals a shard failed to report in.
+    pub const FLEET_HEARTBEATS_MISSED: &str = "fleet_heartbeats_missed_total";
+    /// Fleet: queries routed to shards (one per fanned-out sub-query).
+    pub const FLEET_QUERIES_ROUTED: &str = "fleet_queries_routed_total";
+    /// Fleet: routed queries answered partially because a shard was
+    /// unavailable (`DegradedPolicy::Partial`).
+    pub const FLEET_QUERIES_PARTIAL: &str = "fleet_queries_partial_total";
+}
+
+/// Renders the canonical `shard="N"` label for fleet shard `idx`.
+pub fn shard_label(idx: usize) -> String {
+    format!("shard=\"{idx}\"")
 }
 
 /// The shared telemetry instance: registry + event ring + clock.

@@ -120,12 +120,20 @@ pub struct FaultPlan {
     /// fault). Note [`FaultKind::RecordCorruption`] is undetectable at
     /// ingest, so healing never gets a chance to apply to it.
     pub heal_after: u32,
+    /// Total stall budget in primary-clock microseconds: once the
+    /// cumulative delay charged by [`FaultKind::Stall`] faults reaches
+    /// it, further stalls are suppressed and deliver cleanly. `None` is
+    /// unbounded (the pre-budget behaviour). A persistent plan heavy on
+    /// stalls can otherwise wedge a schedule indefinitely; the budget
+    /// bounds the worst case so CI watchdogs fire on real hangs, not on
+    /// injected ones.
+    pub stall_budget_us: Option<u64>,
 }
 
 impl FaultPlan {
     /// A transient plan (heals after one failed attempt).
     pub fn new(seed: u64, rate: f64, kinds: Vec<FaultKind>) -> Self {
-        Self { seed, rate, kinds, heal_after: 1 }
+        Self { seed, rate, kinds, heal_after: 1, stall_budget_us: None }
     }
 
     /// Makes the plan persistent: faulted epochs never deliver cleanly.
@@ -133,11 +141,19 @@ impl FaultPlan {
         self.heal_after = u32::MAX;
         self
     }
+
+    /// Bounds the total injected stall delay at `us` microseconds.
+    pub fn stall_budget(mut self, us: u64) -> Self {
+        self.stall_budget_us = Some(us);
+        self
+    }
 }
 
-/// Deterministic 64-bit mixer (splitmix64 finalizer): the injector's only
-/// source of "randomness", so schedules are reproducible by construction.
-fn mix(mut z: u64) -> u64 {
+/// Deterministic 64-bit mixer (splitmix64 finalizer): the fault
+/// harnesses' only source of "randomness", so schedules are reproducible
+/// by construction. Public because the fleet-level fault plans key their
+/// schedules off the same mixer.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -149,16 +165,19 @@ fn mix(mut z: u64) -> u64 {
 pub struct FaultInjector {
     epochs: Vec<EncodedEpoch>,
     plan: FaultPlan,
+    /// Cumulative stall delay charged so far against
+    /// [`FaultPlan::stall_budget_us`].
+    stall_spent_us: u64,
 }
 
 impl FaultInjector {
     /// Wraps `epochs` under `plan`.
     pub fn new(epochs: Vec<EncodedEpoch>, plan: FaultPlan) -> Self {
-        Self { epochs, plan }
+        Self { epochs, plan, stall_spent_us: 0 }
     }
 
     fn draw(&self, seq: u64) -> u64 {
-        mix(self.plan.seed ^ mix(seq.wrapping_mul(0xA24B_AED4_963E_E407)))
+        splitmix64(self.plan.seed ^ splitmix64(seq.wrapping_mul(0xA24B_AED4_963E_E407)))
     }
 
     /// The fault (if any) scheduled for epoch `seq`, independent of the
@@ -190,16 +209,31 @@ impl FaultInjector {
     /// delivery later, because the feed is FIFO. Feeding a runner with
     /// these (rather than naively per-epoch shifted times) is what keeps
     /// `global_cmt_ts` monotone when an epoch stalls — see
-    /// `ReplicationTimeline::arrivals_with_delays`.
+    /// `ReplicationTimeline::arrivals_with_delays`. Stalls past the
+    /// plan's total budget are suppressed, charging the budget in stream
+    /// order — the same accounting [`FaultInjector::fetch`] applies on an
+    /// in-order fetch sequence.
     pub fn delayed_arrivals(&self, base: &[Timestamp]) -> Vec<Timestamp> {
         let mut hwm = Timestamp::ZERO;
+        let mut spent = 0u64;
         let mut out = Vec::with_capacity(base.len());
         for (seq, b) in base.iter().enumerate() {
-            let a = b.saturating_add(self.stall_delay_us(seq as u64)).max(hwm);
+            let mut delay = self.stall_delay_us(seq as u64);
+            match self.plan.stall_budget_us {
+                Some(budget) if spent + delay > budget => delay = 0,
+                _ => spent += delay,
+            }
+            let a = b.saturating_add(delay).max(hwm);
             hwm = a;
             out.push(a);
         }
         out
+    }
+
+    /// Cumulative stall delay fetches have charged against the plan's
+    /// budget so far.
+    pub fn stall_spent_us(&self) -> u64 {
+        self.stall_spent_us
     }
 
     fn apply(&self, kind: FaultKind, seq: u64, clean: EncodedEpoch) -> Option<EncodedEpoch> {
@@ -272,6 +306,21 @@ impl EpochSource for FaultInjector {
         };
         if attempt >= self.plan.heal_after {
             return Some(clean);
+        }
+        if kind == FaultKind::Stall {
+            // The budget bounds the *total* injected stall time: a stall
+            // whose delay would overrun it delivers cleanly instead. Each
+            // stalled epoch is charged once (on its first attempt); the
+            // re-requests until heal_after share that one delay.
+            let delay = self.stall_delay_us(seq);
+            if let Some(budget) = self.plan.stall_budget_us {
+                if self.stall_spent_us + delay > budget {
+                    return Some(clean);
+                }
+            }
+            if attempt == 0 {
+                self.stall_spent_us += delay;
+            }
         }
         self.apply(kind, seq, clean)
     }
@@ -392,6 +441,43 @@ mod tests {
         // Full decode of the batch hits the corrupted record CRC.
         let err = crate::codec::decode_batch(e.bytes.clone()).unwrap_err();
         assert!(matches!(err, aets_common::Error::CodecChecksum));
+    }
+
+    #[test]
+    fn stall_budget_bounds_total_injected_delay() {
+        let epochs = encoded(128, 4);
+        // Persistent all-stall plan: unbounded, every fetch of a faulted
+        // epoch stalls forever; with a budget, stalls stop once spent.
+        let plan = FaultPlan::new(11, 1.0, vec![FaultKind::Stall]).persistent();
+        let budget = 8_000u64;
+        let mut bounded = FaultInjector::new(epochs.clone(), plan.clone().stall_budget(budget));
+        let mut suppressed_after_exhaustion = false;
+        for seq in 0..epochs.len() as u64 {
+            match bounded.fetch(seq, 0) {
+                None => {} // stall within budget
+                Some(e) => {
+                    e.verify().unwrap();
+                    assert_eq!(e.id.raw(), seq, "suppressed stall must deliver cleanly");
+                    suppressed_after_exhaustion = true;
+                }
+            }
+            assert!(bounded.stall_spent_us() <= budget, "budget overrun at epoch {seq}");
+        }
+        assert!(suppressed_after_exhaustion, "an 8ms budget cannot absorb 32 stalls of >=1ms each");
+
+        // The arrival timeline respects the same bound: total added delay
+        // across the stream never exceeds the budget.
+        let base: Vec<Timestamp> =
+            (0..epochs.len() as u64).map(|i| Timestamp::from_micros(i * 10_000)).collect();
+        let unbounded = FaultInjector::new(epochs.clone(), plan.clone());
+        let free = unbounded.delayed_arrivals(&base);
+        let capped = FaultInjector::new(epochs, plan.stall_budget(budget)).delayed_arrivals(&base);
+        let total_free: u64 =
+            free.iter().zip(&base).map(|(d, b)| d.as_micros() - b.as_micros()).sum();
+        let total_capped: u64 =
+            capped.iter().zip(&base).map(|(d, b)| d.as_micros() - b.as_micros()).sum();
+        assert!(total_capped <= budget, "capped timeline added {total_capped}us");
+        assert!(total_free > budget, "rate-1.0 stalls must exceed the budget unbounded");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! depend on the individual crates (`aets-replay`, `aets-memtable`, ...).
 
 pub use aets_common as common;
+pub use aets_fleet as fleet;
 pub use aets_forecast as forecast;
 pub use aets_memtable as memtable;
 pub use aets_neural as neural;
