@@ -9,6 +9,7 @@
 pub mod error;
 pub mod fxhash;
 pub mod ids;
+pub mod mix;
 pub mod ops;
 pub mod rng;
 pub mod text;
@@ -17,6 +18,7 @@ pub mod value;
 pub use error::{Error, Result};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use ids::{ColumnId, EpochId, GroupId, Lsn, RowKey, TableId, Timestamp, TxnId};
+pub use mix::splitmix64;
 pub use ops::DmlOp;
 pub use text::Utf8Bytes;
 pub use value::{Row, Value};

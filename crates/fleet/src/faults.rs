@@ -7,7 +7,7 @@
 //! chaos run is a pure function of its seed — every crash, every missed
 //! heartbeat, every failover lands on the same tick on every machine.
 
-use aets_wal::splitmix64;
+use aets_common::splitmix64;
 
 /// A fleet-level fault kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -34,9 +34,11 @@ use std::time::{Duration, Instant};
 
 use aets_common::{Error, Result, Timestamp};
 use aets_memtable::{FloorTicket, QueryFloor};
-use aets_replay::{QueryHandle, QueryOutput, QuerySpec, ReadSession, RetryPolicy};
+use aets_replay::{
+    ingest_epoch, IngestStats, QueryHandle, QueryOutput, QuerySpec, ReadSession, RetryPolicy,
+};
 use aets_telemetry::{names, shard_label, Counter, EventKind, Gauge, Histogram, Telemetry};
-use aets_wal::Epoch;
+use aets_wal::{assemble_txns, Epoch, EpochSource};
 use parking_lot::Mutex;
 
 use crate::faults::{FleetFaultKind, FleetFaultPlan};
@@ -231,6 +233,7 @@ pub struct Fleet {
     telemetry: Arc<Telemetry>,
     stats: FleetStats,
     metrics: FleetMetrics,
+    next_source_seq: u64,
 }
 
 impl Fleet {
@@ -263,6 +266,7 @@ impl Fleet {
             telemetry,
             stats,
             metrics: FleetMetrics::default(),
+            next_source_seq: 0,
         })
     }
 
@@ -280,6 +284,58 @@ impl Fleet {
         for (s, sub) in partition_epoch(epoch, &self.plan).iter().enumerate() {
             self.shards[s].enqueue(aets_wal::encode_epoch(sub));
         }
+    }
+
+    /// Drains up to `max_epochs` epochs from a pull feed (e.g. a
+    /// [network receiver](aets_wal::EpochSource)) through the resync loop
+    /// and enqueues each on its shards. Epochs below the fleet's source
+    /// cursor are skipped, so a resumed stream that re-ships its
+    /// in-flight window is absorbed exactly once.
+    ///
+    /// A feed that merely ran dry (retries exhausted on stalls alone, no
+    /// corruption and no gaps) is *idle*, not broken: the drain returns
+    /// `Ok` with what it got and the cursor stays put for the next call.
+    /// Checksum failures or epoch gaps that outlive the retry budget
+    /// surface as errors.
+    pub fn ingest_source(
+        &mut self,
+        source: &mut dyn EpochSource,
+        retry: &RetryPolicy,
+        max_epochs: usize,
+    ) -> Result<usize> {
+        let first = source.first_seq();
+        let end = first + source.num_epochs() as u64;
+        if self.next_source_seq < first {
+            self.next_source_seq = first;
+        }
+        let mut drained = 0usize;
+        let mut records = Vec::new();
+        while drained < max_epochs && self.next_source_seq < end {
+            let mut stats = IngestStats::default();
+            let encoded = match ingest_epoch(source, self.next_source_seq, retry, &mut stats) {
+                Ok(e) => e,
+                // Stalls with clean delivery otherwise = the feed is idle.
+                Err(_)
+                    if stats.stalls > 0
+                        && stats.checksum_failures == 0
+                        && stats.epoch_gaps == 0 =>
+                {
+                    return Ok(drained)
+                }
+                Err(e) => return Err(e),
+            };
+            encoded.decode_records_into(&mut records)?;
+            let epoch = Epoch { id: encoded.id, txns: assemble_txns(&records)? };
+            self.enqueue(&epoch);
+            self.next_source_seq += 1;
+            drained += 1;
+        }
+        Ok(drained)
+    }
+
+    /// The next source sequence [`Fleet::ingest_source`] will request.
+    pub fn next_source_seq(&self) -> u64 {
+        self.next_source_seq
     }
 
     /// One supervisor interval. See the module docs for the phase order.

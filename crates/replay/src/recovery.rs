@@ -20,6 +20,7 @@
 //! way through [`VisibilityBoard::gc_watermark`].
 
 use crate::checkpoint::{CheckpointMeta, CheckpointStore};
+use crate::dispatch::{ingest_epoch, IngestStats, RetryPolicy};
 use crate::engines::aets::AetsEngine;
 use crate::engines::ReplayEngine;
 use crate::metrics::ReplayMetrics;
@@ -269,6 +270,54 @@ impl DurableBackup {
             self.checkpoint_now()?;
         }
         Ok(())
+    }
+
+    /// Pulls every epoch the source currently advertises through the
+    /// resync loop ([`ingest_epoch`]) and ingests each one durably via
+    /// [`DurableBackup::ingest`]. Epochs the node has already ingested
+    /// (below [`DurableBackup::next_seq`]) are skipped, so a resumed
+    /// network stream that re-ships its in-flight window is absorbed
+    /// idempotently. Returns the number of epochs ingested by this call.
+    ///
+    /// Delivery faults (stalls, checksum failures, gaps) are retried per
+    /// `retry`; exhausted retries surface as an error after everything
+    /// ingested so far has been made durable. Ingest-loop stats are
+    /// folded into [`DurableBackup::metrics`] and the telemetry registry
+    /// exactly like the streaming engine path.
+    pub fn ingest_from(
+        &mut self,
+        source: &mut dyn EpochSource,
+        retry: &RetryPolicy,
+    ) -> Result<u64> {
+        let end = source.first_seq() + source.num_epochs() as u64;
+        let mut stats = IngestStats::default();
+        let mut ingested = 0u64;
+        let mut outcome = Ok(());
+        while self.next_seq < end {
+            match ingest_epoch(source, self.next_seq, retry, &mut stats) {
+                Ok(epoch) => {
+                    if let Err(e) = self.ingest(&epoch) {
+                        outcome = Err(e);
+                        break;
+                    }
+                    ingested += 1;
+                }
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        self.metrics.ingest_retries += stats.retries;
+        self.metrics.checksum_failures += stats.checksum_failures;
+        self.metrics.epoch_gaps += stats.epoch_gaps;
+        self.metrics.ingest_stalls += stats.stalls;
+        let reg = self.telemetry.registry();
+        reg.counter(names::INGEST_RETRIES).add(stats.retries);
+        reg.counter(names::CHECKSUM_FAILURES).add(stats.checksum_failures);
+        reg.counter(names::EPOCH_GAPS).add(stats.epoch_gaps);
+        reg.counter(names::INGEST_STALLS).add(stats.stalls);
+        outcome.map(|()| ingested)
     }
 
     /// Cuts a checkpoint at the current epoch barrier, prunes old

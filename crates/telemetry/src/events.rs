@@ -105,6 +105,20 @@ pub enum EventKind {
         /// Consecutive intervals missed so far.
         missed: u32,
     },
+    /// The log-shipping sender lost its session and re-established it.
+    NetReconnect {
+        /// Consecutive failed connection attempts before this one stuck.
+        attempts: u32,
+    },
+    /// A reconnect handshake rewound the send cursor: the epochs that
+    /// were in flight when the session broke are shipped again (and
+    /// deduplicated at the receiver).
+    NetResync {
+        /// First epoch sequence shipped again.
+        resume_seq: u64,
+        /// Epochs rewound (send cursor minus resume point).
+        rewound: u64,
+    },
 }
 
 /// One emitted event.
@@ -191,6 +205,8 @@ impl EventKind {
             EventKind::ShardDown { .. } => "shard_down",
             EventKind::ShardFailover { .. } => "shard_failover",
             EventKind::ShardHeartbeatMissed { .. } => "shard_heartbeat_missed",
+            EventKind::NetReconnect { .. } => "net_reconnect",
+            EventKind::NetResync { .. } => "net_resync",
         }
     }
 }

@@ -164,6 +164,36 @@ pub mod names {
     /// Fleet: routed queries answered partially because a shard was
     /// unavailable (`DegradedPolicy::Partial`).
     pub const FLEET_QUERIES_PARTIAL: &str = "fleet_queries_partial_total";
+    /// Transport: sender sessions (re-)established over TCP — the first
+    /// connection counts too, so `value - 1` is the reconnect count of a
+    /// single-stream run.
+    pub const NET_CONNECTS: &str = "net_connects_total";
+    /// Transport: reconnects after a broken session (excludes the first
+    /// connection).
+    pub const NET_RECONNECTS: &str = "net_reconnects_total";
+    /// Transport: handshakes whose RESUME point rewound the send cursor —
+    /// epochs in flight when the session broke are shipped again.
+    pub const NET_RESYNCS: &str = "net_resyncs_total";
+    /// Transport: HELLO/RESUME handshakes completed on the receiver.
+    pub const NET_HANDSHAKES: &str = "net_handshakes_total";
+    /// Transport: bytes the sender wrote to the wire (frames + payloads,
+    /// including re-shipped epochs).
+    pub const NET_BYTES_SENT: &str = "net_bytes_sent_total";
+    /// Transport: bytes the receiver read off the wire.
+    pub const NET_BYTES_RECV: &str = "net_bytes_recv_total";
+    /// Transport: epoch frames shipped (including re-ships after resync).
+    pub const NET_EPOCHS_SHIPPED: &str = "net_epochs_shipped_total";
+    /// Transport: duplicate epoch deliveries discarded by the receiver's
+    /// epoch-id dedup (exactly-once guarantee at work).
+    pub const NET_EPOCHS_DEDUPED: &str = "net_epochs_deduped_total";
+    /// Transport: frames rejected at decode (bad magic, header/payload
+    /// CRC mismatch, oversized length, protocol violations). Every
+    /// rejection tears the session down: a byte-corrupted TCP stream
+    /// cannot be trusted to re-frame.
+    pub const NET_FRAME_ERRORS: &str = "net_frame_errors_total";
+    /// Transport: in-flight (sent, not yet acked) epochs sampled at each
+    /// epoch send — the histogram of ack-window depth.
+    pub const NET_ACK_WINDOW_DEPTH: &str = "net_ack_window_depth";
 }
 
 /// Renders the canonical `shard="N"` label for fleet shard `idx`.

@@ -1,0 +1,47 @@
+//! Networked log shipping for the AETS backup pipeline.
+//!
+//! Everything upstream of this crate pretends the replicated epoch
+//! stream simply *appears* at the backup ([`aets_wal::EpochSource`]).
+//! This crate makes that true over a real network:
+//!
+//! * [`frame`] — the length-prefixed, double-CRC wire format. Every
+//!   single-byte corruption or truncation of a frame is detected; a
+//!   damaged session is torn down rather than guessed at.
+//! * [`sender`] — [`ship_epochs`]: blocking TCP shipping with a bounded
+//!   in-flight window (backpressure, never drops), reconnect with
+//!   exponential backoff, and resume-from-handshake.
+//! * [`receiver`] — [`ShipReceiver`] accepts sessions, dedups
+//!   redeliveries by epoch sequence (exactly-once downstream), and
+//!   exposes the stream as a [`NetEpochSource`] the existing ingest
+//!   stack (`ingest_epoch`, `DurableBackup`, the fleet) consumes
+//!   unchanged.
+//! * [`fault`] — a seeded loopback proxy ([`FaultProxy`]) injecting
+//!   disconnects, partitions, corruption, truncation, delay,
+//!   duplication, and half-open stalls, for deterministic chaos tests.
+//! * [`trace`] — JSONL capture of the node's boundary events
+//!   ([`TraceRecorder`]) and deterministic replay
+//!   ([`TraceReplayer`]) in sequential / paced / as-fast-as-possible
+//!   modes, asserting byte-identical query results.
+//!
+//! No async runtime: blocking `std::net` sockets, read/write timeouts,
+//! and a handful of threads, consistent with the workspace's
+//! zero-external-dependency build.
+
+// The transport sits on the durability path: failures must surface as
+// typed errors (and heal through reconnect/resync), never panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod fault;
+pub mod frame;
+pub mod receiver;
+pub mod sender;
+pub mod trace;
+
+pub use fault::{FaultProxy, NetFaultKind, NetFaultPlan};
+pub use frame::{decode_frame, encode_frame, read_frame, write_frame, Frame, ReadEvent};
+pub use receiver::{NetEpochSource, ReceiverConfig, ShipReceiver};
+pub use sender::{ship_epochs, ShipReport, ShipperConfig};
+pub use trace::{
+    render_output_kind, render_result, EngineSink, ReplayMode, TraceEvent, TraceRecorder,
+    TraceReplayer, TraceReport, TraceSink,
+};

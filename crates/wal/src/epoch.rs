@@ -135,7 +135,10 @@ pub fn batch_into_epochs(txns: Vec<TxnLog>, epoch_size: usize) -> Result<Vec<Epo
 
 /// An epoch in wire form: what the backup actually receives from the
 /// replication channel before its log parser runs.
-#[derive(Debug, Clone)]
+///
+/// Equality is byte equality of the whole wire form (id, payload,
+/// metadata, CRC) — what the transport's frame round-trip tests compare.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EncodedEpoch {
     /// Epoch id.
     pub id: EpochId,

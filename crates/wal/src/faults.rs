@@ -151,14 +151,10 @@ impl FaultPlan {
 
 /// Deterministic 64-bit mixer (splitmix64 finalizer): the fault
 /// harnesses' only source of "randomness", so schedules are reproducible
-/// by construction. Public because the fleet-level fault plans key their
-/// schedules off the same mixer.
-pub fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// by construction. Re-exported from `aets_common` (where the fleet- and
+/// network-level fault plans also key their schedules) so existing
+/// `aets_wal::splitmix64` callers keep working.
+pub use aets_common::splitmix64;
 
 /// A fault-injecting wrapper around an in-memory epoch stream.
 #[derive(Debug)]

@@ -12,5 +12,6 @@ pub use aets_neural as neural;
 pub use aets_replay as replay;
 pub use aets_simulator as simulator;
 pub use aets_telemetry as telemetry;
+pub use aets_transport as transport;
 pub use aets_wal as wal;
 pub use aets_workloads as workloads;

@@ -212,6 +212,70 @@ fn disabled_telemetry_keeps_the_runner_silent() {
 }
 
 #[test]
+fn net_shipping_emits_transport_metrics_on_both_endpoints() {
+    // The transport layer's observability contract over a healthy
+    // loopback link: the shipper counts its session and every epoch
+    // frame and byte it wrote (plus the in-flight window depth), the
+    // receiver counts the handshake and inbound bytes, and none of the
+    // failure-path counters (reconnects, resyncs, dedups, frame errors)
+    // move.
+    use aets_suite::replay::{ingest_epoch, IngestStats, RetryPolicy};
+    use aets_suite::transport::{ship_epochs, ReceiverConfig, ShipReceiver, ShipperConfig};
+
+    let w = tpcc::generate(&TpccConfig { num_txns: 300, warehouses: 1, ..Default::default() });
+    let epochs: Vec<_> = batch_into_epochs(w.txns.clone(), 32)
+        .expect("positive epoch size")
+        .iter()
+        .map(encode_epoch)
+        .collect();
+    let total = epochs.len() as u64;
+
+    let tel_rx = Arc::new(Telemetry::new());
+    let mut receiver =
+        ShipReceiver::bind("127.0.0.1:0", ReceiverConfig::default(), tel_rx.clone()).expect("bind");
+    let addr = receiver.addr();
+    let tel_tx = Arc::new(Telemetry::new());
+    let ship_tel = tel_tx.clone();
+    let ship_stream = epochs.clone();
+    let shipper = std::thread::spawn(move || {
+        ship_epochs(addr, &ship_stream, &ShipperConfig::default(), &ship_tel)
+    });
+
+    let mut source = receiver.source();
+    let retry = RetryPolicy { max_retries: 20, base_backoff_us: 100, max_backoff_us: 5_000 };
+    for seq in 0..total {
+        let mut stats = IngestStats::default();
+        ingest_epoch(&mut source, seq, &retry, &mut stats).expect("clean delivery");
+    }
+    let report = shipper.join().expect("shipper").expect("shipping failed");
+    receiver.shutdown();
+
+    // ---- Sender side: session + volume counters match the report. -----
+    let tx = tel_tx.snapshot();
+    assert_eq!(tx.counter_total(names::NET_CONNECTS), 1);
+    assert_eq!(tx.counter_total(names::NET_RECONNECTS), 0);
+    assert_eq!(tx.counter_total(names::NET_RESYNCS), 0);
+    assert_eq!(tx.counter_total(names::NET_EPOCHS_SHIPPED), total);
+    assert_eq!(tx.counter_total(names::NET_BYTES_SENT), report.bytes_sent);
+    assert!(tx.counter_total(names::NET_BYTES_RECV) > 0, "acks flowed back");
+    assert_eq!(tx.counter_total(names::NET_FRAME_ERRORS), 0);
+    let depth =
+        tx.histogram_summary_all(names::NET_ACK_WINDOW_DEPTH).expect("window depth histogram");
+    assert_eq!(depth.count, total, "one depth sample per shipped epoch");
+    assert!(
+        depth.max_us <= ShipperConfig::default().window as u64,
+        "in-flight depth may never exceed the window"
+    );
+
+    // ---- Receiver side: handshake + inbound volume, no failures. ------
+    let rx = tel_rx.snapshot();
+    assert_eq!(rx.counter_total(names::NET_HANDSHAKES), 1);
+    assert!(rx.counter_total(names::NET_BYTES_RECV) > 0);
+    assert_eq!(rx.counter_total(names::NET_EPOCHS_DEDUPED), 0, "nothing travels twice");
+    assert_eq!(rx.counter_total(names::NET_FRAME_ERRORS), 0);
+}
+
+#[test]
 fn fleet_run_emits_shard_health_failover_and_latency_metrics() {
     // The fleet layer's observability contract: per-shard health gauges
     // (0=down 1=hung 2=lagging 3=healthy), a failover counter, a routed
