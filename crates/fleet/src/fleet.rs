@@ -37,7 +37,11 @@ use aets_memtable::{FloorTicket, QueryFloor};
 use aets_replay::{
     ingest_epoch, IngestStats, QueryHandle, QueryOutput, QuerySpec, ReadSession, RetryPolicy,
 };
-use aets_telemetry::{names, shard_label, Counter, EventKind, Gauge, Histogram, Telemetry};
+use aets_telemetry::trace::stages;
+use aets_telemetry::{
+    names, shard_label, Counter, EventKind, FlightRecorder, FlightRecorderConfig, Gauge, HealthFn,
+    HealthReport, Histogram, ObsServer, Telemetry,
+};
 use aets_wal::{assemble_txns, Epoch, EpochSource};
 use parking_lot::Mutex;
 
@@ -63,6 +67,15 @@ pub struct FleetOptions {
     /// Fleet telemetry (`fleet_*` metrics and shard lifecycle events).
     /// `None` runs disabled.
     pub telemetry: Option<Arc<Telemetry>>,
+    /// Bind address of the fleet's live observability endpoint
+    /// (`/metrics`, `/spans.json`, `/healthz`, …); `None` serves no HTTP.
+    /// `/healthz` reports 503 naming the down or hung shards.
+    pub obs_addr: Option<String>,
+    /// Directory for degraded-mode flight-recorder bundles: shard-down,
+    /// failover, and quarantine events each dump a bounded JSON bundle
+    /// of recent spans + events + the metrics snapshot there. `None`
+    /// disables the recorder.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for FleetOptions {
@@ -73,6 +86,8 @@ impl Default for FleetOptions {
             retry: RetryPolicy::default(),
             query_timeout: Duration::from_secs(5),
             telemetry: None,
+            obs_addr: None,
+            flight_dir: None,
         }
     }
 }
@@ -234,6 +249,10 @@ pub struct Fleet {
     stats: FleetStats,
     metrics: FleetMetrics,
     next_source_seq: u64,
+    /// Last published per-shard health levels (see [`ShardHealth::level`]),
+    /// shared with the `/healthz` handler's thread.
+    health_levels: Arc<Vec<AtomicU64>>,
+    obs: Option<ObsServer>,
 }
 
 impl Fleet {
@@ -255,6 +274,37 @@ impl Fleet {
             )?);
         }
         let stats = FleetStats::new(&telemetry, plan.num_shards());
+        if let Some(dir) = &opts.flight_dir {
+            let recorder = FlightRecorder::create(FlightRecorderConfig::new(dir))
+                .map_err(|e| Error::Io(format!("flight recorder at {}: {e}", dir.display())))?;
+            telemetry.set_flight_recorder(Some(recorder));
+        }
+        let health_levels: Arc<Vec<AtomicU64>> = Arc::new(
+            (0..plan.num_shards()).map(|_| AtomicU64::new(ShardHealth::Healthy.level())).collect(),
+        );
+        let obs = match &opts.obs_addr {
+            Some(addr) => {
+                let levels = health_levels.clone();
+                let health: HealthFn = Arc::new(move || {
+                    let bad: Vec<usize> = levels
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, l)| l.load(Ordering::Relaxed) <= ShardHealth::Hung.level())
+                        .map(|(s, _)| s)
+                        .collect();
+                    if bad.is_empty() {
+                        HealthReport::ok()
+                    } else {
+                        HealthReport::degraded(bad, "shard(s) down or hung")
+                    }
+                });
+                Some(
+                    ObsServer::bind(addr, telemetry.clone(), health)
+                        .map_err(|e| Error::Io(format!("bind obs endpoint {addr}: {e}")))?,
+                )
+            }
+            None => None,
+        };
         Ok(Self {
             plan,
             shards,
@@ -267,6 +317,8 @@ impl Fleet {
             stats,
             metrics: FleetMetrics::default(),
             next_source_seq: 0,
+            health_levels,
+            obs,
         })
     }
 
@@ -415,7 +467,9 @@ impl Fleet {
         }
         self.stats.global_ts.set(self.global_cmt_ts.as_micros());
         for (s, shard) in self.shards.iter().enumerate() {
-            self.stats.shard_health[s].set(shard.health(now).level());
+            let level = shard.health(now).level();
+            self.stats.shard_health[s].set(level);
+            self.health_levels[s].store(level, Ordering::Relaxed);
         }
         Ok(())
     }
@@ -493,6 +547,12 @@ impl Fleet {
         policy: DegradedPolicy,
     ) -> Result<FleetAnswer> {
         let t0 = Instant::now();
+        // One routing span per fleet query, covering the fan-out and the
+        // merge; it attaches to the latest epoch the fleet ring knows of
+        // (shard engines trace into their own rings).
+        let ring = self.telemetry.spans();
+        let route_span =
+            ring.begin(ring.epoch_hint().unwrap_or(0), stages::FLEET_ROUTE, None, None);
         let n = self.shards.len();
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, spec) in specs.iter().enumerate() {
@@ -556,6 +616,11 @@ impl Fleet {
         drop(sessions);
 
         self.stats.routed_latency.record(t0.elapsed());
+        // Errors above drop the open span: only completed routes land in
+        // the ring.
+        if let Some(s) = route_span {
+            s.finish(ring);
+        }
         let parts =
             parts.into_iter().map(|p| p.expect("every spec slot filled by routing")).collect();
         Ok(FleetAnswer { parts, qts, degraded_shards: degraded })
@@ -629,6 +694,12 @@ impl Fleet {
     /// Fleet telemetry.
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// Bound address of the live observability endpoint, when
+    /// [`FleetOptions::obs_addr`] asked for one.
+    pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs.as_ref().map(ObsServer::addr)
     }
 
     /// Supervisor ticks elapsed.

@@ -45,7 +45,8 @@ use crate::metrics::ReplayMetrics;
 use crate::visibility::VisibilityBoard;
 use aets_common::{Error, GroupId, Result, TableId};
 use aets_memtable::MemDb;
-use aets_telemetry::{names, Counter, EventKind, Gauge, Histogram, Telemetry};
+use aets_telemetry::trace::stages;
+use aets_telemetry::{names, Counter, EventKind, Gauge, Histogram, OpenSpan, SpanId, Telemetry};
 use aets_wal::{EncodedEpoch, EpochSource, SliceSource};
 use parking_lot::{Condvar, Mutex};
 use std::cell::UnsafeCell;
@@ -304,6 +305,8 @@ impl AetsEngine {
     #[allow(clippy::too_many_arguments)]
     fn run_stage(
         &self,
+        seq: u64,
+        parent: Option<SpanId>,
         work: &DispatchedEpoch,
         stage_groups: &[GroupId],
         alloc: &[usize],
@@ -314,6 +317,7 @@ impl AetsEngine {
         commit_busy_ns: &AtomicU64,
     ) {
         let quarantine = &self.quarantine;
+        let ring = self.telemetry.spans();
         std::thread::scope(|scope| {
             for &gid in stage_groups {
                 // A quarantined group gets no further work: its watermark
@@ -332,6 +336,10 @@ impl AetsEngine {
                     let queue = queue.clone();
                     scope.spawn(move || {
                         let t0 = Instant::now();
+                        // One translate span per worker per (stage, group):
+                        // the merged timeline shows how long each worker
+                        // spent in phase 1 for this epoch.
+                        let tspan = ring.begin(seq, stages::TRANSLATE, Some(gid.index()), parent);
                         while let Some(i) = queue.claim() {
                             let mt = &gw.mini_txns[i];
                             // Contained per mini-txn so a failure (or
@@ -349,6 +357,9 @@ impl AetsEngine {
                             .unwrap_or_else(|p| Err(panic_error("phase-1 worker", p)));
                             queue.finish(i, res);
                         }
+                        if let Some(s) = tspan {
+                            s.finish(ring);
+                        }
                         replay_busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     });
                 }
@@ -359,6 +370,15 @@ impl AetsEngine {
                     // Table II breakdown measures work, not waiting.
                     let mut busy_ns = 0u64;
                     let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+                        // Head-of-line commit-queue wait, then the ordered
+                        // apply: the wait span closes when the first
+                        // slot's cells are in hand and the apply span
+                        // covers the rest of the commit loop. A failure
+                        // mid-loop drops the open span — only completed
+                        // steps are recorded.
+                        let mut wait_span =
+                            ring.begin(seq, stages::COMMIT_WAIT, Some(gid.index()), parent);
+                        let mut apply_span: Option<OpenSpan> = None;
                         for i in 0..gw.mini_txns.len() {
                             let mt = &gw.mini_txns[i];
                             let mut cells = if workers == 0 {
@@ -372,6 +392,11 @@ impl AetsEngine {
                             } else {
                                 state_c.wait_take(i)?
                             };
+                            if let Some(w) = wait_span.take() {
+                                w.finish(ring);
+                                apply_span =
+                                    ring.begin(seq, stages::APPLY, Some(gid.index()), parent);
+                            }
                             let t0 = Instant::now();
                             for cell in cells.drain(..) {
                                 commit_cell(cell, mt.commit_ts);
@@ -381,6 +406,9 @@ impl AetsEngine {
                             // The drained buffer goes back to the group's
                             // free list for the next epoch's workers.
                             pool.put(cells);
+                        }
+                        if let Some(a) = apply_span.take() {
+                            a.finish(ring);
                         }
                         Ok(())
                     }));
@@ -404,6 +432,10 @@ impl AetsEngine {
         for &gid in stage_groups {
             if !quarantine.is_poisoned(gid) {
                 board.publish_group(gid, work.max_commit_ts);
+                // Point span at the barrier publish (not the hot
+                // per-mini-txn watermark bumps): the timeline shows when
+                // the group's epoch-final `tg_cmt_ts` became visible.
+                ring.point(seq, stages::FLIP_GROUP, Some(gid.index()), parent);
             }
         }
     }
@@ -416,6 +448,8 @@ impl AetsEngine {
     fn replay_epoch(
         &self,
         eidx: usize,
+        seq: u64,
+        parent: Option<SpanId>,
         work: &DispatchedEpoch,
         pools: &[CellPool],
         db: &MemDb,
@@ -459,7 +493,18 @@ impl AetsEngine {
                 continue;
             }
             let t_stage = Instant::now();
-            self.run_stage(work, stage_groups, &alloc, pools, db, board, replay_busy, commit_busy);
+            self.run_stage(
+                seq,
+                parent,
+                work,
+                stage_groups,
+                &alloc,
+                pools,
+                db,
+                board,
+                replay_busy,
+                commit_busy,
+            );
             let elapsed = t_stage.elapsed();
             if self.cfg.two_stage && sidx == 0 {
                 m.stage1_wall += elapsed;
@@ -497,6 +542,7 @@ impl AetsEngine {
         // frozen group block (or time out) instead of reading past it.
         if !self.quarantine.any() {
             board.publish_global(work.max_commit_ts);
+            self.telemetry.spans().point(seq, stages::FLIP_GLOBAL, None, parent);
         }
         let entries = work.groups.iter().map(|g| g.entries).sum::<usize>();
         m.txns += work.txn_count;
@@ -548,13 +594,24 @@ impl AetsEngine {
                 let seq = first_seq + eidx as u64;
                 let epoch = ingest_epoch(source, seq, &self.cfg.retry, &mut ingest)?;
                 let t_dispatch = Instant::now();
+                // The dispatch span roots the epoch's engine-side trace
+                // tree: every translate/commit/flip span below parents to
+                // it, so one epoch id pulls out the whole causal chain.
+                let dspan = self.telemetry.spans().begin(seq, stages::DISPATCH, None, None);
                 let work = dispatch_epoch(&epoch, &self.grouping)?;
+                let parent = dspan.map(|s| {
+                    let id = s.id();
+                    s.finish(self.telemetry.spans());
+                    id
+                });
                 let dispatch_time = t_dispatch.elapsed();
                 m.dispatch_busy += dispatch_time;
                 self.stats.dispatch_us.record_micros(dispatch_time.as_micros() as u64);
                 self.telemetry.event(EventKind::EpochDispatched { seq });
                 self.replay_epoch(
                     eidx,
+                    seq,
+                    parent,
                     &work,
                     &pools,
                     db,
@@ -567,6 +624,7 @@ impl AetsEngine {
                     seq,
                     max_commit_ts_us: work.max_commit_ts.as_micros(),
                 });
+                self.telemetry.spans().set_epoch_hint(seq);
             }
         } else {
             // Pipelined datapath: a dispatcher thread ingests and scans
@@ -581,29 +639,45 @@ impl AetsEngine {
             std::thread::scope(|scope| {
                 let (tx, rx) = crossbeam::channel::bounded(self.cfg.pipeline_depth);
                 let grouping = &self.grouping;
+                let ring = self.telemetry.spans();
                 scope.spawn(move || {
                     for eidx in 0..n {
                         let seq = first_seq + eidx as u64;
                         let mut stats = IngestStats::default();
                         let t_dispatch = Instant::now();
+                        // The dispatch span is recorded on the dispatcher
+                        // thread and its id crosses the channel with the
+                        // work, so downstream replay spans parent to it
+                        // exactly as on the serial path.
+                        let mut parent: Option<SpanId> = None;
                         // Contained so a dispatcher panic surfaces to the
                         // replay loop as an error instead of escaping
                         // through the scope join.
                         let work = catch_unwind(AssertUnwindSafe(|| {
-                            ingest_epoch(&mut *source, seq, &retry, &mut stats)
-                                .and_then(|epoch| dispatch_epoch(&epoch, grouping))
+                            ingest_epoch(&mut *source, seq, &retry, &mut stats).and_then(|epoch| {
+                                let dspan = ring.begin(seq, stages::DISPATCH, None, None);
+                                let out = dispatch_epoch(&epoch, grouping);
+                                if out.is_ok() {
+                                    parent = dspan.map(|s| {
+                                        let id = s.id();
+                                        s.finish(ring);
+                                        id
+                                    });
+                                }
+                                out
+                            })
                         }))
                         .unwrap_or_else(|p| Err(panic_error("dispatcher", p)));
                         let stop = work.is_err();
                         // A send error means the replay loop bailed out and
                         // dropped the receiver; a dispatch error is
                         // forwarded first, then the dispatcher stops.
-                        if tx.send((work, stats, t_dispatch.elapsed())).is_err() || stop {
+                        if tx.send((work, stats, t_dispatch.elapsed(), parent)).is_err() || stop {
                             break;
                         }
                     }
                 });
-                for (eidx, (work, stats, dispatch_time)) in rx.iter().enumerate() {
+                for (eidx, (work, stats, dispatch_time, parent)) in rx.iter().enumerate() {
                     // Dispatcher busy time is now overlapped with replay;
                     // it still counts as busy time in the Table II
                     // breakdown, which measures work, not the critical
@@ -618,6 +692,8 @@ impl AetsEngine {
                     let step = work.and_then(|work| {
                         self.replay_epoch(
                             eidx,
+                            seq,
+                            parent,
                             &work,
                             &pools,
                             db,
@@ -634,6 +710,7 @@ impl AetsEngine {
                                 seq,
                                 max_commit_ts_us: max_commit_ts.as_micros(),
                             });
+                            self.telemetry.spans().set_epoch_hint(seq);
                         }
                         Err(e) => {
                             result = Err(e);

@@ -24,11 +24,14 @@ use crate::dispatch::{ingest_epoch, IngestStats, RetryPolicy};
 use crate::engines::aets::AetsEngine;
 use crate::engines::ReplayEngine;
 use crate::metrics::ReplayMetrics;
-use crate::service::{BackupNode, NodeOptions};
+use crate::service::{board_health, BackupNode, NodeOptions};
 use crate::visibility::VisibilityBoard;
 use aets_common::{Error, GroupId, Result, Timestamp};
 use aets_memtable::{gc_db, MemDb, QueryFloor};
-use aets_telemetry::{names, EventKind, Telemetry};
+use aets_telemetry::trace::stages;
+use aets_telemetry::{
+    names, EventKind, FlightRecorder, FlightRecorderConfig, ObsServer, Telemetry,
+};
 use aets_wal::crash::CrashClock;
 use aets_wal::{EncodedEpoch, EpochSource, SegmentConfig, SegmentStore};
 use std::path::PathBuf;
@@ -51,6 +54,14 @@ pub struct DurableOptions {
     /// pruning at [`VisibilityBoard::gc_watermark`] so the snapshot ships
     /// consolidated chains.
     pub gc_before_checkpoint: bool,
+    /// Bind address of the node's live observability endpoint
+    /// (`/metrics`, `/spans.json`, `/healthz`, …); `None` serves no HTTP.
+    pub obs_addr: Option<String>,
+    /// Directory for degraded-mode flight-recorder bundles: every
+    /// anomaly event (quarantine, failover, resync) dumps a bounded JSON
+    /// bundle of recent spans + events + the metrics snapshot there.
+    /// `None` disables the recorder.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for DurableOptions {
@@ -60,6 +71,8 @@ impl Default for DurableOptions {
             keep_checkpoints: 2,
             segment: SegmentConfig::default(),
             gc_before_checkpoint: true,
+            obs_addr: None,
+            flight_dir: None,
         }
     }
 }
@@ -110,6 +123,9 @@ pub struct DurableBackup {
     /// (publish ts vs the epoch's high-water mark) is the freshness
     /// measure.
     primary_watermark: Arc<AtomicU64>,
+    /// The live observability endpoint, when `opts.obs_addr` asked for
+    /// one; dropped (and unbound) with the node.
+    obs: Option<ObsServer>,
 }
 
 impl DurableBackup {
@@ -138,6 +154,14 @@ impl DurableBackup {
         metrics.manifest_fallbacks += fallbacks;
 
         let telemetry = engine.telemetry().clone();
+        // The flight recorder arms before anything replays, so an
+        // anomaly during the recovery suffix itself already dumps a
+        // bundle.
+        if let Some(dir) = &opts.flight_dir {
+            let recorder = FlightRecorder::create(FlightRecorderConfig::new(dir))
+                .map_err(|e| Error::Io(format!("flight recorder at {}: {e}", dir.display())))?;
+            telemetry.set_flight_recorder(Some(recorder));
+        }
         let primary_watermark = Arc::new(AtomicU64::new(0));
         let board = Arc::new({
             // The builder skips the instrumentation when telemetry is
@@ -214,6 +238,13 @@ impl DurableBackup {
             suffix_epochs,
             recovery_wall: t0.elapsed(),
         };
+        let obs = match &opts.obs_addr {
+            Some(addr) => Some(
+                ObsServer::bind(addr, telemetry.clone(), board_health(&board))
+                    .map_err(|e| Error::Io(format!("bind obs endpoint {addr}: {e}")))?,
+            ),
+            None => None,
+        };
         let mut node = Self {
             engine: Arc::new(engine),
             db: Arc::new(db),
@@ -229,6 +260,7 @@ impl DurableBackup {
             floor: Arc::new(QueryFloor::new()),
             telemetry,
             primary_watermark,
+            obs,
         };
         // If the replayed suffix already spans a full cadence the
         // checkpoint is overdue: cut it now, before any new ingest, so a
@@ -249,7 +281,22 @@ impl DurableBackup {
     /// process died; on a real node the supervisor restarts via
     /// [`DurableBackup::open`], which recovers everything that was acked.
     pub fn ingest(&mut self, epoch: &EncodedEpoch) -> Result<()> {
+        let seq = epoch.id.raw();
+        let ring = self.telemetry.spans();
+        // The append span includes any embedded fsync the policy takes;
+        // when the durable watermark advanced, a child fsync point marks
+        // the epoch as the one that paid for it.
+        let synced_before = self.wal.synced_seq();
+        let aspan = ring.begin(seq, stages::WAL_APPEND, None, None);
         self.wal.append(epoch)?;
+        let append_id = aspan.map(|s| {
+            let id = s.id();
+            s.finish(ring);
+            id
+        });
+        if self.wal.synced_seq() != synced_before {
+            ring.point(seq, stages::WAL_FSYNC, None, append_id);
+        }
         self.metrics.wal_epochs_appended += 1;
         self.telemetry.registry().counter(names::WAL_EPOCHS_APPENDED).inc();
         // Advance "primary now" to this epoch's high-water mark before
@@ -441,6 +488,12 @@ impl DurableBackup {
     /// `next_epoch_seq` of the last durable checkpoint.
     pub fn last_checkpoint_seq(&self) -> u64 {
         self.last_ckpt_seq
+    }
+
+    /// Bound address of the live observability endpoint, when
+    /// [`DurableOptions::obs_addr`] asked for one.
+    pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs.as_ref().map(ObsServer::addr)
     }
 
     /// Highest epoch sequence the WAL knows durable (covered by an fsync

@@ -31,7 +31,11 @@ use crate::metrics::ReplayMetrics;
 use crate::visibility::{VisibilityBoard, WaitOutcome};
 use aets_common::{Error, GroupId, Result, Row, RowKey, TableId, Timestamp};
 use aets_memtable::{gc_db, Aggregate, Filter, FloorTicket, GcStats, MemDb, QueryFloor, Scan};
-use aets_telemetry::{names, ClockFn, Counter, EventKind, Gauge, Histogram, Telemetry};
+use aets_telemetry::trace::stages;
+use aets_telemetry::{
+    names, ClockFn, Counter, EventKind, Gauge, HealthFn, HealthReport, Histogram, ObsServer,
+    Telemetry,
+};
 use aets_wal::EncodedEpoch;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -69,6 +73,12 @@ pub struct NodeOptions {
     pub admission: AdmissionMode,
     /// Re-check interval of [`AdmissionMode::SleepPoll`].
     pub poll_interval: Duration,
+    /// Bind address of the live observability endpoint (e.g.
+    /// `"127.0.0.1:0"`); `None` serves no HTTP. The endpoint exposes
+    /// `/metrics`, `/snapshot.json`, `/spans.json`, `/events.json`, and a
+    /// `/healthz` that reports 503 with the quarantined groups while the
+    /// node is degraded.
+    pub obs_addr: Option<String>,
 }
 
 impl Default for NodeOptions {
@@ -79,6 +89,7 @@ impl Default for NodeOptions {
             default_timeout: Duration::from_secs(30),
             admission: AdmissionMode::EventDriven,
             poll_interval: Duration::from_millis(2),
+            obs_addr: None,
         }
     }
 }
@@ -323,8 +334,23 @@ struct WorkerCtx {
     db: Arc<MemDb>,
     board: Arc<VisibilityBoard>,
     stats: Arc<ServiceStats>,
+    telemetry: Arc<Telemetry>,
     admission: AdmissionMode,
     poll_interval: Duration,
+}
+
+/// Health view of a visibility board for the `/healthz` endpoint: OK
+/// while no group is quarantined, 503 naming the frozen groups after.
+pub(crate) fn board_health(board: &Arc<VisibilityBoard>) -> HealthFn {
+    let board = board.clone();
+    Arc::new(move || {
+        let quarantined = board.quarantined();
+        if quarantined.is_empty() {
+            HealthReport::ok()
+        } else {
+            HealthReport::degraded(quarantined, "group(s) quarantined, watermark frozen")
+        }
+    })
 }
 
 /// Builds a [`BackupNode`]. Obtained from [`BackupNode::builder`].
@@ -445,6 +471,7 @@ impl BackupNodeBuilder {
                     db: db.clone(),
                     board: board.clone(),
                     stats: stats.clone(),
+                    telemetry: telemetry.clone(),
                     admission: self.opts.admission,
                     poll_interval: self.opts.poll_interval,
                 };
@@ -454,6 +481,21 @@ impl BackupNodeBuilder {
                     .map_err(|e| Error::Io(format!("spawn query worker: {e}")))
             })
             .collect::<Result<Vec<_>>>()?;
+        // Mounted last; a bind failure must drain the already-spawned
+        // worker pool before surfacing (no node exists yet to Drop).
+        let obs = match &self.opts.obs_addr {
+            Some(addr) => match ObsServer::bind(addr, telemetry.clone(), board_health(&board)) {
+                Ok(srv) => Some(srv),
+                Err(e) => {
+                    queue.close();
+                    for h in workers {
+                        let _ = h.join();
+                    }
+                    return Err(Error::Io(format!("bind obs endpoint {addr}: {e}")));
+                }
+            },
+            None => None,
+        };
         Ok(BackupNode {
             engine,
             db,
@@ -464,6 +506,7 @@ impl BackupNodeBuilder {
             stats,
             queue,
             workers,
+            obs,
         })
     }
 }
@@ -483,6 +526,7 @@ pub struct BackupNode {
     stats: Arc<ServiceStats>,
     queue: Arc<AdmissionQueue>,
     workers: Vec<JoinHandle<()>>,
+    obs: Option<ObsServer>,
 }
 
 impl std::fmt::Debug for BackupNode {
@@ -576,6 +620,13 @@ impl BackupNode {
     pub fn options(&self) -> &NodeOptions {
         &self.opts
     }
+
+    /// Bound address of the live observability endpoint, when
+    /// [`NodeOptions::obs_addr`] asked for one. With a `:0` bind this is
+    /// where the ephemeral port landed.
+    pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs.as_ref().map(ObsServer::addr)
+    }
 }
 
 impl Drop for BackupNode {
@@ -621,6 +672,10 @@ impl ReadSession<'_> {
     /// delay on their own thread (the realtime runner's measurement).
     pub fn wait_admitted(&self, timeout: Duration) -> Result<Duration> {
         let t0 = Instant::now();
+        // Query spans attach to the most recently committed epoch (the
+        // one whose visibility flip this wait is gated on).
+        let ring = self.node.telemetry.spans();
+        let span = ring.begin(ring.epoch_hint().unwrap_or(0), stages::QUERY_ADMISSION, None, None);
         let outcome = match self.node.opts.admission {
             AdmissionMode::EventDriven => {
                 self.node.board.wait_admission(&self.gids, self.qts, timeout)
@@ -634,6 +689,9 @@ impl ReadSession<'_> {
         };
         let waited = t0.elapsed();
         self.node.stats.admission_wait.record(waited);
+        if let Some(s) = span {
+            s.finish(ring);
+        }
         match outcome {
             WaitOutcome::Visible => Ok(waited),
             WaitOutcome::TimedOut => {
@@ -731,6 +789,11 @@ fn serve_one(ctx: &WorkerCtx, job: &Job) -> Result<QueryOutput> {
         return Err(Error::Cancelled);
     }
     let t_adm = Instant::now();
+    // The admission span pins the query onto the latest committed
+    // epoch's timeline: merged with the engine's spans, it shows the gap
+    // between that epoch's visibility flip and its first admitted read.
+    let ring = ctx.telemetry.spans();
+    let adm_span = ring.begin(ring.epoch_hint().unwrap_or(0), stages::QUERY_ADMISSION, None, None);
     let outcome = loop {
         let now = Instant::now();
         if now >= job.deadline {
@@ -756,6 +819,11 @@ fn serve_one(ctx: &WorkerCtx, job: &Job) -> Result<QueryOutput> {
         }
     };
     ctx.stats.admission_wait.record(t_adm.elapsed());
+    let adm_parent = adm_span.map(|s| {
+        let id = s.id();
+        s.finish(ring);
+        id
+    });
     match outcome {
         WaitOutcome::Visible => {}
         WaitOutcome::TimedOut => return Err(Error::QueryTimeout),
@@ -763,7 +831,13 @@ fn serve_one(ctx: &WorkerCtx, job: &Job) -> Result<QueryOutput> {
     }
     ctx.stats.inflight.add(1);
     let _guard = GaugeGuard(&ctx.stats.inflight);
-    run_query(&ctx.db, job)
+    let exec_span =
+        ring.begin(ring.epoch_hint().unwrap_or(0), stages::QUERY_EXEC, None, adm_parent);
+    let res = run_query(&ctx.db, job);
+    if let Some(s) = exec_span {
+        s.finish(ring);
+    }
+    res
 }
 
 /// Executes the scan, checking cancellation and the deadline every 256

@@ -175,6 +175,13 @@ impl EventRing {
         self.state.lock().buf.drain(..).collect()
     }
 
+    /// Copies every undelivered event, oldest first, without consuming
+    /// them — observers (`/events.json`, flight-recorder bundles) must
+    /// not steal events from the run's real consumer.
+    pub fn peek(&self) -> Vec<Event> {
+        self.state.lock().buf.iter().cloned().collect()
+    }
+
     /// Sequence number the next event will get (== total emitted so far).
     pub fn next_seq(&self) -> u64 {
         self.next_seq.load(Ordering::Relaxed)
@@ -209,6 +216,75 @@ impl EventKind {
             EventKind::NetResync { .. } => "net_resync",
         }
     }
+
+    /// Renders the payload fields as a JSON object.
+    pub fn detail_json(&self) -> String {
+        match self {
+            EventKind::EpochDispatched { seq } => format!("{{\"seq\": {seq}}}"),
+            EventKind::EpochCommitted { seq, max_commit_ts_us } => {
+                format!("{{\"seq\": {seq}, \"max_commit_ts_us\": {max_commit_ts_us}}}")
+            }
+            EventKind::GroupQuarantined { group } | EventKind::GroupUnquarantined { group } => {
+                format!("{{\"group\": {group}}}")
+            }
+            EventKind::DegradedEntered { groups } => {
+                let list: Vec<String> = groups.iter().map(|g| g.to_string()).collect();
+                format!("{{\"groups\": [{}]}}", list.join(", "))
+            }
+            EventKind::CheckpointWritten { next_epoch_seq } => {
+                format!("{{\"next_epoch_seq\": {next_epoch_seq}}}")
+            }
+            EventKind::CheckpointSkippedDegraded => "{}".to_string(),
+            EventKind::WalSegmentRetired { segments } => format!("{{\"segments\": {segments}}}"),
+            EventKind::GcPass { nodes, pruned } => {
+                format!("{{\"nodes\": {nodes}, \"pruned\": {pruned}}}")
+            }
+            EventKind::RecoveryFallback { manifests_skipped } => {
+                format!("{{\"manifests_skipped\": {manifests_skipped}}}")
+            }
+            EventKind::SessionOpened { qts_us } | EventKind::SessionClosed { qts_us } => {
+                format!("{{\"qts_us\": {qts_us}}}")
+            }
+            EventKind::ShardDown { shard } => format!("{{\"shard\": {shard}}}"),
+            EventKind::ShardFailover { shard, intervals_down, suffix_epochs } => format!(
+                "{{\"shard\": {shard}, \"intervals_down\": {intervals_down}, \
+                 \"suffix_epochs\": {suffix_epochs}}}"
+            ),
+            EventKind::ShardHeartbeatMissed { shard, missed } => {
+                format!("{{\"shard\": {shard}, \"missed\": {missed}}}")
+            }
+            EventKind::NetReconnect { attempts } => format!("{{\"attempts\": {attempts}}}"),
+            EventKind::NetResync { resume_seq, rewound } => {
+                format!("{{\"resume_seq\": {resume_seq}, \"rewound\": {rewound}}}")
+            }
+        }
+    }
+}
+
+/// Renders events as a JSON array (the `/events.json` payload body and
+/// the flight-recorder bundle format).
+pub fn events_json(events: &[Event]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push('[');
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"seq\": {}, \"at_us\": {}, \"kind\": \"{}\", \"detail\": {}}}",
+            e.seq,
+            e.at_us,
+            e.kind.name(),
+            e.kind.detail_json(),
+        );
+    }
+    if !events.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push(']');
+    out
 }
 
 #[cfg(test)]
@@ -244,6 +320,22 @@ mod tests {
         assert_eq!(drained.len(), 3);
         assert_eq!(drained[0].seq, 4, "oldest surviving event");
         assert_eq!(drained[2].seq, 6);
+    }
+
+    #[test]
+    fn peek_is_non_destructive_and_renders_json() {
+        let r = EventRing::new(8);
+        r.push(10, EventKind::NetResync { resume_seq: 3, rewound: 2 });
+        r.push(11, EventKind::ShardFailover { shard: 1, intervals_down: 4, suffix_epochs: 9 });
+        let peeked = r.peek();
+        assert_eq!(peeked.len(), 2);
+        assert_eq!(r.peek().len(), 2, "peek leaves events in place");
+        let json = events_json(&peeked);
+        assert!(json.contains("\"kind\": \"net_resync\""));
+        assert!(json.contains("\"resume_seq\": 3"));
+        assert!(json.contains("\"suffix_epochs\": 9"));
+        assert_eq!(events_json(&[]), "[]");
+        assert_eq!(r.drain().len(), 2, "real consumer still sees everything");
     }
 
     #[test]

@@ -28,15 +28,22 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod events;
+pub mod flight;
 pub mod metrics;
 pub mod registry;
+pub mod serve;
 pub mod snapshot;
+pub mod trace;
 
-pub use events::{Event, EventKind, EventRing};
+pub use events::{events_json, Event, EventKind, EventRing};
+pub use flight::{FlightRecorder, FlightRecorderConfig};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HistogramSummary};
 pub use registry::{group_label, Registry};
+pub use serve::{http_get, HealthFn, HealthReport, ObsServer};
 pub use snapshot::{parse_exposition, Sample, TelemetrySnapshot};
+pub use trace::{first_orphan, spans_json, OpenSpan, Span, SpanId, SpanRing};
 
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -48,6 +55,20 @@ pub type ClockFn = Arc<dyn Fn() -> u64 + Send + Sync>;
 
 /// Default event-ring capacity.
 pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// Event kinds that mean "something went wrong enough to keep forensic
+/// state": they latch the span ring's always-sample override and, when a
+/// [`FlightRecorder`] is attached, dump a post-mortem bundle to disk.
+fn is_anomaly(kind: &EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::GroupQuarantined { .. }
+            | EventKind::DegradedEntered { .. }
+            | EventKind::ShardDown { .. }
+            | EventKind::ShardFailover { .. }
+            | EventKind::NetResync { .. }
+    )
+}
 
 /// Metric family names used by the replay stack, so producers and
 /// consumers (snapshot tests, dashboards, `ReplayMetrics::project`)
@@ -194,6 +215,10 @@ pub mod names {
     /// Transport: in-flight (sent, not yet acked) epochs sampled at each
     /// epoch send — the histogram of ack-window depth.
     pub const NET_ACK_WINDOW_DEPTH: &str = "net_ack_window_depth";
+    /// Structured events emitted (== the ring's next sequence number).
+    pub const EVENTS_EMITTED: &str = "aets_events_emitted_total";
+    /// Structured events evicted from the ring before being drained.
+    pub const EVENTS_DROPPED: &str = "aets_events_dropped_total";
 }
 
 /// Renders the canonical `shard="N"` label for fleet shard `idx`.
@@ -201,11 +226,14 @@ pub fn shard_label(idx: usize) -> String {
     format!("shard=\"{idx}\"")
 }
 
-/// The shared telemetry instance: registry + event ring + clock.
+/// The shared telemetry instance: registry + event ring + span ring +
+/// clock, with an optional flight recorder for anomaly post-mortems.
 pub struct Telemetry {
     enabled: Arc<AtomicBool>,
     registry: Registry,
     events: EventRing,
+    spans: SpanRing,
+    flight: Mutex<Option<FlightRecorder>>,
     clock: ClockFn,
 }
 
@@ -241,10 +269,13 @@ impl Telemetry {
     pub fn with_capacity(event_capacity: usize, enabled: bool) -> Self {
         let start = Instant::now();
         let enabled = Arc::new(AtomicBool::new(enabled));
+        let clock: ClockFn = Arc::new(move || start.elapsed().as_micros() as u64);
         Self {
             registry: Registry::new(enabled.clone()),
             events: EventRing::new(event_capacity),
-            clock: Arc::new(move || start.elapsed().as_micros() as u64),
+            spans: SpanRing::new(trace::DEFAULT_SPAN_CAPACITY, enabled.clone(), clock.clone()),
+            flight: Mutex::new(None),
+            clock,
             enabled,
         }
     }
@@ -264,18 +295,57 @@ impl Telemetry {
         self.clock.clone()
     }
 
+    /// The lifecycle span ring.
+    pub fn spans(&self) -> &SpanRing {
+        &self.spans
+    }
+
+    /// Attaches (or detaches, with `None`) a flight recorder: anomaly
+    /// events from now on dump post-mortem bundles to its directory.
+    pub fn set_flight_recorder(&self, recorder: Option<FlightRecorder>) {
+        *self.flight.lock() = recorder;
+    }
+
     /// Emits a structured event (no-op when disabled). Returns the
     /// assigned sequence number, or `None` when disabled.
+    ///
+    /// Anomaly events (quarantine, degraded entry, shard down/failover,
+    /// net resync) additionally latch the span ring's always-sample
+    /// override and, when a flight recorder is attached, dump a bundle —
+    /// best-effort: a failed dump is counted on the recorder, never
+    /// propagated into the replay thread that emitted the event.
     pub fn event(&self, kind: EventKind) -> Option<u64> {
         if !self.is_enabled() {
             return None;
         }
-        Some(self.events.push((self.clock)(), kind))
+        let anomaly = is_anomaly(&kind);
+        if anomaly {
+            self.spans.note_anomaly();
+        }
+        let name = kind.name();
+        let seq = self.events.push((self.clock)(), kind);
+        if anomaly {
+            if let Some(recorder) = self.flight.lock().as_ref() {
+                let _ = recorder.dump(name, self);
+            }
+        }
+        Some(seq)
     }
 
     /// Takes every undelivered event, oldest first.
     pub fn drain_events(&self) -> Vec<Event> {
         self.events.drain()
+    }
+
+    /// Copies every undelivered event without consuming them (for
+    /// exposition and flight bundles).
+    pub fn peek_events(&self) -> Vec<Event> {
+        self.events.peek()
+    }
+
+    /// Events emitted so far (== next sequence number).
+    pub fn events_emitted(&self) -> u64 {
+        self.events.next_seq()
     }
 
     /// Events evicted before being drained.
@@ -284,12 +354,18 @@ impl Telemetry {
     }
 
     /// Point-in-time copy of every registered series plus event
-    /// accounting.
+    /// accounting. Event accounting is surfaced both as snapshot fields
+    /// and as `aets_events_emitted_total` / `aets_events_dropped_total`
+    /// counter series, so exposition and cross-checks see them like any
+    /// other counter.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let mut snap = TelemetrySnapshot { at_us: (self.clock)(), ..Default::default() };
         self.registry.snapshot_into(&mut snap);
         snap.events_emitted = self.events.next_seq();
         snap.events_dropped = self.events.dropped();
+        snap.counters.push((names::EVENTS_EMITTED, String::new(), snap.events_emitted));
+        snap.counters.push((names::EVENTS_DROPPED, String::new(), snap.events_dropped));
+        snap.counters.sort();
         snap
     }
 }
@@ -329,6 +405,30 @@ mod tests {
         let snap = tel.snapshot();
         assert_eq!(snap.counter_total(names::TXNS), 7);
         assert_eq!(snap.gauge(names::GLOBAL_CMT_TS_US, ""), Some(123));
+    }
+
+    #[test]
+    fn event_accounting_surfaces_as_counter_series() {
+        let tel = Telemetry::new();
+        tel.event(EventKind::CheckpointSkippedDegraded);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter(names::EVENTS_EMITTED, ""), Some(1));
+        assert_eq!(snap.counter(names::EVENTS_DROPPED, ""), Some(0));
+        assert!(snap.counters.windows(2).all(|w| w[0] <= w[1]), "counters stay sorted");
+        let text = snap.render_prometheus();
+        assert!(text.contains("aets_events_emitted_total 1"));
+        assert!(text.contains("aets_events_dropped_total 0"));
+    }
+
+    #[test]
+    fn anomaly_events_latch_always_sample() {
+        let tel = Telemetry::new();
+        tel.spans().set_sampling(0);
+        assert!(!tel.spans().should_sample(9));
+        tel.event(EventKind::EpochDispatched { seq: 1 });
+        assert!(!tel.spans().anomalous(), "routine events are not anomalies");
+        tel.event(EventKind::GroupQuarantined { group: 2 });
+        assert!(tel.spans().should_sample(9), "quarantine latches always-sample");
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Zero-dependency live exposition endpoint.
+//!
+//! [`ObsServer`] is a tiny blocking HTTP/1.1 server (std `TcpListener`
+//! on a dedicated thread, no external crates — the workspace builds
+//! offline) that exposes a shared [`Telemetry`] while the node runs:
+//!
+//! | route                | body                                         |
+//! |----------------------|----------------------------------------------|
+//! | `/metrics`           | Prometheus text exposition                   |
+//! | `/snapshot.json`     | full snapshot as JSON (quantile summaries)   |
+//! | `/spans.json?epoch=N`| lifecycle spans of epoch `N` (or the newest) |
+//! | `/events.json`       | undelivered structured events (peeked)       |
+//! | `/healthz`           | `200` healthy / `503` degraded + quarantine  |
+//!
+//! The server is deliberately modest: one connection at a time, short
+//! socket timeouts, `Connection: close`. Scrapes are rare (seconds
+//! apart) and cheap (one snapshot copy); a slow or stuck scraper must
+//! never be able to hold replay-side locks — handlers only read the
+//! same lock-light structures the instrumented threads push into.
+
+use crate::events::events_json;
+use crate::trace::spans_json;
+use crate::Telemetry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What `/healthz` reports.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// `false` renders a `503` — the node cannot serve its full contract.
+    pub healthy: bool,
+    /// Quarantined visibility-board groups (or down fleet shards).
+    pub quarantined: Vec<usize>,
+    /// Free-form operator hint.
+    pub detail: String,
+}
+
+impl HealthReport {
+    /// A healthy report.
+    pub fn ok() -> Self {
+        Self { healthy: true, quarantined: Vec::new(), detail: String::new() }
+    }
+
+    /// A degraded report listing the quarantined group/shard indices.
+    pub fn degraded(quarantined: Vec<usize>, detail: impl Into<String>) -> Self {
+        Self { healthy: false, quarantined, detail: detail.into() }
+    }
+}
+
+/// Callback the mounting node supplies so `/healthz` reflects *live*
+/// quarantine/degraded state rather than a stale snapshot.
+pub type HealthFn = Arc<dyn Fn() -> HealthReport + Send + Sync>;
+
+/// The live exposition endpoint. Shuts down on [`ObsServer::shutdown`]
+/// or drop.
+pub struct ObsServer {
+    addr: SocketAddr,
+    closed: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ObsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the serve thread.
+    pub fn bind(addr: &str, tel: Arc<Telemetry>, health: HealthFn) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let closed = Arc::new(AtomicBool::new(false));
+        let flag = closed.clone();
+        let thread = std::thread::Builder::new()
+            .name("aets-obs".into())
+            .spawn(move || serve_loop(listener, tel, health, flag))?;
+        Ok(Self { addr: local, closed, thread: Some(thread) })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serve thread and joins it. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.closed.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_loop(
+    listener: TcpListener,
+    tel: Arc<Telemetry>,
+    health: HealthFn,
+    closed: Arc<AtomicBool>,
+) {
+    while !closed.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // A misbehaving client costs at most the socket timeouts;
+                // its error never reaches the node.
+                let _ = handle_conn(stream, &tel, &health);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, tel: &Telemetry, health: &HealthFn) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_nonblocking(false)?;
+
+    // Read until the end of the request head; the routes take no bodies.
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let target = parts.next().unwrap_or_default();
+
+    if method != "GET" {
+        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/metrics" => {
+            let body = tel.snapshot().render_prometheus();
+            respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
+        }
+        "/snapshot.json" => {
+            let body = tel.snapshot().render_json();
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        "/spans.json" => {
+            let epoch = query_param(query, "epoch").and_then(|v| v.parse::<u64>().ok());
+            let spans = match epoch {
+                Some(seq) => tel.spans().for_epoch(seq),
+                None => tel.spans().recent(512),
+            };
+            let body = format!(
+                "{{\n  \"epoch\": {},\n  \"spans\": {},\n  \"recorded\": {},\n  \
+                 \"dropped\": {}\n}}\n",
+                epoch.map_or("null".to_string(), |e| e.to_string()),
+                spans_json(&spans),
+                tel.spans().recorded(),
+                tel.spans().dropped(),
+            );
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        "/events.json" => {
+            let events = tel.peek_events();
+            let body = format!(
+                "{{\n  \"events\": {},\n  \"emitted\": {},\n  \"dropped\": {}\n}}\n",
+                events_json(&events),
+                tel.events_emitted(),
+                tel.events_dropped(),
+            );
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        "/healthz" => {
+            let report = health();
+            let groups: Vec<String> = report.quarantined.iter().map(|g| g.to_string()).collect();
+            let body = format!(
+                "{{\"status\": \"{}\", \"quarantined\": [{}], \"detail\": \"{}\"}}\n",
+                if report.healthy { "ok" } else { "degraded" },
+                groups.join(", "),
+                report.detail.replace('\\', "\\\\").replace('"', "\\\""),
+            );
+            let status = if report.healthy { "200 OK" } else { "503 Service Unavailable" };
+            respond(&mut stream, status, "application/json", &body)
+        }
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "unknown route\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+/// Blocking `GET` against an [`ObsServer`] route; returns
+/// `(status_line, body)`. Shared by tests, examples, and the CI endpoint
+/// smoke so scrape plumbing lives in one place.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let req = format!("GET {path} HTTP/1.1\r\nHost: aets\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let status = head.lines().next().unwrap_or_default().to_string();
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{names, parse_exposition, EventKind};
+
+    fn server(tel: Arc<Telemetry>, health: HealthFn) -> ObsServer {
+        ObsServer::bind("127.0.0.1:0", tel, health).expect("bind obs server")
+    }
+
+    #[test]
+    fn metrics_route_serves_parseable_exposition() {
+        let tel = Arc::new(Telemetry::new());
+        tel.registry().counter(names::EPOCHS).add(5);
+        tel.registry().histogram(names::DISPATCH_US).record_micros(42);
+        let mut srv = server(tel, Arc::new(HealthReport::ok));
+        let (status, body) = http_get(srv.addr(), "/metrics").expect("scrape");
+        assert!(status.contains("200"), "{status}");
+        let samples = parse_exposition(&body).expect("scraped exposition parses");
+        assert!(samples.iter().any(|s| s.name == names::EPOCHS && s.value == 5.0));
+        assert!(samples.iter().any(|s| s.name == "aets_dispatch_us_sum"));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn spans_route_filters_by_epoch() {
+        let tel = Arc::new(Telemetry::new());
+        tel.spans().point(3, crate::trace::stages::FLIP_GLOBAL, None, None);
+        tel.spans().point(4, crate::trace::stages::FLIP_GLOBAL, None, None);
+        let mut srv = server(tel, Arc::new(HealthReport::ok));
+        let (status, body) = http_get(srv.addr(), "/spans.json?epoch=3").expect("scrape");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"epoch\": 3"));
+        assert!(body.contains("\"epoch\": 3,"), "{body}");
+        assert!(!body.contains("\"epoch\": 4,"), "filtered: {body}");
+        let (_, all) = http_get(srv.addr(), "/spans.json").expect("scrape");
+        assert!(all.contains("\"epoch\": null"), "no filter echoes null: {all}");
+        assert!(all.contains("\"recorded\": 2"), "{all}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn events_and_snapshot_routes_serve_json() {
+        let tel = Arc::new(Telemetry::new());
+        tel.event(EventKind::NetReconnect { attempts: 2 });
+        let mut srv = server(tel.clone(), Arc::new(HealthReport::ok));
+        let (status, body) = http_get(srv.addr(), "/events.json").expect("scrape");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"kind\": \"net_reconnect\""));
+        assert!(body.contains("\"emitted\": 1"));
+        let (status, body) = http_get(srv.addr(), "/snapshot.json").expect("scrape");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"events\""));
+        // The exposition peeked: the run's real consumer still drains it.
+        assert_eq!(tel.drain_events().len(), 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn healthz_reflects_degraded_state() {
+        let tel = Arc::new(Telemetry::new());
+        let degraded = Arc::new(AtomicBool::new(false));
+        let flag = degraded.clone();
+        let health: HealthFn = Arc::new(move || {
+            if flag.load(Ordering::Relaxed) {
+                HealthReport::degraded(vec![1, 3], "groups quarantined")
+            } else {
+                HealthReport::ok()
+            }
+        });
+        let mut srv = server(tel, health);
+        let (status, body) = http_get(srv.addr(), "/healthz").expect("scrape");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"status\": \"ok\""));
+        degraded.store(true, Ordering::Relaxed);
+        let (status, body) = http_get(srv.addr(), "/healthz").expect("scrape");
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("\"quarantined\": [1, 3]"), "{body}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_rejected() {
+        let tel = Arc::new(Telemetry::new());
+        let mut srv = server(tel, Arc::new(HealthReport::ok));
+        let (status, _) = http_get(srv.addr(), "/nope").expect("scrape");
+        assert!(status.contains("404"), "{status}");
+        let mut stream = TcpStream::connect(srv.addr()).expect("connect");
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: aets\r\nConnection: close\r\n\r\n")
+            .expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        srv.shutdown();
+    }
+}

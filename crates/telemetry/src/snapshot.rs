@@ -65,7 +65,11 @@ impl TelemetrySnapshot {
     ///
     /// Histograms render cumulative `_bucket{le="..."}` series (inclusive
     /// upper bounds, powers of two) up to the highest non-empty bucket,
-    /// then `+Inf`, `_sum`, and `_count`.
+    /// then `+Inf`, `_sum`, and `_count`. The `+Inf` bucket and `_count`
+    /// are both derived from the same bucket copy (not the histogram's
+    /// separately-updated count atomic), so a scrape taken mid-run is
+    /// always self-consistent: `+Inf == _count` and buckets never
+    /// decrease — the invariants [`parse_exposition`] enforces.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::with_capacity(4096);
         let _ = writeln!(out, "# AETS telemetry snapshot at {}us", self.at_us);
@@ -92,6 +96,7 @@ impl TelemetrySnapshot {
                 let _ = writeln!(out, "# TYPE {name} histogram");
                 last = name;
             }
+            let total: u64 = h.buckets.iter().sum();
             let top = h.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
             let mut cum = 0u64;
             for (i, &n) in h.buckets.iter().enumerate().take(top + 1) {
@@ -103,15 +108,11 @@ impl TelemetrySnapshot {
                 let _ = writeln!(out, "{name}_bucket{} {cum}", braced(label, Some(&le)));
             }
             if bucket_upper_bound(top).is_some() {
-                let _ = writeln!(out, "{name}_bucket{} {}", braced(label, Some("+Inf")), h.count);
+                let _ = writeln!(out, "{name}_bucket{} {total}", braced(label, Some("+Inf")));
             }
             let _ = writeln!(out, "{name}_sum{} {}", braced(label, None), h.sum);
-            let _ = writeln!(out, "{name}_count{} {}", braced(label, None), h.count);
+            let _ = writeln!(out, "{name}_count{} {total}", braced(label, None));
         }
-        let _ = writeln!(out, "# TYPE aets_events_emitted_total counter");
-        let _ = writeln!(out, "aets_events_emitted_total {}", self.events_emitted);
-        let _ = writeln!(out, "# TYPE aets_events_dropped_total counter");
-        let _ = writeln!(out, "aets_events_dropped_total {}", self.events_dropped);
         out
     }
 
@@ -201,8 +202,12 @@ pub struct Sample {
 
 /// Parses Prometheus text exposition produced by
 /// [`TelemetrySnapshot::render_prometheus`], validating every sample
-/// line. Comment (`#`) and blank lines are skipped. Returns the parsed
-/// samples or a description of the first malformed line.
+/// line. Comment (`#`) and blank lines are skipped. Histogram families
+/// are checked for self-consistency: cumulative `_bucket` values must be
+/// non-decreasing in ascending `le` order and end at `le="+Inf"`, the
+/// `+Inf` bucket must equal the family's `_count` sample, and a `_sum`
+/// sample must be present. Returns the parsed samples or a description
+/// of the first malformed line or inconsistent family.
 pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -239,7 +244,67 @@ pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
     if out.is_empty() {
         return Err("exposition holds no samples".to_string());
     }
+    validate_histograms(&out)?;
     Ok(out)
+}
+
+/// Splits a `_bucket` sample's label block into (labels without `le`,
+/// parsed `le` bound). `None` when no well-formed `le` label exists.
+fn split_le(labels: &str) -> Option<(String, f64)> {
+    let mut rest = Vec::new();
+    let mut le = None;
+    for part in labels.split(',') {
+        if let Some(v) = part.strip_prefix("le=\"").and_then(|p| p.strip_suffix('"')) {
+            le = Some(if v == "+Inf" { f64::INFINITY } else { v.parse().ok()? });
+        } else if !part.is_empty() {
+            rest.push(part);
+        }
+    }
+    Some((rest.join(","), le?))
+}
+
+/// Cross-sample histogram consistency: for every `(family, labels)` with
+/// `_bucket` samples, buckets must be cumulative (non-decreasing in
+/// ascending `le`), terminated by `+Inf`, `_count` must equal the `+Inf`
+/// bucket, and `_sum` must be present.
+fn validate_histograms(samples: &[Sample]) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    let mut families: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    for s in samples {
+        if let Some(base) = s.name.strip_suffix("_bucket") {
+            let (labels, le) = split_le(&s.labels)
+                .ok_or_else(|| format!("{}{{{}}}: bucket without le label", s.name, s.labels))?;
+            families.entry((base.to_string(), labels)).or_default().push((le, s.value));
+        }
+    }
+    for ((family, labels), buckets) in &families {
+        let series =
+            if labels.is_empty() { family.clone() } else { format!("{family}{{{labels}}}") };
+        let ascending = buckets.windows(2).all(|w| w[0].0 < w[1].0);
+        if !ascending {
+            return Err(format!("{series}: bucket le bounds not ascending"));
+        }
+        let cumulative = buckets.windows(2).all(|w| w[0].1 <= w[1].1);
+        if !cumulative {
+            return Err(format!("{series}: cumulative bucket values decrease"));
+        }
+        let &(last_le, last_value) =
+            buckets.last().ok_or_else(|| format!("{series}: empty bucket series"))?;
+        if last_le != f64::INFINITY {
+            return Err(format!("{series}: bucket series does not end at le=\"+Inf\""));
+        }
+        let count = samples
+            .iter()
+            .find(|s| s.name == format!("{family}_count") && s.labels == *labels)
+            .ok_or_else(|| format!("{series}: missing _count sample"))?;
+        if count.value != last_value {
+            return Err(format!("{series}: _count {} != +Inf bucket {last_value}", count.value));
+        }
+        if !samples.iter().any(|s| s.name == format!("{family}_sum") && s.labels == *labels) {
+            return Err(format!("{series}: missing _sum sample"));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -279,6 +344,32 @@ mod tests {
         assert!(!buckets.is_empty());
         assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "buckets cumulative: {buckets:?}");
         assert_eq!(*buckets.last().expect("nonempty"), 3.0);
+        // `_sum` is exposed so a scraper can compute averages.
+        let sum = samples
+            .iter()
+            .find(|s| s.name == "aets_visibility_lag_us_sum")
+            .expect("histogram sum sample");
+        assert_eq!(sum.value, 5_006.0);
+        assert_eq!(sum.labels, "group=\"0\"");
+    }
+
+    #[test]
+    fn parse_validates_histogram_consistency() {
+        let good = "h_bucket{group=\"0\",le=\"1\"} 1\nh_bucket{group=\"0\",le=\"+Inf\"} 2\n\
+                    h_sum{group=\"0\"} 9\nh_count{group=\"0\"} 2\n";
+        assert!(parse_exposition(good).is_ok());
+
+        let missing_sum = "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n";
+        assert!(parse_exposition(missing_sum).expect_err("no _sum").contains("_sum"));
+
+        let count_mismatch = "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 5\n";
+        assert!(parse_exposition(count_mismatch).expect_err("bad _count").contains("_count"));
+
+        let decreasing = "h_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n";
+        assert!(parse_exposition(decreasing).expect_err("decreasing").contains("decrease"));
+
+        let unterminated = "h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(parse_exposition(unterminated).expect_err("no +Inf").contains("+Inf"));
     }
 
     #[test]

@@ -26,6 +26,15 @@
 //! damage the receiver can no longer prove where the next frame starts,
 //! so both sides tear the connection down and re-synchronise through the
 //! HELLO/RESUME handshake instead of guessing.
+//!
+//! Kinds at or above [`KIND_EXTENSION_MIN`] are *optional extensions*:
+//! both checksums still apply (corruption is never tolerated), but a
+//! decoder that doesn't recognise the kind yields
+//! [`Frame::Extension`] — a verified, skippable placeholder — instead of
+//! [`Error::CodecBadTag`]. That is the forward-compatibility contract a
+//! new sender relies on to put advisory frames (like the [`Frame::Trace`]
+//! span context) in front of old receivers without breaking them; core
+//! protocol kinds below the threshold still reject unknown tags hard.
 
 use aets_common::{EpochId, Error, Result, Timestamp};
 use aets_wal::{crc32, EncodedEpoch};
@@ -48,6 +57,11 @@ const KIND_RESUME: u8 = 2;
 const KIND_EPOCH: u8 = 3;
 const KIND_ACK: u8 = 4;
 const KIND_SHUTDOWN: u8 = 5;
+
+/// First kind of the optional-extension range (`0x80..=0xFF`): verified
+/// but skippable when unrecognised.
+pub const KIND_EXTENSION_MIN: u8 = 0x80;
+const KIND_TRACE: u8 = 0x81;
 
 /// One message of the log-shipping protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +95,26 @@ pub enum Frame {
     /// Sender → receiver: the stream is complete (best effort — a lost
     /// shutdown is recovered by the next handshake).
     Shutdown,
+    /// Sender → receiver, optional extension: trace context for the
+    /// epoch frame that immediately follows it. Carries the sender's
+    /// span id and ship-start stamp so the receiver's `net_recv` span
+    /// joins the sender's `net_ship` span by id across processes. Purely
+    /// advisory — receivers that predate it skip it as an unknown
+    /// extension, and a lost one only costs a cross-node span link.
+    Trace {
+        /// Epoch sequence the next epoch frame will carry.
+        epoch_seq: u64,
+        /// The sender's `net_ship` span id.
+        trace_id: u64,
+        /// Ship start on the *sender's* telemetry clock (micros).
+        ship_start_us: u64,
+    },
+    /// An extension frame ([`KIND_EXTENSION_MIN`]`..=0xFF`) this decoder
+    /// doesn't recognise: checksums verified, payload discarded.
+    Extension {
+        /// The unrecognised kind tag.
+        kind: u8,
+    },
 }
 
 impl Frame {
@@ -91,6 +125,8 @@ impl Frame {
             Frame::Epoch(_) => KIND_EPOCH,
             Frame::Ack { .. } => KIND_ACK,
             Frame::Shutdown => KIND_SHUTDOWN,
+            Frame::Trace { .. } => KIND_TRACE,
+            Frame::Extension { kind } => *kind,
         }
     }
 }
@@ -132,6 +168,14 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
         }
         Frame::Ack { last_durable_epoch } => put_u64(out, *last_durable_epoch),
         Frame::Shutdown => {}
+        Frame::Trace { epoch_seq, trace_id, ship_start_us } => {
+            put_u64(out, *epoch_seq);
+            put_u64(out, *trace_id);
+            put_u64(out, *ship_start_us);
+        }
+        // Encoding a placeholder yields an empty extension of that kind
+        // (exercised by the forward-compat tests).
+        Frame::Extension { .. } => {}
     }
 }
 
@@ -177,6 +221,15 @@ fn decode_payload(kind: u8, buf: &[u8]) -> Result<Frame> {
             exact(0)?;
             Ok(Frame::Shutdown)
         }
+        KIND_TRACE => {
+            exact(24)?;
+            Ok(Frame::Trace {
+                epoch_seq: get_u64(buf, 0)?,
+                trace_id: get_u64(buf, 8)?,
+                ship_start_us: get_u64(buf, 16)?,
+            })
+        }
+        k if k >= KIND_EXTENSION_MIN => Ok(Frame::Extension { kind: k }),
         _ => Err(Error::CodecBadTag),
     }
 }
@@ -326,6 +379,8 @@ mod tests {
             Frame::Epoch(sample_epoch(0, b"")),
             Frame::Ack { last_durable_epoch: 11 },
             Frame::Shutdown,
+            Frame::Trace { epoch_seq: 9, trace_id: 77, ship_start_us: 123_456 },
+            Frame::Extension { kind: 0xEE },
         ]
     }
 
@@ -391,6 +446,59 @@ mod tests {
                 assert!(decode_frame(&clean[..cut]).is_err(), "cut at {cut} of {f:?} decoded");
             }
         }
+    }
+
+    /// Builds a raw frame of arbitrary kind and payload — what a future
+    /// protocol revision this decoder has never heard of would emit.
+    fn raw_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(kind);
+        buf.push(VERSION);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let hcrc = crc32(&buf[..HEADER_LEN]);
+        buf.extend_from_slice(&hcrc.to_le_bytes());
+        buf.extend_from_slice(payload);
+        buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        buf
+    }
+
+    /// The forward-compatibility contract: a verified frame with an
+    /// unknown kind in the extension range decodes as a skippable
+    /// placeholder (payload dropped, full frame consumed) — while an
+    /// unknown kind below the range stays a hard protocol error.
+    #[test]
+    fn unknown_extension_kinds_are_skipped_not_fatal() {
+        let buf = raw_frame(0xC7, b"future extension payload this decoder cannot parse");
+        let (frame, used) = decode_frame(&buf).expect("extension decodes");
+        assert_eq!(frame, Frame::Extension { kind: 0xC7 });
+        assert_eq!(used, buf.len(), "whole frame consumed so the stream stays framed");
+
+        let core_unknown = raw_frame(0x2A, b"");
+        assert!(
+            matches!(decode_frame(&core_unknown), Err(Error::CodecBadTag)),
+            "unknown core kinds still tear the session down"
+        );
+
+        // Corruption inside an extension is still corruption: the skip
+        // path never weakens the checksum contract.
+        let mut bad = raw_frame(0xC7, b"future extension payload");
+        let last = bad.len() - 6;
+        bad[last] ^= 0xFF;
+        assert!(decode_frame(&bad).is_err());
+    }
+
+    #[test]
+    fn trace_frames_carry_cross_node_span_context() {
+        let f = Frame::Trace { epoch_seq: u64::MAX, trace_id: 1, ship_start_us: 0 };
+        let mut buf = Vec::new();
+        encode_frame(&f, &mut buf);
+        let (got, _) = decode_frame(&buf).expect("trace decodes");
+        assert_eq!(got, f);
+        // A decoder that predates KIND_TRACE would take the extension
+        // path; prove the payload length matches what it would skip.
+        let (_, used) = decode_frame(&buf).expect("consume");
+        assert_eq!(used, buf.len());
     }
 
     #[test]

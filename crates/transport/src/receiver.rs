@@ -22,7 +22,8 @@
 
 use crate::frame::{read_frame, write_frame, Frame, ReadEvent};
 use aets_common::{Error, Result};
-use aets_telemetry::{names, Telemetry};
+use aets_telemetry::trace::stages;
+use aets_telemetry::{names, Span, SpanId, Telemetry};
 use aets_wal::{EncodedEpoch, EpochSource};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -227,6 +228,10 @@ fn handle_session(mut conn: TcpStream, shared: &Arc<RecvShared>) {
     let ack_thread = std::thread::spawn(move || ack_writer(ack_conn, &ack_shared, &ack_alive));
 
     // --- Read loop: verified, in-order, deduped, backpressured. ---
+    let clock = tel.clock();
+    // Trace context announced for the *next* epoch frame:
+    // (epoch_seq, sender span id, arrival stamp on our clock).
+    let mut pending_trace: Option<(u64, u64, u64)> = None;
     let mut last_activity = Instant::now();
     while alive.load(Ordering::Relaxed) && !shared.closed.load(Ordering::Relaxed) {
         match read_frame(&mut conn) {
@@ -241,11 +246,41 @@ fn handle_session(mut conn: TcpStream, shared: &Arc<RecvShared>) {
                 tel.registry().counter(names::NET_BYTES_RECV).add(n as u64);
                 match frame {
                     Frame::Epoch(e) => {
-                        if !admit_epoch(e, shared) {
-                            tel.registry().counter(names::NET_FRAME_ERRORS).inc();
-                            break;
+                        let seq = e.id.raw();
+                        let trace = pending_trace.take().filter(|(s, _, _)| *s == seq);
+                        match admit_epoch(e, shared) {
+                            Admit::Reject => {
+                                tel.registry().counter(names::NET_FRAME_ERRORS).inc();
+                                break;
+                            }
+                            // Deduped redelivery: already traced by the
+                            // delivery that admitted it.
+                            Admit::Duplicate => {}
+                            // Record the receive under the *sender's*
+                            // span id so the two endpoints' rings join on
+                            // it; the span covers trace arrival →
+                            // admission on this node's clock (cross-node
+                            // stamps don't mix).
+                            Admit::Admitted => {
+                                if let Some((_, trace_id, arrived_us)) = trace {
+                                    tel.spans().record(Span {
+                                        id: SpanId(trace_id),
+                                        epoch: seq,
+                                        stage: stages::NET_RECV,
+                                        group: None,
+                                        start_us: arrived_us,
+                                        end_us: (clock)(),
+                                        parent: None,
+                                    });
+                                }
+                            }
                         }
                     }
+                    Frame::Trace { epoch_seq, trace_id, ship_start_us: _ } => {
+                        pending_trace = Some((epoch_seq, trace_id, (clock)()));
+                    }
+                    // Extensions from a newer sender: verified, skipped.
+                    Frame::Extension { .. } => {}
                     Frame::Shutdown => break,
                     // HELLO mid-session or receiver-bound frames echoed
                     // back: protocol violation.
@@ -270,42 +305,52 @@ fn handle_session(mut conn: TcpStream, shared: &Arc<RecvShared>) {
 
 /// Verifies, dedups, and enqueues one delivered epoch. Returns `false`
 /// on a protocol violation that must tear the session down.
-fn admit_epoch(e: EncodedEpoch, shared: &Arc<RecvShared>) -> bool {
+/// What [`admit_epoch`] did with a decoded epoch frame.
+enum Admit {
+    /// Freshly buffered for the consumer: this delivery is the one that
+    /// lands in the epoch's timeline.
+    Admitted,
+    /// Redelivery of something already buffered or consumed — dropped by
+    /// the dedup that makes at-least-once shipping exactly-once.
+    Duplicate,
+    /// Corrupt, out-of-order, or pre-HELLO: the session must die.
+    Reject,
+}
+
+fn admit_epoch(e: EncodedEpoch, shared: &Arc<RecvShared>) -> Admit {
     if e.verify().is_err() {
-        return false;
+        return Admit::Reject;
     }
-    let Ok(mut st) = shared.state.lock() else { return false };
+    let Ok(mut st) = shared.state.lock() else { return Admit::Reject };
     loop {
         let next = match st.next_expected {
             Some(n) => n,
-            None => return false, // epoch before HELLO established the stream
+            None => return Admit::Reject, // epoch before HELLO established the stream
         };
         let seq = e.id.raw();
         if seq < next {
-            // Redelivery of something already buffered or consumed: the
-            // dedup that makes at-least-once shipping exactly-once.
             shared.tel.registry().counter(names::NET_EPOCHS_DEDUPED).inc();
-            return true;
+            return Admit::Duplicate;
         }
         if seq > next {
             // A gap inside a CRC-framed session: impossible without a
             // decode error first, so treat as protocol violation.
-            return false;
+            return Admit::Reject;
         }
         if st.queue.len() < shared.cfg.max_buffered {
             st.queue.push_back(e);
             st.next_expected = Some(next + 1);
             shared.queue_cv.notify_all();
-            return true;
+            return Admit::Admitted;
         }
         // Buffer full: block the socket side until the consumer drains.
         let (guard, timed_out) = match shared.queue_cv.wait_timeout(st, shared.cfg.io_timeout) {
             Ok(x) => x,
-            Err(_) => return false,
+            Err(_) => return Admit::Reject,
         };
         st = guard;
         if shared.closed.load(Ordering::Relaxed) {
-            return false;
+            return Admit::Reject;
         }
         let _ = timed_out; // loop re-checks capacity either way
     }

@@ -24,8 +24,10 @@
 use crate::frame::{read_frame, write_frame, Frame, ReadEvent};
 use aets_common::{Error, Result};
 use aets_replay::RetryPolicy;
-use aets_telemetry::{names, EventKind, Telemetry};
+use aets_telemetry::trace::stages;
+use aets_telemetry::{names, EventKind, OpenSpan, Telemetry};
 use aets_wal::EncodedEpoch;
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -202,6 +204,14 @@ pub fn ship_epochs(
     // Highest cursor any session reached; a later resume below it is a
     // resync (those epochs travel twice).
     let mut high_cursor = first_seq;
+    // Open `net_ship` spans of epochs sent but not yet known durable,
+    // keyed by (seq, span id). They outlive a single session: an ack
+    // lost with the connection resurfaces as a later handshake's resume
+    // floor, which still closes them. A resync can send one epoch twice
+    // (the receiver dedups); both attempts stay open, because the sender
+    // cannot know which delivery admitted — the floor closes both, and
+    // the receiver's ring holds the id of the one that landed.
+    let mut ship_spans: BTreeMap<(u64, u64), OpenSpan> = BTreeMap::new();
 
     loop {
         if attempts > 0 {
@@ -249,6 +259,12 @@ pub fn ship_epochs(
             Some(d) => (d + 1).clamp(first_seq, end_seq),
             None => first_seq,
         };
+        // The resume floor is the receiver's durable word: spans it
+        // covers delivered (their ack just died with the old socket).
+        // Spans above it stay open — the epoch may already sit in the
+        // receiver's admission buffer and turn durable without another
+        // trip, or the re-ship below supersedes the span in place.
+        finish_acked_ship_spans(&mut ship_spans, cursor, tel);
         if cursor < high_cursor {
             report.resyncs += 1;
             tel.registry().counter(names::NET_RESYNCS).inc();
@@ -283,6 +299,7 @@ pub fn ship_epochs(
             tel,
             &state,
             &mut report,
+            &mut ship_spans,
         );
         // Tear the reader down with the session.
         state.session_alive.store(false, Ordering::Relaxed);
@@ -291,6 +308,10 @@ pub fn ship_epochs(
         let _ = reader.join();
 
         let floor = state.floor().unwrap_or(baseline_floor);
+        // Acks that raced the session's death still count: those epochs
+        // were delivered, so their ship spans close rather than vanish.
+        // Truly unacked spans drop — the resync re-ships under fresh ids.
+        finish_acked_ship_spans(&mut ship_spans, floor, tel);
         high_cursor = high_cursor.max(sent_cursor).max(floor);
         if session_ok && floor >= end_seq {
             return Ok(report);
@@ -303,10 +324,25 @@ pub fn ship_epochs(
     }
 }
 
+/// Closes every pending `net_ship` span whose epoch the cumulative ack
+/// floor has passed: ship → ack is the span, not ship → write.
+fn finish_acked_ship_spans(
+    pending: &mut BTreeMap<(u64, u64), OpenSpan>,
+    floor: u64,
+    tel: &Telemetry,
+) {
+    let live = pending.split_off(&(floor, 0));
+    for (_, span) in std::mem::replace(pending, live) {
+        span.finish(tel.spans());
+    }
+}
+
 /// The write loop of one live session. Returns whether every epoch was
 /// written *and* acked within this session, plus the highest send
 /// cursor reached (a later resume below it is a resync: those epochs
-/// travel twice).
+/// travel twice). Still-open ship spans stay in `ship_spans` so acks
+/// that outlive the session (late-racing frames, the next handshake's
+/// resume floor) can close them.
 #[allow(clippy::too_many_arguments)]
 fn run_session(
     conn: &mut TcpStream,
@@ -318,6 +354,7 @@ fn run_session(
     tel: &Telemetry,
     state: &Arc<AckState>,
     report: &mut ShipReport,
+    ship_spans: &mut BTreeMap<(u64, u64), OpenSpan>,
 ) -> (bool, u64) {
     while cursor < end_seq {
         // Backpressure: sending `cursor` is allowed only while fewer than
@@ -334,10 +371,28 @@ fn run_session(
             // full: the session is wedged (half-open peer).
             return (false, cursor);
         }
+        finish_acked_ship_spans(ship_spans, floor, tel);
         tel.registry()
             .histogram(names::NET_ACK_WINDOW_DEPTH)
             .record_micros(cursor.saturating_sub(floor));
         let e = &epochs[(cursor - first_seq) as usize];
+        // A sampled epoch gets its trace context shipped right before it
+        // in an optional extension frame old receivers skip.
+        if let Some(span) = tel.spans().begin(cursor, stages::NET_SHIP, None, None) {
+            let trace = Frame::Trace {
+                epoch_seq: cursor,
+                trace_id: span.id().0,
+                ship_start_us: span.start_us(),
+            };
+            match write_frame(conn, &trace) {
+                Ok(n) => {
+                    report.bytes_sent += n as u64;
+                    tel.registry().counter(names::NET_BYTES_SENT).add(n as u64);
+                    ship_spans.insert((cursor, span.id().0), span);
+                }
+                Err(_) => return (false, cursor),
+            }
+        }
         match write_frame(conn, &Frame::Epoch(e.clone())) {
             Ok(n) => {
                 report.bytes_sent += n as u64;
@@ -351,6 +406,7 @@ fn run_session(
     }
     // Drain the tail: wait for the cumulative ack to reach the end.
     let floor = state.wait_progress(cfg.ack_wait, |acked| acked >= end_seq).unwrap_or(0);
+    finish_acked_ship_spans(ship_spans, floor, tel);
     if floor >= end_seq {
         // Fully acked: best-effort goodbye while the socket is still up
         // (a lost SHUTDOWN costs nothing — the stream is durable).

@@ -20,7 +20,7 @@ use aets_suite::replay::{
     ingest_epoch, AetsConfig, AetsEngine, DurableBackup, DurableOptions, IngestStats, QuerySpec,
     ReplayEngine, RetryPolicy, SerialEngine, TableGrouping,
 };
-use aets_suite::telemetry::{names, Telemetry};
+use aets_suite::telemetry::{http_get, names, parse_exposition, Telemetry};
 use aets_suite::transport::{
     ship_epochs, EngineSink, FaultProxy, NetFaultPlan, ReceiverConfig, ReplayMode, ShipReceiver,
     ShipperConfig, TraceRecorder, TraceReplayer, TraceSink,
@@ -66,8 +66,12 @@ fn main() {
 
     // The backup node pulls from the network source; a trace recorder
     // captures every delivered epoch plus periodic live query results.
+    // The engine shares the receiver's telemetry so net, WAL, and replay
+    // spans land in one ring — scrapeable live when `AETS_OBS_ADDR` asks
+    // for the HTTP endpoint (e.g. `AETS_OBS_ADDR=127.0.0.1:0`).
     let engine = AetsEngine::builder(grouping)
         .config(AetsConfig { threads: 2, ..Default::default() })
+        .telemetry(tel_rx.clone())
         .build()
         .expect("positive thread count");
     let base = std::env::temp_dir().join(format!("aets-net-demo-{}", std::process::id()));
@@ -78,7 +82,11 @@ fn main() {
         base.join("ckpt"),
         engine,
         num_tables,
-        DurableOptions { checkpoint_every: 16, ..Default::default() },
+        DurableOptions {
+            checkpoint_every: 16,
+            obs_addr: std::env::var("AETS_OBS_ADDR").ok(),
+            ..Default::default()
+        },
         None,
     )
     .expect("cold start");
@@ -137,6 +145,32 @@ fn main() {
     let want = oracle.digest_at(Timestamp::MAX);
     assert_eq!(node.db().digest_at(Timestamp::MAX), want, "backup == oracle");
     println!("backup digest matches the fault-free serial oracle");
+
+    // Self-scrape the live endpoint when one was requested: the metrics
+    // page must parse as Prometheus exposition, the span page must hold
+    // the last epoch's lifecycle, and the health probe must say 200.
+    if let Some(addr) = node.obs_addr() {
+        let (status, body) = http_get(addr, "/metrics").expect("GET /metrics");
+        assert!(status.contains("200"), "metrics status {status}");
+        let families = parse_exposition(&body).expect("exposition parses");
+        assert!(!families.is_empty(), "metrics page must not be empty");
+        let probe_epoch = total - 1;
+        let (status, spans) =
+            http_get(addr, &format!("/spans.json?epoch={probe_epoch}")).expect("GET /spans.json");
+        assert!(status.contains("200"), "spans status {status}");
+        for stage in ["net_recv", "wal_append", "dispatch", "flip_global"] {
+            assert!(
+                spans.contains(&format!("\"stage\": \"{stage}\"")),
+                "epoch {probe_epoch} timeline is missing its {stage} span"
+            );
+        }
+        let (status, _) = http_get(addr, "/healthz").expect("GET /healthz");
+        assert!(status.contains("200"), "healthy node must probe 200, got {status}");
+        println!(
+            "obs endpoint ok: {} families parsed, epoch {probe_epoch} timeline live, healthz 200",
+            families.len()
+        );
+    }
 
     // Offline reproducibility: replay the captured trace as fast as
     // possible and compare watermark + every recorded query result.

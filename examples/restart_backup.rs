@@ -58,6 +58,7 @@ fn main() {
         keep_checkpoints: 2,
         segment: SegmentConfig { epochs_per_segment: 8, ..Default::default() },
         gc_before_checkpoint: true,
+        ..Default::default()
     };
 
     // ---- First life: ingest everything durably, then die. -------------

@@ -10,8 +10,9 @@
 //! exactly what `run_realtime` wires when no telemetry is attached. "On"
 //! is `AetsEngine::builder(..).telemetry(..)` plus an instrumented board,
 //! so the run pays for sharded counter increments, histogram records on
-//! every group publish, the freshness clock, and per-epoch lifecycle
-//! events.
+//! every group publish, the freshness clock, per-epoch lifecycle events,
+//! and the full causal span chain (dispatch, translate, commit, flip
+//! spans into the bounded ring at the default sample-everything rate).
 //!
 //! Run-to-run throughput on a shared machine drifts by far more than the
 //! true cost of a few hundred thousand relaxed atomics, so the comparison
@@ -29,7 +30,7 @@ use aets_suite::workloads::tpcc::{self, TpccConfig};
 use std::sync::Arc;
 use std::time::Instant;
 
-const REPS: usize = 7;
+const REPS: usize = 15;
 
 fn grouping(workload: &aets_suite::workloads::Workload) -> TableGrouping {
     let (groups, rates) = tpcc::paper_grouping();
@@ -85,9 +86,13 @@ fn main() {
         REPS
     );
 
-    // Warm-up (allocator, page cache, thermal ramp) discarded.
-    run_once(&epochs, &workload, false);
-    run_once(&epochs, &workload, true);
+    // Warm-up (allocator, page cache, thermal ramp) discarded — two
+    // full pairs, because the first measured pair otherwise still rides
+    // the ramp and lands as an outlier the median must absorb.
+    for _ in 0..2 {
+        run_once(&epochs, &workload, false);
+        run_once(&epochs, &workload, true);
+    }
 
     let mut off = Vec::with_capacity(REPS);
     let mut on = Vec::with_capacity(REPS);
@@ -117,6 +122,14 @@ fn main() {
         "\nmedian: off {off_med:.0} entries/s, on {on_med:.0} entries/s; \
          paired median overhead {overhead_pct:+.2}% (target < 3%)"
     );
+
+    // `--gate` turns the target into a hard failure (the CI overhead
+    // gate); the paired-median methodology keeps it stable on shared
+    // runners where raw throughput drifts far more than 3%.
+    if std::env::args().any(|a| a == "--gate") {
+        assert!(overhead_pct < 3.0, "tracing overhead {overhead_pct:+.2}% breached the 3% budget");
+        println!("overhead gate passed: {overhead_pct:+.2}% < 3%");
+    }
 
     if std::path::Path::new("results").is_dir() {
         let json = format!(

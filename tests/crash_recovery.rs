@@ -112,6 +112,7 @@ fn durable_opts() -> DurableOptions {
         keep_checkpoints: 2,
         segment: SegmentConfig { epochs_per_segment: 2, ..Default::default() },
         gc_before_checkpoint: true,
+        ..Default::default()
     }
 }
 

@@ -369,6 +369,155 @@ fn restarted_backup_resumes_mid_stream_without_reingest() {
 }
 
 #[test]
+fn chaos_spans_reconstruct_the_causal_chain_for_a_single_epoch_id() {
+    // The tracing acceptance lane: under seeded chaos (the link breaks
+    // and resyncs mid-stream), the sender's and receiver's span rings
+    // merged on one epoch id must still close the full causal chain —
+    // ship -> net_recv -> wal_append -> dispatch -> translate -> commit
+    // -> visibility flip -> first admitted query — with no span ever
+    // referencing a missing parent, and the receiver-side chain must be
+    // reconstructable live from the node's `/spans.json` endpoint.
+    use aets_suite::replay::NodeOptions;
+    use aets_suite::telemetry::trace::{first_orphan, stages};
+    use aets_suite::telemetry::{http_get, Span};
+
+    let fx = fixture();
+    let total = fx.epochs.len() as u64;
+    let seed = seed_override().unwrap_or(0xA5EED1);
+
+    let tel_rx = Arc::new(Telemetry::new());
+    let mut receiver = ShipReceiver::bind(
+        "127.0.0.1:0",
+        ReceiverConfig { fetch_timeout: Duration::from_millis(50), ..Default::default() },
+        tel_rx.clone(),
+    )
+    .unwrap();
+    let mut proxy =
+        FaultProxy::start(receiver.addr(), NetFaultPlan::new(seed, 0.03)).expect("start proxy");
+    let proxy_addr = proxy.addr();
+    let epochs = fx.epochs.clone();
+    let tel_tx = Arc::new(Telemetry::new());
+    let tt = tel_tx.clone();
+    let shipper = std::thread::spawn(move || {
+        ship_epochs(proxy_addr, &epochs, &ShipperConfig { window: 8, ..Default::default() }, &tt)
+    });
+
+    // The backup engine shares the receiver's telemetry, so net_recv,
+    // WAL, replay, flip, and query spans all land in one scrapeable ring.
+    let engine = AetsEngine::builder(fx.grouping.clone())
+        .config(AetsConfig { threads: 2, ..Default::default() })
+        .telemetry(tel_rx.clone())
+        .build()
+        .unwrap();
+    let mut node = DurableBackup::open(
+        scratch("span-wal"),
+        scratch("span-ckpt"),
+        engine,
+        fx.num_tables,
+        DurableOptions::default(),
+        None,
+    )
+    .unwrap();
+    let mut source = receiver.source();
+    let retry = RetryPolicy { max_retries: 2, base_backoff_us: 100, max_backoff_us: 1_000 };
+    let deadline = Instant::now() + DRAIN_BUDGET;
+    while node.next_seq() < total {
+        assert!(Instant::now() < deadline, "seed {seed:#x}: stream wedged");
+        let _ = node.ingest_from(&mut source, &retry);
+    }
+    let report = shipper.join().unwrap().expect("shipping failed");
+    assert!(report.reconnects > 0, "this lane must exercise reconnect/resync paths");
+    receiver.shutdown();
+    proxy.shutdown();
+
+    // First admitted query after drain: its spans attach to the most
+    // recently committed epoch — the probe epoch of the chain below.
+    let probe = total - 1;
+    assert_eq!(tel_rx.spans().epoch_hint(), Some(probe), "epoch hint tracks the commit");
+    let serving = node
+        .serve(NodeOptions { obs_addr: Some("127.0.0.1:0".into()), ..Default::default() })
+        .unwrap();
+    let session = serving.open_session(fx.target, &[TableId::new(0)]);
+    session.query(QuerySpec::count(TableId::new(0))).unwrap();
+
+    // Spans survived the chaos: every epoch was admitted exactly once, so
+    // every epoch id carries exactly one receive span, and the merged
+    // sender + receiver rings are orphan-free.
+    let mut merged: Vec<Span> = Vec::new();
+    for seq in 0..total {
+        let rx = tel_rx.spans().for_epoch(seq);
+        let tx = tel_tx.spans().for_epoch(seq);
+        assert_eq!(
+            rx.iter().filter(|s| s.stage == stages::NET_RECV).count(),
+            1,
+            "seed {seed:#x}: epoch {seq} must be received exactly once"
+        );
+        assert!(
+            tx.iter().any(|s| s.stage == stages::NET_SHIP),
+            "seed {seed:#x}: epoch {seq} lost its ship span"
+        );
+        merged.extend(tx);
+        merged.extend(rx);
+    }
+    if let Some(orphan) = first_orphan(&merged) {
+        panic!("seed {seed:#x}: span references a missing parent: {orphan:?}");
+    }
+
+    // The two endpoints' rings join on the shipped span id: the receive
+    // span is recorded under the id the sender announced on the wire.
+    let probe_spans: Vec<&Span> = merged.iter().filter(|s| s.epoch == probe).collect();
+    let recv = probe_spans.iter().find(|s| s.stage == stages::NET_RECV).unwrap();
+    assert!(
+        probe_spans.iter().any(|s| s.stage == stages::NET_SHIP && s.id == recv.id),
+        "seed {seed:#x}: receiver's span id must match the sender's shipped id"
+    );
+
+    // The complete lifecycle is present for the single probe epoch id.
+    for stage in [
+        stages::NET_SHIP,
+        stages::NET_RECV,
+        stages::WAL_APPEND,
+        stages::DISPATCH,
+        stages::TRANSLATE,
+        stages::COMMIT_WAIT,
+        stages::APPLY,
+        stages::FLIP_GROUP,
+        stages::FLIP_GLOBAL,
+        stages::QUERY_ADMISSION,
+        stages::QUERY_EXEC,
+    ] {
+        assert!(
+            probe_spans.iter().any(|s| s.stage == stage),
+            "seed {seed:#x}: epoch {probe} chain is missing its {stage} span"
+        );
+    }
+
+    // And the same receiver-side chain is live over HTTP: one epoch id
+    // against /spans.json reconstructs ship-arrival through first query.
+    let (status, body) =
+        http_get(serving.obs_addr().unwrap(), &format!("/spans.json?epoch={probe}"))
+            .expect("GET /spans.json");
+    assert!(status.contains("200"), "spans endpoint status {status}");
+    for stage in [
+        "net_recv",
+        "wal_append",
+        "dispatch",
+        "translate",
+        "commit_wait",
+        "apply",
+        "flip_group",
+        "flip_global",
+        "query_admission",
+        "query_exec",
+    ] {
+        assert!(
+            body.contains(&format!("\"stage\": \"{stage}\"")),
+            "/spans.json?epoch={probe} is missing the {stage} stage"
+        );
+    }
+}
+
+#[test]
 fn net_delivered_stream_traces_and_replays_byte_identically() {
     // The acceptance lane: capture a JSONL trace of the net-delivered
     // stream (epochs + live query results), then replay it into a fresh

@@ -6,7 +6,8 @@
 
 use aets_suite::memtable::MemDb;
 use aets_suite::replay::{
-    run_realtime, AetsConfig, AetsEngine, ReplayMetrics, RunnerConfig, TableGrouping, Workload,
+    run_realtime, AetsConfig, AetsEngine, ReplayEngine, ReplayMetrics, RunnerConfig, TableGrouping,
+    Workload,
 };
 use aets_suite::telemetry::{names, parse_exposition, EventKind, Telemetry};
 use aets_suite::wal::{batch_into_epochs, encode_epoch, ReplicationTimeline};
@@ -119,6 +120,140 @@ fn short_paced_replay_emits_parseable_consistent_telemetry() {
 }
 
 #[test]
+fn epoch_spans_form_a_closed_causal_chain() {
+    // The tracing tentpole's engine-side contract: every replayed epoch
+    // leaves a closed span tree — a dispatch root with translate,
+    // commit-queue wait, apply, and both flip point spans hanging off it
+    // — and no span's parent dangles outside the ring.
+    use aets_suite::replay::VisibilityBoard;
+    use aets_suite::telemetry::trace::{first_orphan, stages};
+
+    let w = tpcc::generate(&TpccConfig { num_txns: 1_000, warehouses: 1, ..Default::default() });
+    let raw = batch_into_epochs(w.txns.clone(), 64).expect("positive epoch size");
+    let epochs: Vec<_> = raw.iter().map(encode_epoch).collect();
+    assert!(epochs.len() >= 4, "needs a few epochs");
+    let (groups, rates) = tpcc::paper_grouping();
+    let grouping =
+        TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).expect("grouping");
+    let tel = Arc::new(Telemetry::new());
+    let engine = AetsEngine::builder(grouping.clone())
+        .config(AetsConfig { threads: 2, ..Default::default() })
+        .telemetry(tel.clone())
+        .build()
+        .expect("valid config");
+    let db = MemDb::new(w.num_tables());
+    let board = VisibilityBoard::builder(grouping.num_groups()).build();
+    engine.replay(&epochs, &db, &board).expect("replay");
+
+    let ring = tel.spans();
+    assert_eq!(
+        ring.epoch_hint(),
+        Some(epochs.len() as u64 - 1),
+        "the hint tracks the last committed epoch"
+    );
+    for seq in 0..epochs.len() as u64 {
+        let spans = ring.for_epoch(seq);
+        assert!(
+            first_orphan(&spans).is_none(),
+            "epoch {seq}: a span's parent must resolve within the ring"
+        );
+        let have: Vec<&str> = spans.iter().map(|s| s.stage).collect();
+        for want in [
+            stages::DISPATCH,
+            stages::TRANSLATE,
+            stages::COMMIT_WAIT,
+            stages::APPLY,
+            stages::FLIP_GROUP,
+            stages::FLIP_GLOBAL,
+        ] {
+            assert!(have.contains(&want), "epoch {seq} is missing a {want} span ({have:?})");
+        }
+        // One dispatch root per epoch; everything else chains to it.
+        let roots: Vec<_> = spans.iter().filter(|s| s.stage == stages::DISPATCH).collect();
+        assert_eq!(roots.len(), 1, "epoch {seq}: exactly one dispatch root");
+        let root = roots[0];
+        assert_eq!(root.parent, None);
+        for s in &spans {
+            if s.stage != stages::DISPATCH {
+                assert_eq!(
+                    s.parent,
+                    Some(root.id),
+                    "epoch {seq}: {} must parent to the dispatch root",
+                    s.stage
+                );
+                assert!(s.start_us >= root.start_us, "children start after the root opens");
+            }
+            assert!(s.end_us >= s.start_us, "every recorded span is closed");
+        }
+        // The flips cover every group exactly once per epoch.
+        let flips = spans.iter().filter(|s| s.stage == stages::FLIP_GROUP).count();
+        assert_eq!(flips, grouping.num_groups(), "epoch {seq}: one group flip per group");
+        assert_eq!(
+            spans.iter().filter(|s| s.stage == stages::FLIP_GLOBAL).count(),
+            1,
+            "epoch {seq}: exactly one global flip"
+        );
+    }
+}
+
+#[test]
+fn span_sampling_knob_bounds_tracing_and_the_anomaly_latch_overrides_it() {
+    use aets_suite::replay::VisibilityBoard;
+
+    let w = tpcc::generate(&TpccConfig { num_txns: 800, warehouses: 1, ..Default::default() });
+    let raw = batch_into_epochs(w.txns.clone(), 32).expect("positive epoch size");
+    let epochs: Vec<_> = raw.iter().map(encode_epoch).collect();
+    assert!(epochs.len() >= 8, "needs enough epochs to see the knob");
+    let (groups, rates) = tpcc::paper_grouping();
+    let grouping =
+        TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).expect("grouping");
+
+    let run = |sampling: u64, latch_anomaly: bool| {
+        let tel = Arc::new(Telemetry::new());
+        tel.spans().set_sampling(sampling);
+        if latch_anomaly {
+            // Any anomaly event latches always-sample (here: a synthetic
+            // quarantine notice before the run).
+            tel.event(EventKind::GroupQuarantined { group: 0 });
+        }
+        let engine = AetsEngine::builder(grouping.clone())
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .telemetry(tel.clone())
+            .build()
+            .expect("valid config");
+        let db = MemDb::new(w.num_tables());
+        let board = VisibilityBoard::builder(grouping.num_groups()).build();
+        engine.replay(&epochs, &db, &board).expect("replay");
+        tel
+    };
+
+    // every-4th sampling: only the divisible epochs leave spans.
+    let tel = run(4, false);
+    for seq in 0..epochs.len() as u64 {
+        let n = tel.spans().for_epoch(seq).len();
+        if seq % 4 == 0 {
+            assert!(n > 0, "epoch {seq} is sampled under every=4");
+        } else {
+            assert_eq!(n, 0, "epoch {seq} must be skipped under every=4");
+        }
+    }
+
+    // 0 disables tracing outright...
+    let tel = run(0, false);
+    assert_eq!(tel.spans().recorded(), 0, "sampling 0 records nothing");
+
+    // ...unless an anomaly latched always-sample first.
+    let tel = run(0, true);
+    assert!(tel.spans().anomalous());
+    for seq in 0..epochs.len() as u64 {
+        assert!(
+            !tel.spans().for_epoch(seq).is_empty(),
+            "epoch {seq}: the anomaly latch must override sampling 0"
+        );
+    }
+}
+
+#[test]
 fn coalesced_durable_ingest_records_fsync_batch_sizes() {
     // The durable path under a coalesced fsync policy must surface how
     // many frames each group-committed fsync covered: the segment store's
@@ -175,6 +310,153 @@ fn coalesced_durable_ingest_records_fsync_batch_sizes() {
         snap.gauge(names::INGEST_BYTES_PER_SEC, "").unwrap_or(0) > 0,
         "durable ingest must publish a nonzero ingest rate"
     );
+}
+
+#[test]
+fn obs_endpoint_serves_metrics_spans_and_a_flipping_healthz() {
+    // A BackupNode with `obs_addr` mounts the zero-dependency HTTP
+    // endpoint: /metrics parses as Prometheus exposition, /spans.json
+    // filters by epoch, and /healthz flips 200 -> 503 when a group
+    // quarantines.
+    use aets_suite::replay::{BackupNode, NodeOptions};
+    use aets_suite::telemetry::http_get;
+
+    let w = tpcc::generate(&TpccConfig { num_txns: 600, warehouses: 1, ..Default::default() });
+    let raw = batch_into_epochs(w.txns.clone(), 64).expect("positive epoch size");
+    let epochs: Vec<_> = raw.iter().map(encode_epoch).collect();
+    let (groups, rates) = tpcc::paper_grouping();
+    let grouping =
+        TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).expect("grouping");
+    let tel = Arc::new(Telemetry::new());
+    let engine = Arc::new(
+        AetsEngine::builder(grouping)
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .telemetry(tel.clone())
+            .build()
+            .expect("valid config"),
+    );
+    let node = BackupNode::builder()
+        .engine(engine)
+        .num_tables(w.num_tables())
+        .telemetry(tel.clone())
+        .options(NodeOptions { obs_addr: Some("127.0.0.1:0".into()), ..Default::default() })
+        .build()
+        .expect("node with endpoint");
+    let addr = node.obs_addr().expect("endpoint bound");
+    node.replay(&epochs).expect("replay");
+
+    // /metrics parses (including the histogram _sum/_count contract).
+    let (status, body) = http_get(addr, "/metrics").expect("GET /metrics");
+    assert!(status.contains("200"), "metrics status {status}");
+    assert!(!parse_exposition(&body).expect("exposition parses").is_empty());
+
+    // /spans.json?epoch=N returns exactly that epoch's chain.
+    let probe = (epochs.len() / 2) as u64;
+    let (status, body) =
+        http_get(addr, &format!("/spans.json?epoch={probe}")).expect("GET /spans.json");
+    assert!(status.contains("200"), "spans status {status}");
+    assert!(body.contains(&format!("\"epoch\": {probe}")));
+    assert!(body.contains("\"stage\": \"dispatch\""));
+    assert!(body.contains("\"stage\": \"flip_global\""));
+    let other = probe + 1;
+    assert!(
+        !body.contains(&format!("\"epoch\": {other}")),
+        "the epoch filter must exclude other epochs"
+    );
+
+    // /events.json carries the epoch lifecycle events.
+    let (status, body) = http_get(addr, "/events.json").expect("GET /events.json");
+    assert!(status.contains("200"));
+    assert!(body.contains("epoch_dispatched") && body.contains("epoch_committed"));
+
+    // /healthz: healthy now, 503 naming the group once quarantined.
+    let (status, body) = http_get(addr, "/healthz").expect("GET /healthz");
+    assert!(status.contains("200"), "healthy node must report 200, got {status}");
+    assert!(body.contains("\"ok\""));
+    node.board().set_quarantined(&[1]);
+    let (status, body) = http_get(addr, "/healthz").expect("GET /healthz degraded");
+    assert!(status.contains("503"), "degraded node must report 503, got {status}");
+    assert!(body.contains("\"degraded\"") && body.contains('1'));
+}
+
+#[test]
+fn forced_quarantine_dumps_a_parseable_flight_bundle() {
+    // Acceptance gate: a durable node with a flight directory must leave
+    // a bounded JSON bundle on disk the moment a group quarantines — the
+    // black box to pull after an incident.
+    use aets_suite::common::TableId;
+    use aets_suite::replay::{DurableBackup, DurableOptions};
+    use aets_suite::telemetry::flight::list_bundles;
+    use aets_suite::wal::{crc32, EncodedEpoch, MetaScanner};
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aets-flight-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    let w = tpcc::generate(&TpccConfig { num_txns: 600, warehouses: 1, ..Default::default() });
+    let raw = batch_into_epochs(w.txns.clone(), 64).expect("positive epoch size");
+    let mut epochs: Vec<_> = raw.iter().map(encode_epoch).collect();
+    // Corrupt one record of the highest-numbered table so its group
+    // quarantines mid-run (the epoch frame CRC is fixed up so only the
+    // record itself is bad).
+    let victim = TableId::new((w.num_tables() - 1) as u32);
+    let eidx = epochs
+        .iter()
+        .position(|e| {
+            MetaScanner::new(e.bytes.clone())
+                .filter_map(|i| i.ok())
+                .any(|(meta, _)| meta.table == Some(victim))
+        })
+        .expect("some epoch touches the victim table");
+    let range = MetaScanner::new(epochs[eidx].bytes.clone())
+        .filter_map(|i| i.ok())
+        .find(|(meta, _)| meta.table == Some(victim))
+        .map(|(_, r)| r)
+        .expect("victim record range");
+    let mut v = epochs[eidx].bytes.to_vec();
+    v[range.end - 1] ^= 0x01;
+    epochs[eidx] = EncodedEpoch { crc32: crc32(&v), bytes: v.into(), ..epochs[eidx].clone() };
+
+    let (groups, rates) = tpcc::paper_grouping();
+    let grouping =
+        TableGrouping::new(w.num_tables(), groups, rates, &w.analytic_tables).expect("grouping");
+    let tel = Arc::new(Telemetry::new());
+    let engine = AetsEngine::builder(grouping)
+        .config(AetsConfig { threads: 2, ..Default::default() })
+        .telemetry(tel.clone())
+        .build()
+        .expect("valid config");
+    let flight_dir = scratch("bundles");
+    let opts = DurableOptions {
+        checkpoint_every: 0,
+        flight_dir: Some(flight_dir.clone()),
+        ..Default::default()
+    };
+    let mut node =
+        DurableBackup::open(scratch("wal"), scratch("ckpt"), engine, w.num_tables(), opts, None)
+            .expect("open durable backup");
+    for e in &epochs {
+        node.ingest(e).expect("ingest");
+    }
+    assert!(node.metrics().degraded(), "the poisoned group must quarantine");
+    assert!(tel.spans().anomalous(), "the quarantine must latch always-sample");
+
+    let bundles = list_bundles(&flight_dir).expect("flight dir listing");
+    assert!(!bundles.is_empty(), "quarantine must leave at least one bundle on disk");
+    let body = std::fs::read_to_string(&bundles[0]).expect("bundle readable");
+    assert!(body.contains("\"reason\": \"group_quarantined\""));
+    for key in ["\"seq\"", "\"spans\"", "\"events\"", "\"snapshot\""] {
+        assert!(body.contains(key), "bundle missing {key}");
+    }
+    // Parseability smoke: balanced braces/brackets, one JSON object.
+    let opens = body.matches('{').count();
+    let closes = body.matches('}').count();
+    assert_eq!(opens, closes, "bundle braces must balance");
+    assert_eq!(body.matches('[').count(), body.matches(']').count());
+    let _ = std::fs::remove_dir_all(&flight_dir);
 }
 
 #[test]
