@@ -22,7 +22,7 @@ fn bench_alloc(c: &mut Criterion) {
 
     let hot: FxHashSet<TableId> = (0..14u32).map(TableId::new).collect();
     c.bench_function("dbscan_grouping_65_tables", |b| {
-        b.iter(|| TableGrouping::dbscan(65, &hot, |t| (t.raw() as f64 * 7.3) % 300.0, 0.3))
+        b.iter(|| TableGrouping::dbscan(65, &hot, |t| (t.raw() as f64 * 7.3) % 300.0, 0.3).unwrap())
     });
 }
 

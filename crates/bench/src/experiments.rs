@@ -372,7 +372,8 @@ pub fn fig13(scale: Scale) {
             max_horizon: 1,
             ..DtgmConfig::default()
         },
-    );
+    )
+    .expect("series long enough for DTGM");
 
     // Map epoch index -> slot via the epoch's position in the stream.
     // Finer epochs than the default so the allocator can re-plan several
@@ -490,7 +491,8 @@ pub fn table3(scale: Scale) {
             max_horizon: max_h,
             ..Default::default()
         },
-    );
+    )
+    .expect("series long enough for DTGM");
 
     let models: Vec<&dyn Forecaster> = vec![&ha, &arima, &qb, &dtgm];
     let mut t = TextTable::new(&["model", "15 slots", "30 slots", "60 slots", "paper@15"]);
@@ -535,7 +537,8 @@ pub fn table4(scale: Scale) {
                 max_horizon: h,
                 ..Default::default()
             },
-        );
+        )
+        .expect("series long enough for DTGM");
         let e = evaluate(&m, &full, split, h);
         t.row(vec![m.name().to_string(), format!("{:.2}%", e * 100.0), paper.to_string()]);
         blob.push(json!({ "model": m.name(), "mape": e }));
@@ -567,7 +570,8 @@ pub fn fig14(scale: Scale) {
                 max_horizon: h,
                 ..Default::default()
             },
-        );
+        )
+        .expect("series long enough for DTGM");
         let e = evaluate(&m, &full, split, h);
         t.row(vec![d.to_string(), format!("{:.2}%", e * 100.0)]);
         blob.push(json!({ "hidden": d, "mape": e }));

@@ -1,0 +1,203 @@
+//! Streaming adaptation support for the live control loop.
+//!
+//! The replay-side controller (`aets-replay`'s `control` module) samples
+//! the telemetry registry's cumulative per-table access counters once
+//! per epoch window. This module turns those samples into the
+//! forecaster's inputs and back into a next-window prediction:
+//!
+//! * [`RateTracker`] — diffs cumulative counter samples into per-window
+//!   access *rates* and keeps a bounded history of them;
+//! * [`ForecastModel`] — the online model choice. The heavyweight
+//!   [`crate::Dtgm`] needs a training pass and is fit offline; the
+//!   online loop defaults to the historical average, which Table III
+//!   shows is already competitive at short horizons and costs
+//!   microseconds per window.
+
+use crate::baselines::Ha;
+use crate::series::Forecaster;
+use aets_common::{Error, Result};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// The online forecasting model driving the control loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForecastModel {
+    /// Historical average of the last `window` observed windows
+    /// (Table III's HA baseline; the default).
+    Ha {
+        /// Number of trailing windows averaged.
+        window: usize,
+    },
+    /// Last observation carried forward — the cheapest possible model,
+    /// useful as an ablation of the forecasting component.
+    Naive,
+}
+
+impl Default for ForecastModel {
+    fn default() -> Self {
+        Self::Ha { window: 8 }
+    }
+}
+
+impl ForecastModel {
+    /// Predicts the next window's per-table rates from `history` (rows =
+    /// windows, columns = tables; newest row last). Fails on an empty
+    /// history — the caller should keep the current plan until it has
+    /// observed at least one full window.
+    pub fn forecast_next(&self, history: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let last = history
+            .last()
+            .ok_or_else(|| Error::Config("forecast requested with no rate history".into()))?;
+        match self {
+            Self::Ha { window } => {
+                let ha = Ha { window: (*window).max(1) };
+                let mut rows = ha.forecast(history, 1);
+                rows.pop().ok_or_else(|| Error::Replay("HA returned no forecast rows".into()))
+            }
+            Self::Naive => Ok(last.clone()),
+        }
+    }
+
+    /// Name for telemetry and result files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Ha { .. } => "ha",
+            Self::Naive => "naive",
+        }
+    }
+}
+
+/// Diffs cumulative per-table access counters into per-window rates.
+///
+/// The telemetry registry exposes *monotone totals* (e.g.
+/// `aets_table_access_total{table="3"}`); the controller samples them
+/// once per epoch window and feeds each sample here. The tracker
+/// subtracts the previous sample and divides by the window's wall time,
+/// yielding the access-rate rows the forecaster consumes.
+#[derive(Debug)]
+pub struct RateTracker {
+    num_tables: usize,
+    max_history: usize,
+    prev: Option<Vec<u64>>,
+    history: VecDeque<Vec<f64>>,
+}
+
+impl RateTracker {
+    /// A tracker over `num_tables` tables keeping at most `max_history`
+    /// rate windows (the forecaster never needs more than its input
+    /// window; bounding it keeps the controller allocation-free in
+    /// steady state).
+    pub fn new(num_tables: usize, max_history: usize) -> Self {
+        Self { num_tables, max_history: max_history.max(1), prev: None, history: VecDeque::new() }
+    }
+
+    /// Feeds one sample of the cumulative counters, taken `elapsed`
+    /// after the previous one. Returns the rate row this window produced
+    /// (`None` for the first sample, which only establishes the
+    /// baseline). Counter regressions (an engine restart zeroed the
+    /// registry) clamp to zero instead of going negative.
+    pub fn observe(&mut self, cumulative: &[u64], elapsed: Duration) -> Result<Option<Vec<f64>>> {
+        if cumulative.len() != self.num_tables {
+            return Err(Error::Config(format!(
+                "sampled {} table counters, tracker expects {}",
+                cumulative.len(),
+                self.num_tables
+            )));
+        }
+        let prev = match self.prev.replace(cumulative.to_vec()) {
+            Some(p) => p,
+            None => return Ok(None),
+        };
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let rates: Vec<f64> = cumulative
+            .iter()
+            .zip(&prev)
+            .map(|(now, before)| now.saturating_sub(*before) as f64 / secs)
+            .collect();
+        if self.history.len() == self.max_history {
+            self.history.pop_front();
+        }
+        self.history.push_back(rates.clone());
+        Ok(Some(rates))
+    }
+
+    /// The observed rate windows, oldest first.
+    pub fn history(&self) -> Vec<Vec<f64>> {
+        self.history.iter().cloned().collect()
+    }
+
+    /// Number of complete windows observed so far.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Whether no complete window has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Predicts the next window's per-table rates with `model`, or
+    /// `None` until at least one window is complete.
+    pub fn forecast(&self, model: &ForecastModel) -> Result<Option<Vec<f64>>> {
+        if self.history.is_empty() {
+            return Ok(None);
+        }
+        let history: Vec<Vec<f64>> = self.history.iter().cloned().collect();
+        model.forecast_next(&history).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_diffs_cumulative_samples_into_rates() {
+        let mut t = RateTracker::new(2, 8);
+        let w = Duration::from_secs(2);
+        assert!(t.observe(&[100, 50], w).unwrap().is_none(), "first sample is the baseline");
+        let r = t.observe(&[140, 50], w).unwrap().unwrap();
+        assert_eq!(r, vec![20.0, 0.0]);
+        let r = t.observe(&[140, 60], w).unwrap().unwrap();
+        assert_eq!(r, vec![0.0, 5.0]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn tracker_clamps_counter_regressions() {
+        let mut t = RateTracker::new(1, 4);
+        t.observe(&[500], Duration::from_secs(1)).unwrap();
+        let r = t.observe(&[10], Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!(r, vec![0.0], "registry reset must not produce a negative rate");
+    }
+
+    #[test]
+    fn tracker_bounds_history_and_rejects_bad_arity() {
+        let mut t = RateTracker::new(1, 2);
+        for i in 0..5u64 {
+            t.observe(&[i * 10], Duration::from_secs(1)).unwrap();
+        }
+        assert_eq!(t.len(), 2);
+        assert!(t.observe(&[1, 2], Duration::from_secs(1)).is_err());
+    }
+
+    #[test]
+    fn models_forecast_next_window() {
+        let history = vec![vec![10.0, 0.0], vec![20.0, 2.0]];
+        let naive = ForecastModel::Naive.forecast_next(&history).unwrap();
+        assert_eq!(naive, vec![20.0, 2.0]);
+        let ha = ForecastModel::Ha { window: 2 }.forecast_next(&history).unwrap();
+        assert_eq!(ha, vec![15.0, 1.0]);
+        assert!(ForecastModel::default().forecast_next(&[]).is_err());
+    }
+
+    #[test]
+    fn tracker_forecast_waits_for_first_window() {
+        let mut t = RateTracker::new(1, 4);
+        assert!(t.forecast(&ForecastModel::Naive).unwrap().is_none());
+        t.observe(&[0], Duration::from_secs(1)).unwrap();
+        assert!(t.forecast(&ForecastModel::Naive).unwrap().is_none());
+        t.observe(&[30], Duration::from_secs(1)).unwrap();
+        assert_eq!(t.forecast(&ForecastModel::Naive).unwrap().unwrap(), vec![30.0]);
+    }
+}

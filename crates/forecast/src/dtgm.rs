@@ -13,6 +13,7 @@
 
 use crate::series::{Forecaster, RateSeries};
 use aets_common::rng::seeded_rng;
+use aets_common::{Error, Result};
 use aets_neural::{Adam, Tape, Tensor, Var};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -208,8 +209,10 @@ impl Dtgm {
         tape.add_bias(y, pvars[l.out_b])
     }
 
-    /// Trains DTGM on a series with the given access graph.
-    pub fn fit(train: &RateSeries, edges: &[(usize, usize)], cfg: DtgmConfig) -> Self {
+    /// Trains DTGM on a series with the given access graph. Fails when
+    /// the training series is too short to cut a single
+    /// `t_in + max_horizon` window.
+    pub fn fit(train: &RateSeries, edges: &[(usize, usize)], cfg: DtgmConfig) -> Result<Self> {
         let n = train.width();
         let hops = if cfg.use_gcn { cfg.k_hops + 1 } else { 1 };
         let adj = if cfg.use_gcn {
@@ -232,7 +235,14 @@ impl Dtgm {
         let mut model = Self { cfg, adj, params, layout, scale, final_loss: f32::NAN };
 
         let windows = train.windows(model.cfg.t_in, model.cfg.max_horizon);
-        assert!(!windows.is_empty(), "training series too short for DTGM");
+        if windows.is_empty() {
+            return Err(Error::Config(format!(
+                "training series of {} slots is too short for DTGM (needs t_in {} + horizon {})",
+                train.len(),
+                model.cfg.t_in,
+                model.cfg.max_horizon
+            )));
+        }
         let mut order: Vec<usize> = (0..windows.len()).collect();
         for epoch in 0..model.cfg.epochs {
             if epoch > 0 && epoch % model.cfg.decay_every == 0 {
@@ -272,7 +282,7 @@ impl Dtgm {
                 opt.step(&mut model.params, &grad_refs);
             }
         }
-        model
+        Ok(model)
     }
 }
 
@@ -371,7 +381,7 @@ mod tests {
     fn dtgm_learns_the_series() {
         let full = RateSeries::bustracker_hot(120, 0.05, 5);
         let (train, _) = full.split(90);
-        let model = Dtgm::fit(&train, &bustracker::access_graph(), small_cfg());
+        let model = Dtgm::fit(&train, &bustracker::access_graph(), small_cfg()).unwrap();
         assert!(model.final_loss.is_finite());
         let e = evaluate(&model, &full, 90, 5);
         // A trained DTGM must do clearly better than predicting the mean.
@@ -386,7 +396,7 @@ mod tests {
         let full = RateSeries::bustracker_hot(100, 0.05, 9);
         let (train, _) = full.split(80);
         let cfg = DtgmConfig { use_gcn: false, epochs: 10, ..small_cfg() };
-        let model = Dtgm::fit(&train, &bustracker::access_graph(), cfg);
+        let model = Dtgm::fit(&train, &bustracker::access_graph(), cfg).unwrap();
         assert_eq!(model.name(), "DTGM w/o gcn");
         let e = evaluate(&model, &full, 80, 5);
         assert!(e.is_finite());
@@ -396,7 +406,7 @@ mod tests {
     fn forecast_shape_and_positivity() {
         let full = RateSeries::bustracker_hot(100, 0.05, 5);
         let (train, _) = full.split(80);
-        let model = Dtgm::fit(&train, &bustracker::access_graph(), small_cfg());
+        let model = Dtgm::fit(&train, &bustracker::access_graph(), small_cfg()).unwrap();
         let pred = model.forecast(&full.values[..10], 5);
         assert_eq!(pred.len(), 5);
         assert_eq!(pred[0].len(), 14);

@@ -7,6 +7,13 @@
 //! QB5000 LR/LSTM/KR ensemble. [`series::evaluate`] computes rolling
 //! MAPE at the paper's 15/30/60-slot horizons.
 
+// The forecaster feeds the live control loop: a panic here would take
+// down the controller thread mid-replay, so fallible paths must return
+// typed errors (matching the discipline in aets-replay and
+// aets-telemetry).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod adaptive;
 pub mod baselines;
 pub mod dtgm;
 pub mod linalg;
@@ -14,6 +21,7 @@ pub mod lstm;
 pub mod qb5000;
 pub mod series;
 
+pub use adaptive::{ForecastModel, RateTracker};
 pub use baselines::{Arima, Ha, KernelRegression, LinearRegression};
 pub use dtgm::{adjacency_powers, Dtgm, DtgmConfig};
 pub use lstm::{Lstm, LstmConfig};

@@ -48,8 +48,9 @@ use aets_memtable::MemDb;
 use aets_telemetry::trace::stages;
 use aets_telemetry::{names, Counter, EventKind, Gauge, Histogram, OpenSpan, SpanId, Telemetry};
 use aets_wal::{EncodedEpoch, EpochSource, SliceSource};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -115,6 +116,127 @@ impl Default for AetsConfig {
             retry: RetryPolicy::default(),
         }
     }
+}
+
+/// A live reconfiguration command for a running [`AetsEngine`], sent
+/// through a [`ReconfigureHandle`] and applied at the next epoch
+/// boundary (see DESIGN.md §15 "Adaptive control loop").
+#[derive(Debug, Clone)]
+pub enum Reconfigure {
+    /// Pin the per-group worker allocation, bypassing the per-epoch
+    /// `λ·n` solver until the next `SetThreadSplit`. One slot per group;
+    /// zero means the group's commit thread translates inline.
+    SetThreadSplit(Vec<usize>),
+    /// Replace the table grouping. Must preserve the group count (the
+    /// visibility board, quarantine ledger and cell pools are sized to
+    /// it) and the table count. Rejected — dropped and counted in
+    /// `aets_adapt_rejected_total` — while any group is quarantined: a
+    /// frozen group's watermark describes its *old* table set, and
+    /// moving tables would silently change what the freeze protects.
+    Regroup(TableGrouping),
+}
+
+/// Clonable sender half of an engine's reconfiguration channel.
+///
+/// Commands are validated at send time against the engine's immutable
+/// group/table counts, queued, and drained by the *dispatching* side of
+/// the replay datapath at the next epoch boundary. Epoch boundaries are
+/// exactly the paper's "drain, move, resume" migration points: commit
+/// queues are per-epoch objects fully drained at the stage barriers, and
+/// every healthy group's watermark equals the epoch's `max_commit_ts`,
+/// so a regroup never moves a table with in-flight work and is
+/// watermark-neutral.
+#[derive(Clone, Debug)]
+pub struct ReconfigureHandle {
+    inner: Arc<ReconfShared>,
+}
+
+#[derive(Debug)]
+struct ReconfShared {
+    queue: Mutex<VecDeque<Reconfigure>>,
+    /// Commands applied so far (monotone; rejected commands excluded).
+    applied: AtomicU64,
+    num_groups: usize,
+    num_tables: usize,
+}
+
+impl ReconfigureHandle {
+    fn new(num_groups: usize, num_tables: usize) -> Self {
+        Self {
+            inner: Arc::new(ReconfShared {
+                queue: Mutex::new(VecDeque::new()),
+                applied: AtomicU64::new(0),
+                num_groups,
+                num_tables,
+            }),
+        }
+    }
+
+    /// Queues `cmd` for the next epoch boundary. Fails fast on a command
+    /// that can never be applied (wrong split length, wrong group or
+    /// table count) so the caller's bug surfaces at the send site.
+    pub fn send(&self, cmd: Reconfigure) -> Result<()> {
+        match &cmd {
+            Reconfigure::SetThreadSplit(split) => {
+                if split.len() != self.inner.num_groups {
+                    return Err(Error::Config(format!(
+                        "thread split has {} slots for {} groups",
+                        split.len(),
+                        self.inner.num_groups
+                    )));
+                }
+            }
+            Reconfigure::Regroup(g) => {
+                if g.num_groups() != self.inner.num_groups {
+                    return Err(Error::Config(format!(
+                        "regroup has {} groups, engine is sized for {}",
+                        g.num_groups(),
+                        self.inner.num_groups
+                    )));
+                }
+                if g.num_tables() != self.inner.num_tables {
+                    return Err(Error::Config(format!(
+                        "regroup covers {} tables, engine replays {}",
+                        g.num_tables(),
+                        self.inner.num_tables
+                    )));
+                }
+            }
+        }
+        self.inner.queue.lock().push_back(cmd);
+        Ok(())
+    }
+
+    /// Commands applied so far (rejected commands excluded). Lets a
+    /// controller confirm a command took effect before planning atop it.
+    pub fn applied(&self) -> u64 {
+        self.inner.applied.load(Ordering::Acquire)
+    }
+
+    /// Commands queued but not yet drained by an epoch boundary.
+    pub fn pending(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+}
+
+/// The grouping (and pinned split) an epoch is dispatched *and* replayed
+/// under. Captured once per epoch when the dispatching side drains the
+/// reconfiguration queue, and shipped through the pipeline channel with
+/// the dispatched work so both halves of the datapath always agree —
+/// epoch `e+1` may be dispatched under a newer grouping while epoch `e`
+/// is still replaying under the old one.
+#[derive(Clone)]
+struct EpochPlan {
+    /// Grouping generation; the consumer side publishes it to the
+    /// visibility board before replaying the first epoch planned under
+    /// it (at that point the previous epoch is fully replayed, so every
+    /// healthy watermark covers the whole database).
+    gen: u64,
+    grouping: Arc<TableGrouping>,
+    split: Option<Vec<usize>>,
+    regroups: u64,
+    resplits: u64,
+    rejected: u64,
 }
 
 /// Converts a contained panic payload into a typed replay error, so a
@@ -188,6 +310,9 @@ struct EngineStats {
     ingest_bps: Gauge,
     cell_recycled: Counter,
     cell_allocated: Counter,
+    regroups: Counter,
+    resplits: Counter,
+    reconf_rejected: Counter,
 }
 
 impl EngineStats {
@@ -211,15 +336,29 @@ impl EngineStats {
             ingest_bps: reg.gauge(names::INGEST_BYTES_PER_SEC),
             cell_recycled: reg.counter(names::CELL_RECYCLED),
             cell_allocated: reg.counter(names::CELL_ALLOCATED),
+            regroups: reg.counter(names::ADAPT_REGROUPS),
+            resplits: reg.counter(names::ADAPT_RESPLITS),
+            reconf_rejected: reg.counter(names::ADAPT_REJECTED),
         }
     }
+}
+
+/// The engine's current grouping, paired with the generation it was
+/// installed under so admission gids can carry their provenance.
+#[derive(Debug)]
+struct VersionedGrouping {
+    gen: u64,
+    grouping: Arc<TableGrouping>,
 }
 
 /// The AETS replay engine.
 #[derive(Debug)]
 pub struct AetsEngine {
     cfg: AetsConfig,
-    grouping: TableGrouping,
+    grouping: RwLock<VersionedGrouping>,
+    /// A `SetThreadSplit` pin; `None` restores the per-epoch solver.
+    pinned_split: Mutex<Option<Vec<usize>>>,
+    reconf: ReconfigureHandle,
     quarantine: Quarantine,
     telemetry: Arc<Telemetry>,
     stats: EngineStats,
@@ -260,7 +399,16 @@ impl AetsEngineBuilder {
         let telemetry = self.telemetry.unwrap_or_else(|| Arc::new(Telemetry::disabled()));
         let quarantine = Quarantine::new(self.grouping.num_groups());
         let stats = EngineStats::new(&telemetry);
-        Ok(AetsEngine { cfg: self.cfg, grouping: self.grouping, quarantine, telemetry, stats })
+        let reconf = ReconfigureHandle::new(self.grouping.num_groups(), self.grouping.num_tables());
+        Ok(AetsEngine {
+            cfg: self.cfg,
+            grouping: RwLock::new(VersionedGrouping { gen: 0, grouping: Arc::new(self.grouping) }),
+            pinned_split: Mutex::new(None),
+            reconf,
+            quarantine,
+            telemetry,
+            stats,
+        })
     }
 }
 
@@ -297,9 +445,102 @@ impl AetsEngine {
         Ok(eng)
     }
 
-    /// The engine's table grouping.
-    pub fn grouping(&self) -> &TableGrouping {
-        &self.grouping
+    /// A snapshot of the engine's current table grouping. Live
+    /// reconfiguration means the grouping can change between calls; a
+    /// caller that maps tables to groups for admission must pair the
+    /// snapshot with its generation via
+    /// [`AetsEngine::grouping_versioned`].
+    pub fn grouping(&self) -> Arc<TableGrouping> {
+        self.grouping.read().grouping.clone()
+    }
+
+    /// The current grouping together with the generation it was
+    /// installed under, read atomically. Admission gids computed from
+    /// the snapshot should be waited on with
+    /// [`crate::VisibilityBoard::wait_admission_at`] carrying this
+    /// generation: if a regroup lands in between, the stale generation
+    /// demotes the wait to the (always-correct) global-watermark path.
+    pub fn grouping_versioned(&self) -> (u64, Arc<TableGrouping>) {
+        let g = self.grouping.read();
+        (g.gen, g.grouping.clone())
+    }
+
+    /// The generation of the currently installed grouping (0 until the
+    /// first live regroup).
+    pub fn grouping_gen(&self) -> u64 {
+        self.grouping.read().gen
+    }
+
+    /// The sender half of the engine's live reconfiguration channel.
+    pub fn reconfigure_handle(&self) -> ReconfigureHandle {
+        self.reconf.clone()
+    }
+
+    /// Drains the reconfiguration queue at an epoch boundary and returns
+    /// the plan — grouping, generation, pinned split — the next epoch is
+    /// dispatched and replayed under. Runs on the dispatching side of
+    /// the datapath, which is the only place a grouping swap is safe:
+    /// between epochs no commit queue holds work and every healthy
+    /// watermark sits at the previous epoch's `max_commit_ts`.
+    fn apply_pending(&self, at_seq: u64) -> EpochPlan {
+        let drained: Vec<Reconfigure> = {
+            let mut q = self.reconf.inner.queue.lock();
+            if q.is_empty() {
+                Vec::new()
+            } else {
+                q.drain(..).collect()
+            }
+        };
+        let (mut regroups, mut resplits, mut rejected) = (0u64, 0u64, 0u64);
+        for cmd in drained {
+            match cmd {
+                Reconfigure::SetThreadSplit(split) => {
+                    self.telemetry.event(EventKind::ThreadSplit { at_seq, split: split.clone() });
+                    *self.pinned_split.lock() = Some(split);
+                    resplits += 1;
+                }
+                Reconfigure::Regroup(g) => {
+                    if self.quarantine.any() {
+                        // Dropped, not deferred: the controller re-plans
+                        // from fresh telemetry every window, so a stale
+                        // plan must not fire when quarantine lifts.
+                        rejected += 1;
+                        continue;
+                    }
+                    let mut cur = self.grouping.write();
+                    let moved = (0..g.num_tables())
+                        .map(|t| TableId::new(t as u32))
+                        .filter(|&t| g.group_of(t) != cur.grouping.group_of(t))
+                        .count();
+                    cur.gen += 1;
+                    cur.grouping = Arc::new(g);
+                    let groups = cur.grouping.num_groups();
+                    drop(cur);
+                    self.telemetry.event(EventKind::Regroup {
+                        at_seq,
+                        groups,
+                        moved_tables: moved,
+                    });
+                    regroups += 1;
+                }
+            }
+        }
+        if regroups + resplits + rejected > 0 {
+            self.telemetry.spans().point(at_seq, stages::RECONFIGURE, None, None);
+            self.reconf.inner.applied.fetch_add(regroups + resplits, Ordering::Release);
+            self.stats.regroups.add(regroups);
+            self.stats.resplits.add(resplits);
+            self.stats.reconf_rejected.add(rejected);
+        }
+        let cur = self.grouping.read();
+        EpochPlan {
+            gen: cur.gen,
+            grouping: cur.grouping.clone(),
+            split: self.pinned_split.lock().clone(),
+            regroups,
+            resplits,
+            rejected,
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -450,6 +691,7 @@ impl AetsEngine {
         eidx: usize,
         seq: u64,
         parent: Option<SpanId>,
+        plan: &EpochPlan,
         work: &DispatchedEpoch,
         pools: &[CellPool],
         db: &MemDb,
@@ -458,28 +700,44 @@ impl AetsEngine {
         commit_busy: &AtomicU64,
         m: &mut ReplayMetrics,
     ) -> Result<()> {
+        let grouping = &plan.grouping;
+        // The previous epoch is fully replayed (this loop is strictly
+        // in-order), so every healthy watermark covers the whole
+        // database: now is the safe moment to tell the board that gids
+        // computed under older groupings are stale. `fetch_max` makes
+        // replays of old plans harmless.
+        board.advance_grouping_gen(plan.gen);
+        m.regroups_applied += plan.regroups;
+        m.resplits_applied += plan.resplits;
+        m.reconf_rejected += plan.rejected;
+
         // Refresh group rates if a predictor drives them.
         let rates: Vec<f64> = match &self.cfg.rate_fn {
             Some(f) => f(eidx),
-            None => (0..self.grouping.num_groups() as u32)
-                .map(|g| self.grouping.rate(GroupId::new(g)))
-                .collect(),
+            None => {
+                (0..grouping.num_groups() as u32).map(|g| grouping.rate(GroupId::new(g))).collect()
+            }
         };
-        if rates.len() != self.grouping.num_groups() {
+        if rates.len() != grouping.num_groups() {
             return Err(Error::Config("rate_fn returned wrong length".into()));
         }
 
         let pending = work.pending_bytes();
-        let alloc = if self.cfg.adaptive {
+        let alloc = if let Some(split) = &plan.split {
+            // A live `SetThreadSplit` pins the allocation; the λ·n
+            // solver resumes when the pin is replaced or the controller
+            // clears it.
+            split.clone()
+        } else if self.cfg.adaptive {
             allocate_threads(self.cfg.threads, &pending, &rates, self.cfg.urgency)?
         } else {
             even_allocation(self.cfg.threads, &pending)
         };
 
         let stages: Vec<Vec<GroupId>> = if self.cfg.two_stage {
-            vec![self.grouping.hot_groups(), self.grouping.cold_groups()]
+            vec![grouping.hot_groups(), grouping.cold_groups()]
         } else {
-            vec![(0..self.grouping.num_groups() as u32).map(GroupId::new).collect()]
+            vec![(0..grouping.num_groups() as u32).map(GroupId::new).collect()]
         };
 
         // Quarantine set before the stages run, so newly poisoned groups
@@ -573,7 +831,10 @@ impl AetsEngine {
         db: &MemDb,
         board: &VisibilityBoard,
     ) -> Result<ReplayMetrics> {
-        if board.num_groups() != self.grouping.num_groups() {
+        // The group count is a construction-time invariant: live regroups
+        // move tables between groups but never change how many there are.
+        let num_groups = self.grouping.read().grouping.num_groups();
+        if board.num_groups() != num_groups {
             return Err(Error::Config("board group count mismatch".into()));
         }
         let start = Instant::now();
@@ -581,8 +842,7 @@ impl AetsEngine {
         let mut ingest = IngestStats::default();
         let replay_busy = AtomicU64::new(0);
         let commit_busy = AtomicU64::new(0);
-        let pools: Vec<CellPool> =
-            (0..self.grouping.num_groups()).map(|_| CellPool::new()).collect();
+        let pools: Vec<CellPool> = (0..num_groups).map(|_| CellPool::new()).collect();
         let first_seq = source.first_seq();
         let n = source.num_epochs();
 
@@ -592,13 +852,17 @@ impl AetsEngine {
             // against.
             for eidx in 0..n {
                 let seq = first_seq + eidx as u64;
+                // Epoch boundary: drain pending reconfigurations before
+                // this epoch is dispatched, so dispatch and replay see
+                // the same grouping.
+                let plan = self.apply_pending(seq);
                 let epoch = ingest_epoch(source, seq, &self.cfg.retry, &mut ingest)?;
                 let t_dispatch = Instant::now();
                 // The dispatch span roots the epoch's engine-side trace
                 // tree: every translate/commit/flip span below parents to
                 // it, so one epoch id pulls out the whole causal chain.
                 let dspan = self.telemetry.spans().begin(seq, stages::DISPATCH, None, None);
-                let work = dispatch_epoch(&epoch, &self.grouping)?;
+                let work = dispatch_epoch(&epoch, &plan.grouping)?;
                 let parent = dspan.map(|s| {
                     let id = s.id();
                     s.finish(self.telemetry.spans());
@@ -612,6 +876,7 @@ impl AetsEngine {
                     eidx,
                     seq,
                     parent,
+                    &plan,
                     &work,
                     &pools,
                     db,
@@ -638,11 +903,16 @@ impl AetsEngine {
             let mut result: Result<()> = Ok(());
             std::thread::scope(|scope| {
                 let (tx, rx) = crossbeam::channel::bounded(self.cfg.pipeline_depth);
-                let grouping = &self.grouping;
+                let engine = self;
                 let ring = self.telemetry.spans();
                 scope.spawn(move || {
                     for eidx in 0..n {
                         let seq = first_seq + eidx as u64;
+                        // Epoch boundary on the dispatching side: the plan
+                        // crosses the channel with the work, so epoch e+1
+                        // can be dispatched under a newer grouping while
+                        // epoch e still replays under the old one.
+                        let plan = engine.apply_pending(seq);
                         let mut stats = IngestStats::default();
                         let t_dispatch = Instant::now();
                         // The dispatch span is recorded on the dispatcher
@@ -653,10 +923,11 @@ impl AetsEngine {
                         // Contained so a dispatcher panic surfaces to the
                         // replay loop as an error instead of escaping
                         // through the scope join.
+                        let grouping = plan.grouping.clone();
                         let work = catch_unwind(AssertUnwindSafe(|| {
                             ingest_epoch(&mut *source, seq, &retry, &mut stats).and_then(|epoch| {
                                 let dspan = ring.begin(seq, stages::DISPATCH, None, None);
-                                let out = dispatch_epoch(&epoch, grouping);
+                                let out = dispatch_epoch(&epoch, &grouping);
                                 if out.is_ok() {
                                     parent = dspan.map(|s| {
                                         let id = s.id();
@@ -672,12 +943,14 @@ impl AetsEngine {
                         // A send error means the replay loop bailed out and
                         // dropped the receiver; a dispatch error is
                         // forwarded first, then the dispatcher stops.
-                        if tx.send((work, stats, t_dispatch.elapsed(), parent)).is_err() || stop {
+                        if tx.send((work, stats, t_dispatch.elapsed(), parent, plan)).is_err()
+                            || stop
+                        {
                             break;
                         }
                     }
                 });
-                for (eidx, (work, stats, dispatch_time, parent)) in rx.iter().enumerate() {
+                for (eidx, (work, stats, dispatch_time, parent, plan)) in rx.iter().enumerate() {
                     // Dispatcher busy time is now overlapped with replay;
                     // it still counts as busy time in the Table II
                     // breakdown, which measures work, not the critical
@@ -694,6 +967,7 @@ impl AetsEngine {
                             eidx,
                             seq,
                             parent,
+                            &plan,
                             &work,
                             &pools,
                             db,
@@ -890,7 +1164,7 @@ impl CommitQueue {
 
 impl ReplayEngine for AetsEngine {
     fn name(&self) -> &'static str {
-        if self.grouping.num_groups() == 1 && !self.cfg.two_stage {
+        if self.grouping.read().grouping.num_groups() == 1 && !self.cfg.two_stage {
             "tplr"
         } else {
             "aets"
@@ -898,11 +1172,24 @@ impl ReplayEngine for AetsEngine {
     }
 
     fn board_groups(&self) -> usize {
-        self.grouping.num_groups()
+        self.grouping.read().grouping.num_groups()
     }
 
     fn board_groups_for(&self, tables: &[TableId]) -> Vec<GroupId> {
-        self.grouping.groups_of(tables)
+        self.grouping.read().grouping.groups_of(tables)
+    }
+
+    fn board_groups_for_at(&self, tables: &[TableId]) -> (u64, Vec<GroupId>) {
+        let g = self.grouping.read();
+        (g.gen, g.grouping.groups_of(tables))
+    }
+
+    fn reconfigure(&self) -> Option<ReconfigureHandle> {
+        Some(self.reconf.clone())
+    }
+
+    fn current_grouping(&self) -> Option<Arc<TableGrouping>> {
+        Some(self.grouping())
     }
 
     fn replay(
@@ -1243,6 +1530,136 @@ mod tests {
             assert_eq!(board.tg_cmt_ts(GroupId::new(0)), epochs[2].max_commit_ts);
             assert!(db.all_chains_ordered());
         }
+    }
+
+    /// The two-group layout after a live regroup: table 1 moves from the
+    /// hot group 0 to the cold group 1. Same group and table counts.
+    fn regrouped_two_groups() -> TableGrouping {
+        let hot: FxHashSet<TableId> = [TableId::new(0)].into_iter().collect();
+        TableGrouping::new(
+            3,
+            vec![vec![TableId::new(0)], vec![TableId::new(1), TableId::new(2)]],
+            vec![10.0, 1.0],
+            &hot,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn live_regroup_matches_serial_oracle_and_bumps_generation() {
+        // Drive the engine one epoch per replay call (the realtime
+        // runner's shape) and regroup between epochs: the end state must
+        // stay byte-equivalent to the serial oracle, the board must learn
+        // the new generation, and the metrics must count the regroup.
+        for depth in [0usize, 2] {
+            let epochs = two_group_epochs();
+            let db_oracle = MemDb::new(3);
+            SerialEngine.replay_all(&epochs, &db_oracle).unwrap();
+
+            let eng = AetsEngine::builder(two_group_grouping())
+                .config(AetsConfig { threads: 2, pipeline_depth: depth, ..Default::default() })
+                .build()
+                .unwrap();
+            let db = MemDb::new(3);
+            let board = VisibilityBoard::builder(2).build();
+
+            eng.replay(&epochs[..1], &db, &board).unwrap();
+            assert_eq!(board.grouping_gen(), 0);
+
+            let handle = eng.reconfigure_handle();
+            handle.send(Reconfigure::Regroup(regrouped_two_groups())).unwrap();
+            assert_eq!(handle.pending(), 1);
+            let m = eng.replay(&epochs[1..], &db, &board).unwrap();
+            assert_eq!(m.regroups_applied, 1, "depth={depth}");
+            assert_eq!(handle.applied(), 1);
+            assert_eq!(handle.pending(), 0);
+            assert_eq!(eng.grouping_gen(), 1);
+            assert_eq!(board.grouping_gen(), 1, "depth={depth}");
+            // Table 1 now maps to group 1 under the installed grouping.
+            assert_eq!(eng.grouping().group_of(TableId::new(1)), GroupId::new(1));
+
+            assert!(db.all_chains_ordered());
+            assert_eq!(
+                db.digest_at(Timestamp::MAX),
+                db_oracle.digest_at(Timestamp::MAX),
+                "depth={depth}"
+            );
+            // All groups replayed everything: watermarks at the tail.
+            let last = epochs.last().unwrap().max_commit_ts;
+            assert_eq!(board.global_cmt_ts(), last);
+        }
+    }
+
+    #[test]
+    fn thread_split_pin_overrides_solver() {
+        let epochs = two_group_epochs();
+        let db_oracle = MemDb::new(3);
+        SerialEngine.replay_all(&epochs, &db_oracle).unwrap();
+
+        let eng = AetsEngine::builder(two_group_grouping())
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .build()
+            .unwrap();
+        eng.reconfigure_handle().send(Reconfigure::SetThreadSplit(vec![1, 1])).unwrap();
+        let db = MemDb::new(3);
+        let m = eng.replay_all(&epochs, &db).unwrap();
+        assert_eq!(m.resplits_applied, 1);
+        assert_eq!(db.digest_at(Timestamp::MAX), db_oracle.digest_at(Timestamp::MAX));
+    }
+
+    #[test]
+    fn regroup_rejected_while_quarantined() {
+        let mut epochs = two_group_epochs();
+        epochs[1] = corrupt_first_dml_of(&epochs[1], TableId::new(2));
+        let eng = AetsEngine::builder(two_group_grouping())
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .build()
+            .unwrap();
+        let db = MemDb::new(3);
+        let board = VisibilityBoard::builder(2).build();
+        let m = eng.replay(&epochs[..2], &db, &board).unwrap();
+        assert_eq!(m.quarantined_groups, vec![1]);
+
+        // A regroup while group 1's watermark is frozen must be dropped:
+        // moving tables would change what the freeze protects.
+        let handle = eng.reconfigure_handle();
+        handle.send(Reconfigure::Regroup(regrouped_two_groups())).unwrap();
+        let m = eng.replay(&epochs[2..], &db, &board).unwrap();
+        assert_eq!(m.reconf_rejected, 1);
+        assert_eq!(m.regroups_applied, 0);
+        assert_eq!(handle.applied(), 0);
+        assert_eq!(eng.grouping_gen(), 0);
+        assert_eq!(board.grouping_gen(), 0);
+        assert_eq!(eng.grouping().group_of(TableId::new(1)), GroupId::new(0));
+    }
+
+    #[test]
+    fn reconfigure_handle_validates_commands() {
+        let eng = AetsEngine::builder(two_group_grouping())
+            .config(AetsConfig { threads: 2, ..Default::default() })
+            .build()
+            .unwrap();
+        let handle = eng.reconfigure_handle();
+        // Wrong split arity.
+        assert!(handle.send(Reconfigure::SetThreadSplit(vec![1, 1, 1])).is_err());
+        // Wrong group count (engine is sized for 2 groups).
+        let hot: FxHashSet<TableId> = FxHashSet::default();
+        assert!(handle
+            .send(Reconfigure::Regroup(TableGrouping::per_table(3, &hot, |_| 1.0)))
+            .is_err());
+        // Wrong table count.
+        assert!(handle
+            .send(Reconfigure::Regroup(
+                TableGrouping::new(
+                    2,
+                    vec![vec![TableId::new(0)], vec![TableId::new(1)]],
+                    vec![1.0, 1.0],
+                    &hot,
+                )
+                .unwrap()
+            ))
+            .is_err());
+        assert_eq!(handle.pending(), 0);
     }
 
     #[test]

@@ -44,6 +44,33 @@ pub trait ReplayEngine: Send + Sync {
     /// Maps a query's table footprint to the board groups it must wait on.
     fn board_groups_for(&self, tables: &[TableId]) -> Vec<GroupId>;
 
+    /// [`ReplayEngine::board_groups_for`] paired with the grouping
+    /// generation the mapping was computed under, read atomically. Pass
+    /// the generation to
+    /// [`VisibilityBoard::wait_admission_at`] so a live
+    /// regroup landing in between demotes the wait to the always-correct
+    /// global-watermark path instead of trusting stale group indices.
+    /// Engines whose grouping never changes are always generation 0.
+    fn board_groups_for_at(&self, tables: &[TableId]) -> (u64, Vec<GroupId>) {
+        (0, self.board_groups_for(tables))
+    }
+
+    /// The engine's live reconfiguration channel, when it has one.
+    /// Controllers use this to apply new thread splits and groupings at
+    /// epoch boundaries; engines with a fixed datapath (the baselines)
+    /// return `None`.
+    fn reconfigure(&self) -> Option<aets::ReconfigureHandle> {
+        None
+    }
+
+    /// The engine's current table grouping, when it has one. A live
+    /// controller seeds itself from this (hot set, group count) before
+    /// planning changes through [`ReplayEngine::reconfigure`]; ungrouped
+    /// engines return `None`.
+    fn current_grouping(&self) -> Option<Arc<crate::grouping::TableGrouping>> {
+        None
+    }
+
     /// Replays the epoch stream into `db`, publishing visibility on
     /// `board`. `board` must have [`ReplayEngine::board_groups`] groups.
     fn replay(

@@ -96,18 +96,25 @@ impl TableGrouping {
     ///
     /// `eps` is the relative rate distance for DBSCAN (e.g. 0.25 groups
     /// tables within 25 % of each other).
+    ///
+    /// Errors on a NaN rate (the predictor handed back garbage) — the
+    /// caller decides whether to keep the previous grouping or abort,
+    /// rather than this panicking inside a replay thread.
     pub fn dbscan(
         num_tables: usize,
         hot_tables: &FxHashSet<TableId>,
         rate_of: impl Fn(TableId) -> f64,
         eps: f64,
-    ) -> Self {
+    ) -> Result<Self> {
         let mut hot: Vec<(TableId, f64)> = (0..num_tables as u32)
             .map(TableId::new)
             .filter(|t| hot_tables.contains(t))
             .map(|t| (t, rate_of(t)))
             .collect();
-        hot.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("rates are not NaN"));
+        if let Some((t, _)) = hot.iter().find(|(_, r)| r.is_nan()) {
+            return Err(Error::Config(format!("NaN access rate for {t}")));
+        }
+        hot.sort_by(|a, b| a.1.total_cmp(&b.1));
         let labels = dbscan_1d(&hot.iter().map(|(_, r)| r.ln_1p()).collect::<Vec<_>>(), eps, 1);
         let num_clusters = labels.iter().flatten().copied().max().map_or(0, |m| m + 1);
         let mut groups: Vec<Vec<TableId>> = vec![Vec::new(); num_clusters];
@@ -134,12 +141,17 @@ impl TableGrouping {
             groups.push(cold);
             rates.push(0.0);
         }
-        Self::new(num_tables, groups, rates, hot_tables).expect("dbscan grouping is valid")
+        Self::new(num_tables, groups, rates, hot_tables)
     }
 
     /// Number of groups.
     pub fn num_groups(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Number of tables this grouping partitions.
+    pub fn num_tables(&self) -> usize {
+        self.table_to_group.len()
     }
 
     /// Group of `table`.
@@ -380,7 +392,8 @@ mod tests {
         // Tables 0-2 hot with similar rates, 3 hot with a very different
         // rate, 4-5 cold.
         let rates = [10.0, 11.0, 10.5, 500.0, 0.0, 0.0];
-        let g = TableGrouping::dbscan(6, &hotset(&[0, 1, 2, 3]), |t| rates[t.index()], 0.3);
+        let g =
+            TableGrouping::dbscan(6, &hotset(&[0, 1, 2, 3]), |t| rates[t.index()], 0.3).unwrap();
         // Expect: one cluster {0,1,2}, one {3}, one cold {4,5}.
         assert_eq!(g.num_groups(), 3);
         assert_eq!(g.group_of(TableId::new(0)), g.group_of(TableId::new(2)));

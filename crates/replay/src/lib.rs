@@ -33,23 +33,27 @@
 
 pub mod alloc;
 pub mod checkpoint;
+pub mod control;
 pub mod dispatch;
 pub mod engines;
 pub mod grouping;
 pub mod metrics;
+pub mod options;
 pub mod recovery;
 pub mod runner;
 pub mod service;
+pub mod target;
 pub mod visibility;
 
 pub use alloc::{allocate_threads, UrgencyMode};
 pub use checkpoint::{Checkpoint, CheckpointMeta, CheckpointStore};
+pub use control::{plan_grouping, AdaptiveController, ControllerConfig};
 pub use dispatch::{
     dispatch_epoch, ingest_epoch, DispatchedEpoch, GroupWork, IngestStats, MiniTxn, RetryPolicy,
 };
 #[doc(hidden)]
 pub use engines::aets::CommitQueue;
-pub use engines::aets::{AetsConfig, AetsEngine, RateFn};
+pub use engines::aets::{AetsConfig, AetsEngine, RateFn, Reconfigure, ReconfigureHandle};
 pub use engines::atr::AtrEngine;
 pub use engines::c5::C5Engine;
 pub use engines::pool::CellPool;
@@ -57,10 +61,12 @@ pub use engines::serial::SerialEngine;
 pub use engines::{apply_entry, commit_cell, translate_entry, Cell, ReplayEngine};
 pub use grouping::{dbscan_1d, TableGrouping};
 pub use metrics::ReplayMetrics;
+pub use options::{ServiceOptions, ServiceOptionsBuilder};
 pub use recovery::{DurableBackup, DurableOptions, RecoveryReport};
 pub use runner::{run_realtime, RunnerConfig, RunnerOutcome, RunnerQuery, Workload};
 pub use service::{
     AdmissionMode, BackupNode, BackupNodeBuilder, NodeOptions, OutputKind, QueryHandle,
     QueryOutput, QuerySpec, ReadSession,
 };
+pub use target::{eval_spec, QueryTarget};
 pub use visibility::{VisibilityBoard, VisibilityBoardBuilder, WaitOutcome};

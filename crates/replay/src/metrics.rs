@@ -99,6 +99,14 @@ pub struct ReplayMetrics {
     pub net_epochs_deduped: u64,
     /// Transport: frames rejected at decode (each tears a session down).
     pub net_frame_errors: u64,
+    /// Adaptive control: `Regroup` commands applied at epoch boundaries.
+    pub regroups_applied: u64,
+    /// Adaptive control: `SetThreadSplit` commands applied at epoch
+    /// boundaries.
+    pub resplits_applied: u64,
+    /// Adaptive control: reconfigure commands dropped at the boundary
+    /// (e.g. a regroup refused while a group is quarantined).
+    pub reconf_rejected: u64,
 }
 
 impl ReplayMetrics {
@@ -181,6 +189,9 @@ impl ReplayMetrics {
         self.net_epochs_shipped += other.net_epochs_shipped;
         self.net_epochs_deduped += other.net_epochs_deduped;
         self.net_frame_errors += other.net_frame_errors;
+        self.regroups_applied += other.regroups_applied;
+        self.resplits_applied += other.resplits_applied;
+        self.reconf_rejected += other.reconf_rejected;
     }
 
     /// Rebuilds the counter view of a run from a telemetry registry
@@ -238,6 +249,9 @@ impl ReplayMetrics {
             net_epochs_shipped: snap.counter_total(names::NET_EPOCHS_SHIPPED),
             net_epochs_deduped: snap.counter_total(names::NET_EPOCHS_DEDUPED),
             net_frame_errors: snap.counter_total(names::NET_FRAME_ERRORS),
+            regroups_applied: snap.counter_total(names::ADAPT_REGROUPS),
+            resplits_applied: snap.counter_total(names::ADAPT_RESPLITS),
+            reconf_rejected: snap.counter_total(names::ADAPT_REJECTED),
             ..Default::default()
         }
     }

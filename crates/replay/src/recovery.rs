@@ -20,10 +20,12 @@
 //! way through [`VisibilityBoard::gc_watermark`].
 
 use crate::checkpoint::{CheckpointMeta, CheckpointStore};
+use crate::control::AdaptiveController;
 use crate::dispatch::{ingest_epoch, IngestStats, RetryPolicy};
 use crate::engines::aets::AetsEngine;
 use crate::engines::ReplayEngine;
 use crate::metrics::ReplayMetrics;
+use crate::options::ServiceOptions;
 use crate::service::{board_health, BackupNode, NodeOptions};
 use crate::visibility::VisibilityBoard;
 use aets_common::{Error, GroupId, Result, Timestamp};
@@ -56,16 +58,25 @@ pub struct DurableOptions {
     pub gc_before_checkpoint: bool,
     /// Bind address of the node's live observability endpoint
     /// (`/metrics`, `/spans.json`, `/healthz`, …); `None` serves no HTTP.
+    #[deprecated(note = "set `service.obs_addr` (ServiceOptions::builder().obs_addr(..)) instead")]
     pub obs_addr: Option<String>,
     /// Directory for degraded-mode flight-recorder bundles: every
     /// anomaly event (quarantine, failover, resync) dumps a bounded JSON
     /// bundle of recent spans + events + the metrics snapshot there.
     /// `None` disables the recorder.
+    #[deprecated(
+        note = "set `service.flight_dir` (ServiceOptions::builder().flight_dir(..)) instead"
+    )]
     pub flight_dir: Option<PathBuf>,
+    /// Consolidated service-layer knobs shared with the query node and
+    /// the fleet: telemetry handle, observability endpoint, flight
+    /// recorder, retry policy, and the adaptive control loop.
+    pub service: ServiceOptions,
 }
 
 impl Default for DurableOptions {
     fn default() -> Self {
+        #[allow(deprecated)]
         Self {
             checkpoint_every: 32,
             keep_checkpoints: 2,
@@ -73,7 +84,24 @@ impl Default for DurableOptions {
             gc_before_checkpoint: true,
             obs_addr: None,
             flight_dir: None,
+            service: ServiceOptions::default(),
         }
+    }
+}
+
+impl DurableOptions {
+    /// Effective observability bind address: the consolidated
+    /// [`ServiceOptions::obs_addr`] wins; the deprecated per-struct field
+    /// is honoured when the new one is unset.
+    pub fn effective_obs_addr(&self) -> Option<&str> {
+        #[allow(deprecated)]
+        self.service.obs_addr.as_deref().or(self.obs_addr.as_deref())
+    }
+
+    /// Effective flight-recorder directory, resolved the same way.
+    pub fn effective_flight_dir(&self) -> Option<&std::path::Path> {
+        #[allow(deprecated)]
+        self.service.flight_dir.as_deref().or(self.flight_dir.as_deref())
     }
 }
 
@@ -126,6 +154,10 @@ pub struct DurableBackup {
     /// The live observability endpoint, when `opts.obs_addr` asked for
     /// one; dropped (and unbound) with the node.
     obs: Option<ObsServer>,
+    /// Live forecast-driven controller, when
+    /// [`ServiceOptions::controller`] asked for one; ticked once per
+    /// ingested epoch.
+    controller: Option<AdaptiveController>,
 }
 
 impl DurableBackup {
@@ -157,7 +189,7 @@ impl DurableBackup {
         // The flight recorder arms before anything replays, so an
         // anomaly during the recovery suffix itself already dumps a
         // bundle.
-        if let Some(dir) = &opts.flight_dir {
+        if let Some(dir) = opts.effective_flight_dir() {
             let recorder = FlightRecorder::create(FlightRecorderConfig::new(dir))
                 .map_err(|e| Error::Io(format!("flight recorder at {}: {e}", dir.display())))?;
             telemetry.set_flight_recorder(Some(recorder));
@@ -238,11 +270,23 @@ impl DurableBackup {
             suffix_epochs,
             recovery_wall: t0.elapsed(),
         };
-        let obs = match &opts.obs_addr {
+        let obs = match opts.effective_obs_addr() {
             Some(addr) => Some(
                 ObsServer::bind(addr, telemetry.clone(), board_health(&board))
                     .map_err(|e| Error::Io(format!("bind obs endpoint {addr}: {e}")))?,
             ),
+            None => None,
+        };
+        // The controller samples the registry the serving layer records
+        // `aets_table_access_total` into — the engine's own instance, so
+        // a node started via `serve` feeds it automatically.
+        let controller = match &opts.service.controller {
+            Some(cfg) => Some(AdaptiveController::new(
+                cfg.clone(),
+                engine.reconfigure_handle(),
+                engine.grouping(),
+                telemetry.clone(),
+            )?),
             None => None,
         };
         let mut node = Self {
@@ -261,6 +305,7 @@ impl DurableBackup {
             telemetry,
             primary_watermark,
             obs,
+            controller,
         };
         // If the replayed suffix already spans a full cadence the
         // checkpoint is overdue: cut it now, before any new ingest, so a
@@ -310,6 +355,11 @@ impl DurableBackup {
         }
         self.metrics.absorb(&m);
         self.next_seq = epoch.id.raw() + 1;
+        if let Some(ctl) = &mut self.controller {
+            // A planning error (e.g. a degenerate clustering) keeps the
+            // current plan; the ingest itself already succeeded.
+            let _ = ctl.on_epoch();
+        }
 
         if self.opts.checkpoint_every > 0
             && self.next_seq - self.last_ckpt_seq >= self.opts.checkpoint_every
@@ -488,6 +538,12 @@ impl DurableBackup {
     /// `next_epoch_seq` of the last durable checkpoint.
     pub fn last_checkpoint_seq(&self) -> u64 {
         self.last_ckpt_seq
+    }
+
+    /// Complete control windows the adaptive controller has observed;
+    /// `None` when [`ServiceOptions::controller`] was unset.
+    pub fn adaptive_windows(&self) -> Option<usize> {
+        self.controller.as_ref().map(AdaptiveController::windows_observed)
     }
 
     /// Bound address of the live observability endpoint, when

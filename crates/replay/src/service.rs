@@ -26,15 +26,17 @@
 //! overloaded / refused / cancelled counters, and session open/close
 //! events.
 
+use crate::control::AdaptiveController;
 use crate::engines::ReplayEngine;
 use crate::metrics::ReplayMetrics;
+use crate::options::ServiceOptions;
 use crate::visibility::{VisibilityBoard, WaitOutcome};
 use aets_common::{Error, GroupId, Result, Row, RowKey, TableId, Timestamp};
 use aets_memtable::{gc_db, Aggregate, Filter, FloorTicket, GcStats, MemDb, QueryFloor, Scan};
 use aets_telemetry::trace::stages;
 use aets_telemetry::{
-    names, ClockFn, Counter, EventKind, Gauge, HealthFn, HealthReport, Histogram, ObsServer,
-    Telemetry,
+    names, table_label, ClockFn, Counter, EventKind, FlightRecorder, FlightRecorderConfig, Gauge,
+    HealthFn, HealthReport, Histogram, ObsServer, Telemetry,
 };
 use aets_wal::EncodedEpoch;
 use parking_lot::{Condvar, Mutex};
@@ -78,11 +80,17 @@ pub struct NodeOptions {
     /// `/metrics`, `/snapshot.json`, `/spans.json`, `/events.json`, and a
     /// `/healthz` that reports 503 with the quarantined groups while the
     /// node is degraded.
+    #[deprecated(note = "set `service.obs_addr` (ServiceOptions::builder().obs_addr(..)) instead")]
     pub obs_addr: Option<String>,
+    /// Consolidated service-layer knobs shared with the durable backup
+    /// and the fleet: telemetry handle, observability endpoint, flight
+    /// recorder, retry policy, and the adaptive control loop.
+    pub service: ServiceOptions,
 }
 
 impl Default for NodeOptions {
     fn default() -> Self {
+        #[allow(deprecated)]
         Self {
             query_workers: 4,
             queue_depth: 64,
@@ -90,7 +98,18 @@ impl Default for NodeOptions {
             admission: AdmissionMode::EventDriven,
             poll_interval: Duration::from_millis(2),
             obs_addr: None,
+            service: ServiceOptions::default(),
         }
+    }
+}
+
+impl NodeOptions {
+    /// Effective observability bind address: the consolidated
+    /// [`ServiceOptions::obs_addr`] wins; the deprecated per-struct field
+    /// is honoured when the new one is unset.
+    pub fn effective_obs_addr(&self) -> Option<&str> {
+        #[allow(deprecated)]
+        self.service.obs_addr.as_deref().or(self.obs_addr.as_deref())
     }
 }
 
@@ -219,6 +238,9 @@ impl QueryHandle {
 /// One submission travelling through the admission queue to a worker.
 struct Job {
     gids: Vec<GroupId>,
+    /// Grouping generation `gids` was computed under; a live regroup in
+    /// flight demotes the admission wait to the global-watermark path.
+    gen: u64,
     qts: Timestamp,
     spec: QuerySpec,
     enqueued: Instant,
@@ -303,12 +325,19 @@ struct ServiceStats {
     sessions_active: Gauge,
     gc_passes: Counter,
     gc_pruned: Counter,
+    /// Per-table `aets_table_access_total` counters, indexed by table id;
+    /// bumped once per footprint table at session open. This is the
+    /// signal the adaptive controller samples into its rate tracker.
+    table_access: Vec<Counter>,
 }
 
 impl ServiceStats {
-    fn new(tel: &Telemetry) -> Self {
+    fn new(tel: &Telemetry, num_tables: usize) -> Self {
         let reg = tel.registry();
         Self {
+            table_access: (0..num_tables)
+                .map(|t| reg.counter_with(names::TABLE_ACCESS, table_label(t)))
+                .collect(),
             latency: reg.histogram(names::QUERY_LATENCY_US),
             queue_wait: reg.histogram(names::QUERY_QUEUE_WAIT_US),
             admission_wait: reg.histogram(names::QUERY_ADMISSION_WAIT_US),
@@ -443,8 +472,14 @@ impl BackupNodeBuilder {
         };
         let telemetry = self
             .telemetry
+            .or_else(|| self.opts.service.telemetry.clone())
             .or_else(|| engine.telemetry_handle())
             .unwrap_or_else(|| Arc::new(Telemetry::disabled()));
+        if let Some(dir) = &self.opts.service.flight_dir {
+            let recorder = FlightRecorder::create(FlightRecorderConfig::new(dir))
+                .map_err(|e| Error::Io(format!("flight recorder at {}: {e}", dir.display())))?;
+            telemetry.set_flight_recorder(Some(recorder));
+        }
         let board = match self.board {
             Some(b) => {
                 if b.num_groups() != engine.board_groups() {
@@ -462,7 +497,22 @@ impl BackupNodeBuilder {
             }
         };
         let floor = self.floor.unwrap_or_else(|| Arc::new(QueryFloor::new()));
-        let stats = Arc::new(ServiceStats::new(&telemetry));
+        let stats = Arc::new(ServiceStats::new(&telemetry, db.num_tables()));
+        // The adaptive loop needs both a reconfiguration channel and a
+        // live grouping to plan against; engines with a fixed datapath
+        // (the baselines) simply run without one.
+        let controller = match &self.opts.service.controller {
+            Some(cfg) => match (engine.reconfigure(), engine.current_grouping()) {
+                (Some(handle), Some(grouping)) => Some(Mutex::new(AdaptiveController::new(
+                    cfg.clone(),
+                    handle,
+                    grouping,
+                    telemetry.clone(),
+                )?)),
+                _ => None,
+            },
+            None => None,
+        };
         let queue = Arc::new(AdmissionQueue::new(self.opts.queue_depth));
         let workers = (0..self.opts.query_workers)
             .map(|i| {
@@ -483,7 +533,7 @@ impl BackupNodeBuilder {
             .collect::<Result<Vec<_>>>()?;
         // Mounted last; a bind failure must drain the already-spawned
         // worker pool before surfacing (no node exists yet to Drop).
-        let obs = match &self.opts.obs_addr {
+        let obs = match self.opts.effective_obs_addr() {
             Some(addr) => match ObsServer::bind(addr, telemetry.clone(), board_health(&board)) {
                 Ok(srv) => Some(srv),
                 Err(e) => {
@@ -507,6 +557,7 @@ impl BackupNodeBuilder {
             queue,
             workers,
             obs,
+            controller,
         })
     }
 }
@@ -527,6 +578,10 @@ pub struct BackupNode {
     queue: Arc<AdmissionQueue>,
     workers: Vec<JoinHandle<()>>,
     obs: Option<ObsServer>,
+    /// Live forecast-driven controller, when [`ServiceOptions::controller`]
+    /// asked for one and the engine is reconfigurable; ticked once per
+    /// replayed epoch.
+    controller: Option<Mutex<AdaptiveController>>,
 }
 
 impl std::fmt::Debug for BackupNode {
@@ -546,20 +601,44 @@ impl BackupNode {
     }
 
     /// Opens a snapshot read session at `qts` over `tables`, pinning
-    /// `qts` into the GC floor until the session drops.
+    /// `qts` into the GC floor until the session drops. Each footprint
+    /// table bumps its `aets_table_access_total` counter — the signal the
+    /// adaptive controller forecasts from.
     pub fn open_session(&self, qts: Timestamp, tables: &[TableId]) -> ReadSession<'_> {
         let gids = self.engine.board_groups_for(tables);
+        for t in tables {
+            if let Some(c) = self.stats.table_access.get(t.index()) {
+                c.inc();
+            }
+        }
         let ticket = self.floor.pin(qts);
         self.stats.sessions_opened.inc();
         self.stats.sessions_active.add(1);
         self.telemetry.event(EventKind::SessionOpened { qts_us: qts.as_micros() });
-        ReadSession { node: self, qts, gids, ticket }
+        ReadSession { node: self, qts, tables: tables.to_vec(), gids, ticket }
     }
 
     /// Feeds epochs to the replay engine, publishing visibility on the
     /// node's board (and waking admission waiters as watermarks advance).
+    /// With an adaptive controller configured, the control loop ticks
+    /// once per epoch after the batch replays.
     pub fn replay(&self, epochs: &[EncodedEpoch]) -> Result<ReplayMetrics> {
-        self.engine.replay(epochs, &self.db, &self.board)
+        let m = self.engine.replay(epochs, &self.db, &self.board)?;
+        if let Some(ctl) = &self.controller {
+            let mut ctl = ctl.lock();
+            for _ in 0..epochs.len() {
+                // A planning error (e.g. a degenerate clustering) keeps
+                // the current plan; the replay itself already succeeded.
+                let _ = ctl.on_epoch();
+            }
+        }
+        Ok(m)
+    }
+
+    /// Complete control windows the node's adaptive controller has
+    /// observed; `None` when no controller runs.
+    pub fn adaptive_windows(&self) -> Option<usize> {
+        self.controller.as_ref().map(|c| c.lock().windows_observed())
     }
 
     /// Runs one version-chain GC pass at the safe watermark: the oldest
@@ -643,10 +722,18 @@ impl Drop for BackupNode {
 /// Holds the GC floor at its `qts` for its lifetime; drop releases the
 /// pin. Queries submitted through the session read the MVCC snapshot at
 /// exactly `qts` once Algorithm 3 admits it.
+///
+/// The session's table footprint is re-resolved to board groups under
+/// the engine's *live* grouping at every wait and submission, tagged
+/// with the grouping generation it was resolved under. A live regroup
+/// racing the wait can therefore only make the resolution stale — which
+/// demotes admission to the always-correct global-watermark path — never
+/// wrongly fresh.
 #[derive(Debug)]
 pub struct ReadSession<'a> {
     node: &'a BackupNode,
     qts: Timestamp,
+    tables: Vec<TableId>,
     gids: Vec<GroupId>,
     ticket: FloorTicket,
 }
@@ -657,7 +744,8 @@ impl ReadSession<'_> {
         self.qts
     }
 
-    /// Board groups the session waits on.
+    /// Board groups the session's footprint mapped to when it opened
+    /// (later waits re-resolve against the live grouping).
     pub fn groups(&self) -> &[GroupId] {
         &self.gids
     }
@@ -676,12 +764,16 @@ impl ReadSession<'_> {
         // one whose visibility flip this wait is gated on).
         let ring = self.node.telemetry.spans();
         let span = ring.begin(ring.epoch_hint().unwrap_or(0), stages::QUERY_ADMISSION, None, None);
+        // Fresh resolution per wait: the footprint maps to groups under
+        // the engine's current grouping, generation-tagged for the board.
+        let (gen, gids) = self.node.engine.board_groups_for_at(&self.tables);
         let outcome = match self.node.opts.admission {
             AdmissionMode::EventDriven => {
-                self.node.board.wait_admission(&self.gids, self.qts, timeout)
+                self.node.board.wait_admission_at(&gids, gen, self.qts, timeout)
             }
-            AdmissionMode::SleepPoll => self.node.board.wait_admission_polling(
-                &self.gids,
+            AdmissionMode::SleepPoll => self.node.board.wait_admission_polling_at(
+                &gids,
+                gen,
                 self.qts,
                 timeout,
                 self.node.opts.poll_interval,
@@ -712,8 +804,10 @@ impl ReadSession<'_> {
         let (tx, rx) = mpsc::channel();
         let cancel = Arc::new(AtomicBool::new(false));
         let now = Instant::now();
+        let (gen, gids) = self.node.engine.board_groups_for_at(&self.tables);
         let job = Job {
-            gids: self.gids.clone(),
+            gids,
+            gen,
             qts: self.qts,
             spec,
             enqueued: now,
@@ -801,10 +895,16 @@ fn serve_one(ctx: &WorkerCtx, job: &Job) -> Result<QueryOutput> {
         }
         let slice = (job.deadline - now).min(SHUTDOWN_SLICE);
         let o = match ctx.admission {
-            AdmissionMode::EventDriven => ctx.board.wait_admission(&job.gids, job.qts, slice),
-            AdmissionMode::SleepPoll => {
-                ctx.board.wait_admission_polling(&job.gids, job.qts, slice, ctx.poll_interval)
+            AdmissionMode::EventDriven => {
+                ctx.board.wait_admission_at(&job.gids, job.gen, job.qts, slice)
             }
+            AdmissionMode::SleepPoll => ctx.board.wait_admission_polling_at(
+                &job.gids,
+                job.gen,
+                job.qts,
+                slice,
+                ctx.poll_interval,
+            ),
         };
         match o {
             WaitOutcome::TimedOut => {

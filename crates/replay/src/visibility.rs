@@ -61,6 +61,10 @@ pub enum WaitOutcome {
 struct WaitCell {
     qts: u64,
     gids: Vec<usize>,
+    /// Grouping generation the waiter's `gids` were computed under. When
+    /// it trails the board's, the per-group shortcut is disabled for this
+    /// waiter (see [`VisibilityBoard::wait_admission_at`]).
+    gen: u64,
     thread: Thread,
 }
 
@@ -105,6 +109,7 @@ impl VisibilityBoardBuilder {
             groups: (0..self.num_groups).map(|_| AtomicU64::new(0)).collect(),
             quarantined: (0..self.num_groups).map(|_| AtomicBool::new(false)).collect(),
             global: AtomicU64::new(0),
+            grouping_gen: AtomicU64::new(0),
             n_waiters: AtomicUsize::new(0),
             waiters: Mutex::new(Vec::new()),
             tel: self.tel,
@@ -119,6 +124,11 @@ pub struct VisibilityBoard {
     groups: Vec<AtomicU64>,
     quarantined: Vec<AtomicBool>,
     global: AtomicU64,
+    /// Generation of the table grouping the group watermarks are indexed
+    /// by; the engine bumps it when it applies a live `Regroup` at an
+    /// epoch boundary. Admission checks carrying an older generation fall
+    /// back to the global watermark only (their `gids` may be stale).
+    grouping_gen: AtomicU64,
     n_waiters: AtomicUsize,
     waiters: Mutex<Vec<Arc<WaitCell>>>,
     tel: Option<BoardTelemetry>,
@@ -206,10 +216,29 @@ impl VisibilityBoard {
         let waiters = self.waiters.lock();
         for cell in waiters.iter() {
             let qts = Timestamp::from_micros(cell.qts);
-            if self.is_visible_idx(&cell.gids, qts) || self.is_hopeless_idx(&cell.gids, qts) {
+            if self.is_visible_cell(&cell.gids, cell.gen, qts)
+                || self.is_hopeless_cell(&cell.gids, cell.gen, qts)
+            {
                 cell.thread.unpark();
             }
         }
+    }
+
+    /// The grouping generation the board currently trusts per-group
+    /// admission against. Starts at 0; the engine advances it when a live
+    /// `Regroup` takes effect.
+    pub fn grouping_gen(&self) -> u64 {
+        self.grouping_gen.load(Ordering::Acquire)
+    }
+
+    /// Records that the engine applied a regroup: admission checks whose
+    /// `gids` were computed under an older generation lose the per-group
+    /// shortcut and admit via `global_cmt_ts` only (always correct, since
+    /// the global only advances when every group has fully replayed the
+    /// epoch). Monotone; waiters are re-evaluated because the predicate
+    /// narrows for stale cells.
+    pub fn advance_grouping_gen(&self, gen: u64) {
+        self.grouping_gen.fetch_max(gen, Ordering::Release);
     }
 
     /// Current `tg_cmt_ts` of `g`.
@@ -239,6 +268,18 @@ impl VisibilityBoard {
         min >= qts.as_micros() || self.global.load(Ordering::Acquire) >= qts.as_micros()
     }
 
+    /// Generation-aware visibility: a cell whose `gids` predate the
+    /// current grouping may only be admitted by the global watermark —
+    /// after a regroup its group indices can name groups that no longer
+    /// own its tables, so the per-group minimum proves nothing.
+    fn is_visible_cell(&self, gids: &[usize], gen: u64, qts: Timestamp) -> bool {
+        if gen == self.grouping_gen.load(Ordering::Acquire) {
+            self.is_visible_idx(gids, qts)
+        } else {
+            self.global.load(Ordering::Acquire) >= qts.as_micros()
+        }
+    }
+
     /// A wait at `qts` over `gids` (board indices) is hopeless when some
     /// needed group is quarantined with its frozen watermark below `qts`
     /// and the global mark — frozen too, since quarantine stops global
@@ -249,6 +290,13 @@ impl VisibilityBoard {
                 self.quarantined[g].load(Ordering::Acquire)
                     && self.groups[g].load(Ordering::Acquire) < qts.as_micros()
             })
+    }
+
+    /// Generation-aware hopelessness: a stale cell's `gids` cannot prove
+    /// its tables sit behind a frozen group, so the wait is never declared
+    /// hopeless early — it admits via the global or runs out its timeout.
+    fn is_hopeless_cell(&self, gids: &[usize], gen: u64, qts: Timestamp) -> bool {
+        gen == self.grouping_gen.load(Ordering::Acquire) && self.is_hopeless_idx(gids, qts)
     }
 
     /// The safe version-chain GC / checkpoint watermark given the current
@@ -287,16 +335,36 @@ impl VisibilityBoard {
         qts: Timestamp,
         timeout: Duration,
     ) -> WaitOutcome {
+        self.wait_admission_at(gids, self.grouping_gen(), qts, timeout)
+    }
+
+    /// [`VisibilityBoard::wait_admission`] for callers that computed
+    /// `gids` under an explicit grouping generation (see
+    /// [`VisibilityBoard::grouping_gen`] — load the generation *before*
+    /// mapping tables to groups, so a concurrent regroup can only make
+    /// the cell stale, never wrongly fresh). A stale cell is admitted via
+    /// the global watermark only.
+    pub fn wait_admission_at(
+        &self,
+        gids: &[GroupId],
+        gen: u64,
+        qts: Timestamp,
+        timeout: Duration,
+    ) -> WaitOutcome {
         let idx: Vec<usize> = gids.iter().map(|g| g.index()).collect();
-        if self.is_visible_idx(&idx, qts) {
+        if self.is_visible_cell(&idx, gen, qts) {
             return WaitOutcome::Visible;
         }
-        if self.is_hopeless_idx(&idx, qts) {
+        if self.is_hopeless_cell(&idx, gen, qts) {
             return WaitOutcome::Quarantined;
         }
         let deadline = Instant::now() + timeout;
-        let cell =
-            Arc::new(WaitCell { qts: qts.as_micros(), gids: idx, thread: std::thread::current() });
+        let cell = Arc::new(WaitCell {
+            qts: qts.as_micros(),
+            gids: idx,
+            gen,
+            thread: std::thread::current(),
+        });
         {
             let mut waiters = self.waiters.lock();
             waiters.push(cell.clone());
@@ -305,10 +373,10 @@ impl VisibilityBoard {
         // Re-check after registering: a publish between the first check
         // and registration would otherwise be a lost wakeup.
         let outcome = loop {
-            if self.is_visible_idx(&cell.gids, qts) {
+            if self.is_visible_cell(&cell.gids, gen, qts) {
                 break WaitOutcome::Visible;
             }
-            if self.is_hopeless_idx(&cell.gids, qts) {
+            if self.is_hopeless_cell(&cell.gids, gen, qts) {
                 break WaitOutcome::Quarantined;
             }
             let now = Instant::now();
@@ -336,13 +404,29 @@ impl VisibilityBoard {
         timeout: Duration,
         interval: Duration,
     ) -> WaitOutcome {
+        self.wait_admission_polling_at(gids, self.grouping_gen(), qts, timeout, interval)
+    }
+
+    /// [`VisibilityBoard::wait_admission_polling`] for callers that
+    /// computed `gids` under an explicit grouping generation — the
+    /// sleep-poll counterpart of [`VisibilityBoard::wait_admission_at`].
+    /// A regroup landing mid-poll makes the cell stale, demoting every
+    /// later re-check to the global-watermark path.
+    pub fn wait_admission_polling_at(
+        &self,
+        gids: &[GroupId],
+        gen: u64,
+        qts: Timestamp,
+        timeout: Duration,
+        interval: Duration,
+    ) -> WaitOutcome {
         let idx: Vec<usize> = gids.iter().map(|g| g.index()).collect();
         let deadline = Instant::now() + timeout;
         loop {
-            if self.is_visible_idx(&idx, qts) {
+            if self.is_visible_cell(&idx, gen, qts) {
                 return WaitOutcome::Visible;
             }
-            if self.is_hopeless_idx(&idx, qts) {
+            if self.is_hopeless_cell(&idx, gen, qts) {
                 return WaitOutcome::Quarantined;
             }
             let now = Instant::now();
@@ -427,6 +511,73 @@ mod tests {
     fn empty_group_set_is_immediately_visible() {
         let b = VisibilityBoard::builder(1).build();
         assert!(b.is_visible(&[], Timestamp::MAX));
+    }
+
+    #[test]
+    fn stale_generation_admits_via_global_only() {
+        let b = VisibilityBoard::builder(2).build();
+        let qts = Timestamp::from_micros(100);
+        b.publish_group(g(0), Timestamp::from_micros(150));
+        // Fresh generation: the per-group shortcut admits.
+        assert_eq!(
+            b.wait_admission_at(&[g(0)], 0, qts, Duration::from_millis(5)),
+            WaitOutcome::Visible
+        );
+        // A regroup lands: gids computed under generation 0 no longer
+        // prove anything about group 0's tables, so the same wait must
+        // fall back to the global watermark — and time out without it.
+        b.advance_grouping_gen(1);
+        assert_eq!(b.grouping_gen(), 1);
+        assert_eq!(
+            b.wait_admission_at(&[g(0)], 0, qts, Duration::from_millis(10)),
+            WaitOutcome::TimedOut
+        );
+        // The global publishes only at full-epoch completion, so it
+        // admits any generation.
+        b.publish_global(Timestamp::from_micros(150));
+        assert_eq!(
+            b.wait_admission_at(&[g(0)], 0, qts, Duration::from_millis(5)),
+            WaitOutcome::Visible
+        );
+    }
+
+    #[test]
+    fn stale_generation_is_never_hopeless() {
+        // A quarantined group fails fresh-generation waiters fast, but a
+        // stale waiter's gids may name the wrong group entirely — it must
+        // keep waiting on the global rather than be failed early.
+        let b = VisibilityBoard::builder(2).build();
+        let qts = Timestamp::from_micros(100);
+        b.set_quarantined(&[0]);
+        assert_eq!(
+            b.wait_admission_at(&[g(0)], 0, qts, Duration::from_millis(5)),
+            WaitOutcome::Quarantined
+        );
+        b.advance_grouping_gen(1);
+        assert_eq!(
+            b.wait_admission_at(&[g(0)], 0, qts, Duration::from_millis(10)),
+            WaitOutcome::TimedOut
+        );
+    }
+
+    #[test]
+    fn parked_stale_waiter_wakes_on_global_publish() {
+        let b = Arc::new(VisibilityBoard::builder(2).build());
+        b.advance_grouping_gen(3);
+        let waiter = {
+            let b = b.clone();
+            thread::spawn(move || {
+                b.wait_admission_at(&[g(0)], 2, Timestamp::from_micros(100), Duration::from_secs(5))
+            })
+        };
+        thread::sleep(Duration::from_millis(20));
+        // A group publish alone must not admit the stale waiter...
+        b.publish_group(g(0), Timestamp::from_micros(150));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "stale waiter admitted by a per-group publish");
+        // ...the global publish does.
+        b.publish_global(Timestamp::from_micros(150));
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Visible);
     }
 
     #[test]

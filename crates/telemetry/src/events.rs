@@ -105,6 +105,23 @@ pub enum EventKind {
         /// Consecutive intervals missed so far.
         missed: u32,
     },
+    /// The adaptive controller's table grouping was applied at an epoch
+    /// boundary: commit queues drained, tables migrated, replay resumed.
+    Regroup {
+        /// Epoch sequence the new grouping takes effect at.
+        at_seq: u64,
+        /// Groups in the new grouping (unchanged by construction).
+        groups: usize,
+        /// Tables whose group assignment changed.
+        moved_tables: usize,
+    },
+    /// A pinned per-group worker split took effect at an epoch boundary.
+    ThreadSplit {
+        /// Epoch sequence the split takes effect at.
+        at_seq: u64,
+        /// Worker counts per group, board order.
+        split: Vec<usize>,
+    },
     /// The log-shipping sender lost its session and re-established it.
     NetReconnect {
         /// Consecutive failed connection attempts before this one stuck.
@@ -212,6 +229,8 @@ impl EventKind {
             EventKind::ShardDown { .. } => "shard_down",
             EventKind::ShardFailover { .. } => "shard_failover",
             EventKind::ShardHeartbeatMissed { .. } => "shard_heartbeat_missed",
+            EventKind::Regroup { .. } => "regroup",
+            EventKind::ThreadSplit { .. } => "thread_split",
             EventKind::NetReconnect { .. } => "net_reconnect",
             EventKind::NetResync { .. } => "net_resync",
         }
@@ -252,6 +271,14 @@ impl EventKind {
             ),
             EventKind::ShardHeartbeatMissed { shard, missed } => {
                 format!("{{\"shard\": {shard}, \"missed\": {missed}}}")
+            }
+            EventKind::Regroup { at_seq, groups, moved_tables } => format!(
+                "{{\"at_seq\": {at_seq}, \"groups\": {groups}, \
+                 \"moved_tables\": {moved_tables}}}"
+            ),
+            EventKind::ThreadSplit { at_seq, split } => {
+                let list: Vec<String> = split.iter().map(|w| w.to_string()).collect();
+                format!("{{\"at_seq\": {at_seq}, \"split\": [{}]}}", list.join(", "))
             }
             EventKind::NetReconnect { attempts } => format!("{{\"attempts\": {attempts}}}"),
             EventKind::NetResync { resume_seq, rewound } => {

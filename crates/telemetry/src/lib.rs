@@ -215,6 +215,26 @@ pub mod names {
     /// Transport: in-flight (sent, not yet acked) epochs sampled at each
     /// epoch send — the histogram of ack-window depth.
     pub const NET_ACK_WINDOW_DEPTH: &str = "net_ack_window_depth";
+    /// Query service: analytical accesses per table, labeled
+    /// `table="N"` (see [`super::table_label`]). One increment per table
+    /// in a read session's footprint at open — the raw signal the
+    /// adaptive controller differentiates into per-table access rates.
+    pub const TABLE_ACCESS: &str = "aets_table_access_total";
+    /// Adaptive control: rate windows closed (one forecast per window).
+    pub const ADAPT_WINDOWS: &str = "aets_adapt_windows_total";
+    /// Adaptive control: `Regroup` commands applied at an epoch boundary.
+    pub const ADAPT_REGROUPS: &str = "aets_adapt_regroups_total";
+    /// Adaptive control: `SetThreadSplit` commands applied at an epoch
+    /// boundary.
+    pub const ADAPT_RESPLITS: &str = "aets_adapt_resplits_total";
+    /// Adaptive control: reconfigure commands dropped at the boundary
+    /// (regroup while degraded, stale shape).
+    pub const ADAPT_REJECTED: &str = "aets_adapt_rejected_total";
+    /// Adaptive control: forecast + planning time per window (micros).
+    pub const ADAPT_PLAN_US: &str = "aets_adapt_plan_us";
+    /// Adaptive control: tables in the currently predicted hot set
+    /// (level gauge).
+    pub const ADAPT_HOT_TABLES: &str = "aets_adapt_hot_tables";
     /// Structured events emitted (== the ring's next sequence number).
     pub const EVENTS_EMITTED: &str = "aets_events_emitted_total";
     /// Structured events evicted from the ring before being drained.
@@ -224,6 +244,12 @@ pub mod names {
 /// Renders the canonical `shard="N"` label for fleet shard `idx`.
 pub fn shard_label(idx: usize) -> String {
     format!("shard=\"{idx}\"")
+}
+
+/// Renders the canonical `table="N"` label for table `idx` (the
+/// [`names::TABLE_ACCESS`] counter family).
+pub fn table_label(idx: usize) -> String {
+    format!("table=\"{idx}\"")
 }
 
 /// The shared telemetry instance: registry + event ring + span ring +

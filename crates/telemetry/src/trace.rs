@@ -57,6 +57,9 @@ pub mod stages {
     pub const QUERY_EXEC: &str = "query_exec";
     /// Fleet: routing fan-out + merge of one fleet query.
     pub const FLEET_ROUTE: &str = "fleet_route";
+    /// Engine: a reconfigure command (regroup / thread resplit) applied
+    /// at an epoch boundary (point span at the boundary's seq).
+    pub const RECONFIGURE: &str = "reconfigure";
 }
 
 /// Unique (per ring) span identity. Ids are nonzero; spans recorded from

@@ -24,9 +24,10 @@
 //! trace is also integrity-checked end to end.
 
 use aets_common::{ColumnId, EpochId, Error, FxHasher, Result, RowKey, TableId, Timestamp};
-use aets_memtable::{Aggregate, MemDb, Scan};
+use aets_memtable::{Aggregate, MemDb};
 use aets_replay::{
-    OutputKind, QueryOutput, QuerySpec, ReplayEngine, SerialEngine, VisibilityBoard,
+    eval_spec, OutputKind, QueryOutput, QuerySpec, QueryTarget, ReplayEngine, SerialEngine,
+    VisibilityBoard,
 };
 use aets_wal::{crc32, EncodedEpoch};
 use std::hash::Hasher;
@@ -431,6 +432,20 @@ impl EngineSink {
     }
 }
 
+/// The sink serves queries through the same generic surface as a live
+/// node or a fleet: `safe_ts` is the board watermark and specs evaluate
+/// against the MVCC snapshot (GC never runs, so every recorded `qts`
+/// stays reachable and admission never waits).
+impl QueryTarget for EngineSink {
+    fn safe_ts(&self) -> Timestamp {
+        self.board.global_cmt_ts()
+    }
+
+    fn query_at(&self, qts: Timestamp, specs: &[QuerySpec]) -> Result<Vec<QueryOutput>> {
+        Ok(specs.iter().map(|s| eval_spec(&self.db, s, qts)).collect())
+    }
+}
+
 impl TraceSink for EngineSink {
     fn ingest(&mut self, epoch: &EncodedEpoch) -> Result<()> {
         SerialEngine.replay(std::slice::from_ref(epoch), &self.db, &self.board).map(|_| ())
@@ -443,22 +458,18 @@ impl TraceSink for EngineSink {
         key_range: Option<(RowKey, RowKey)>,
         output: &OutputKind,
     ) -> Result<QueryOutput> {
-        let mut scan = Scan::at(qts);
-        if let Some((lo, hi)) = key_range {
-            scan = scan.keys(lo, hi);
-        }
-        let t = self.db.table(table);
-        Ok(match output {
-            OutputKind::Count => QueryOutput::Count(scan.count(t)),
-            OutputKind::Rows => QueryOutput::Rows(scan.collect(t)),
-            OutputKind::AggregateCol { column, agg } => {
-                QueryOutput::Aggregate(scan.aggregate(t, *column, *agg))
-            }
-        })
+        let spec = QuerySpec {
+            table,
+            key_range,
+            filters: Vec::new(),
+            output: output.clone(),
+            timeout: None,
+        };
+        self.query_one(qts, spec)
     }
 
     fn global_cmt_ts_us(&self) -> u64 {
-        self.board.global_cmt_ts().as_micros()
+        self.safe_ts().as_micros()
     }
 }
 

@@ -182,7 +182,7 @@ pub fn access_rate(table: usize, slot: usize) -> f64 {
 }
 
 /// Samples a hot table to write, proportional to popularity.
-fn hot_write_table<R: Rng + ?Sized>(rng: &mut R) -> usize {
+pub(crate) fn hot_write_table<R: Rng + ?Sized>(rng: &mut R) -> usize {
     let total: f64 = (0..NUM_HOT).map(popularity).sum();
     let mut pick = rng.gen_range(0.0..total);
     for t in 0..NUM_HOT {
@@ -235,7 +235,7 @@ pub fn access_graph() -> Vec<(usize, usize)> {
 /// Query classes: each hot table anchors a class; several classes join
 /// their graph neighbours (so queries span table groups, exercising the
 /// multi-group wait in Algorithm 3).
-fn class_footprint(table: usize) -> Vec<TableId> {
+pub(crate) fn class_footprint(table: usize) -> Vec<TableId> {
     let mut tabs = vec![TableId::new(table as u32)];
     for (a, b) in access_graph() {
         if a == table {

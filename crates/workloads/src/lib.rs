@@ -8,6 +8,7 @@
 
 pub mod bustracker;
 pub mod chbench;
+pub mod drift;
 pub mod seats;
 pub mod spec;
 pub mod stats;

@@ -74,7 +74,7 @@ impl Default for TpccConfig {
     }
 }
 
-const DISTRICTS_PER_WH: u64 = 10;
+pub(crate) const DISTRICTS_PER_WH: u64 = 10;
 const CUSTOMERS_PER_DISTRICT: u64 = 3000;
 const ITEMS: u64 = 100_000;
 const NURAND_C_CID: u64 = 259;
@@ -98,14 +98,14 @@ fn stock_key(w: u64, i: u64) -> RowKey {
     RowKey::new(w * ITEMS + i)
 }
 
-struct TpccState {
+pub(crate) struct TpccState {
     next_order: Vec<u64>, // per (w,d): next order id
     next_history: u64,
     undelivered: Vec<Vec<(u64, u64)>>, // per (w,d): (order id, ol count) FIFO
 }
 
 impl TpccState {
-    fn new(warehouses: u32) -> Self {
+    pub(crate) fn new(warehouses: u32) -> Self {
         let slots = warehouses as usize * DISTRICTS_PER_WH as usize;
         Self { next_order: vec![1; slots], next_history: 0, undelivered: vec![Vec::new(); slots] }
     }
@@ -128,6 +128,17 @@ fn new_order(
     item_zipf: &Zipf,
 ) -> Vec<(TableId, DmlOp, RowKey, Row)> {
     let w = rng.gen_range(0..warehouses as u64);
+    new_order_at(rng, st, w, item_zipf)
+}
+
+/// [`new_order`] against a caller-chosen warehouse (the drift generator
+/// rotates its hot warehouse explicitly).
+pub(crate) fn new_order_at(
+    rng: &mut StdRng,
+    st: &mut TpccState,
+    w: u64,
+    item_zipf: &Zipf,
+) -> Vec<(TableId, DmlOp, RowKey, Row)> {
     let d = rng.gen_range(0..DISTRICTS_PER_WH);
     let slot = TpccState::slot(w, d);
     let o = st.next_order[slot];
@@ -186,6 +197,15 @@ fn payment(
     warehouses: u32,
 ) -> Vec<(TableId, DmlOp, RowKey, Row)> {
     let w = rng.gen_range(0..warehouses as u64);
+    payment_at(rng, st, w)
+}
+
+/// [`payment`] against a caller-chosen warehouse.
+pub(crate) fn payment_at(
+    rng: &mut StdRng,
+    st: &mut TpccState,
+    w: u64,
+) -> Vec<(TableId, DmlOp, RowKey, Row)> {
     let d = rng.gen_range(0..DISTRICTS_PER_WH);
     let c = nurand(rng, 1023, 1, CUSTOMERS_PER_DISTRICT, NURAND_C_CID) - 1;
     let amount = rng.gen_range(1.0..5000.0f64);
@@ -232,6 +252,15 @@ fn delivery(
     warehouses: u32,
 ) -> Vec<(TableId, DmlOp, RowKey, Row)> {
     let w = rng.gen_range(0..warehouses as u64);
+    delivery_at(rng, st, w)
+}
+
+/// [`delivery`] against a caller-chosen warehouse.
+pub(crate) fn delivery_at(
+    rng: &mut StdRng,
+    st: &mut TpccState,
+    w: u64,
+) -> Vec<(TableId, DmlOp, RowKey, Row)> {
     let carrier = rng.gen_range(1..=10i64);
     let mut rows = Vec::new();
     for d in 0..DISTRICTS_PER_WH {

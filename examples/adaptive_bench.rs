@@ -1,0 +1,365 @@
+//! Freshness benchmark for the adaptive control loop.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_bench
+//! ```
+//!
+//! Two paced scenarios, each run twice over the identical epoch/query
+//! schedule — once with the static thread split fitted to the *initial*
+//! access distribution, once with the live forecast-driven controller —
+//! so every query's visibility lag is paired across the runs:
+//!
+//! 1. **Rotating hotspot** (`rotating_tpcc`): the analytical hot set
+//!    rotates away from the split it was fitted to (StockLevel →
+//!    OrderStatus → an audit sweep over the normally-cold
+//!    `warehouse`/`history` tables). Queries over rotated-in tables sit
+//!    behind the cold stage-2 batch under the static plan; the controller
+//!    promotes them into stage-1 groups as the forecast shifts. Claim:
+//!    positive paired-median visibility-lag improvement.
+//! 2. **No drift** (static TPC-C): the initial plan is already right, so
+//!    the controller's sampling/forecasting must be close to free. Claim:
+//!    adaptive median lag within 3% of the static run's.
+//!
+//! Results land in `results/BENCH_adaptive.json` when run from the repo
+//! root.
+
+use aets_suite::common::{FxHashSet, TableId, Timestamp};
+use aets_suite::forecast::ForecastModel;
+use aets_suite::memtable::MemDb;
+use aets_suite::replay::{
+    AetsConfig, AetsEngine, BackupNode, ControllerConfig, NodeOptions, ReplayEngine, ReplayMetrics,
+    ServiceOptions, TableGrouping,
+};
+use aets_suite::telemetry::Telemetry;
+use aets_suite::wal::{batch_into_epochs, encode_epoch, EncodedEpoch};
+use aets_suite::workloads::drift::{rotating_tpcc, RotatingTpccConfig};
+use aets_suite::workloads::tpcc::{self, tables, TpccConfig};
+use aets_suite::workloads::{QueryInstance, Workload};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const EPOCH_SIZE: usize = 128;
+const THREADS: usize = 3;
+const MAX_MEASURED_QUERIES: usize = 256;
+
+/// The bench's controller: a longer window and an HA forecast smooth the
+/// sparse sampled-query signal so the no-drift run does not thrash.
+fn controller() -> ControllerConfig {
+    ControllerConfig {
+        epoch_window: 8,
+        min_history: 2,
+        model: ForecastModel::Ha { window: 4 },
+        threads: THREADS,
+        hot_min_rate: 0.5,
+        ..Default::default()
+    }
+}
+
+fn encode(w: &Workload) -> Vec<EncodedEpoch> {
+    batch_into_epochs(w.txns.clone(), EPOCH_SIZE)
+        .expect("positive epoch size")
+        .iter()
+        .map(encode_epoch)
+        .collect()
+}
+
+/// Evenly samples up to `MAX_MEASURED_QUERIES` queries, preserving the
+/// stream's temporal coverage so every phase is measured.
+fn sample_queries(queries: &[QueryInstance]) -> Vec<QueryInstance> {
+    let step = queries.len().div_ceil(MAX_MEASURED_QUERIES).max(1);
+    queries.iter().step_by(step).cloned().collect()
+}
+
+/// Mean unpaced replay cost per epoch, used to size the pacing gap.
+fn epoch_cost(epochs: &[EncodedEpoch], n: usize, grouping: &TableGrouping) -> Duration {
+    let eng = AetsEngine::builder(grouping.clone())
+        .config(AetsConfig { threads: THREADS, ..Default::default() })
+        .build()
+        .expect("engine config");
+    let db = MemDb::new(n);
+    let t0 = Instant::now();
+    eng.replay_all(epochs, &db).expect("replay");
+    t0.elapsed() / epochs.len() as u32
+}
+
+struct PacedRun {
+    /// Wall-clock visibility lag per sampled query, in sample order.
+    lags: Vec<Duration>,
+    timed_out: usize,
+    metrics: ReplayMetrics,
+}
+
+/// One paced run: epochs released one per `gap` while each sampled query
+/// opens its read session at its own (scaled) arrival instant and blocks
+/// on Algorithm 3 — sessions opened at arrival are also exactly the
+/// access signal the controller forecasts from.
+fn paced_run(
+    epochs: &[EncodedEpoch],
+    n: usize,
+    grouping: &TableGrouping,
+    adaptive: bool,
+    queries: &[QueryInstance],
+    gap: Duration,
+) -> PacedRun {
+    // The engine's telemetry instance is what the node registers the
+    // per-table access counters into — the controller's only signal.
+    let tel = Arc::new(Telemetry::new());
+    let engine = AetsEngine::builder(grouping.clone())
+        .config(AetsConfig { threads: THREADS, ..Default::default() })
+        .telemetry(tel)
+        .build()
+        .expect("engine config");
+    let mut service = ServiceOptions::builder();
+    if adaptive {
+        service = service.controller(controller());
+    }
+    let node = BackupNode::builder()
+        .engine(Arc::new(engine))
+        .num_tables(n)
+        .options(NodeOptions { query_workers: 2, service: service.build(), ..Default::default() })
+        .build()
+        .expect("node config");
+
+    // Primary time maps onto the pacing schedule: the stream's horizon
+    // takes `epochs.len() * gap` of wall time.
+    let horizon = epochs.last().expect("nonempty stream").max_commit_ts.as_micros().max(1);
+    let wall_span = gap * epochs.len() as u32;
+    let to_wall = |ts: Timestamp| wall_span.mul_f64(ts.as_micros() as f64 / horizon as f64);
+    let timeout = Duration::from_secs(30);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let waiters: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                let (node, offset) = (&node, to_wall(q.arrival));
+                scope.spawn(move || {
+                    let target = start + offset;
+                    if let Some(sleep) = target.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(sleep);
+                    }
+                    let session = node.open_session(q.arrival, &q.tables);
+                    session.wait_admitted(timeout)
+                })
+            })
+            .collect();
+
+        // Replication timeline: an epoch can only ship once its last
+        // transaction has committed on the primary, so a query inside an
+        // epoch's commit span always arrives *before* the epoch does and
+        // its lag measures the real visibility wait (epoch arrival +
+        // replay + its groups' publish).
+        let mut metrics = ReplayMetrics::default();
+        for epoch in epochs {
+            let target = start + to_wall(epoch.max_commit_ts);
+            if let Some(sleep) = target.checked_duration_since(Instant::now()) {
+                std::thread::sleep(sleep);
+            }
+            let m = node.replay(std::slice::from_ref(epoch)).expect("replay");
+            metrics.absorb(&m);
+        }
+
+        let mut lags = Vec::with_capacity(waiters.len());
+        let mut timed_out = 0usize;
+        for w in waiters {
+            match w.join().expect("query thread") {
+                Ok(lag) => lags.push(lag),
+                Err(_) => {
+                    timed_out += 1;
+                    lags.push(timeout);
+                }
+            }
+        }
+        PacedRun { lags, timed_out, metrics }
+    })
+}
+
+fn median_us(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty());
+    xs.sort_by(f64::total_cmp);
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+struct Paired {
+    static_median_us: f64,
+    adaptive_median_us: f64,
+    /// Median of the per-query (static − adaptive) lag differences.
+    paired_median_improvement_us: f64,
+}
+
+fn pair(stat: &PacedRun, adap: &PacedRun, keep: impl Fn(usize) -> bool) -> Paired {
+    let idx: Vec<usize> = (0..stat.lags.len()).filter(|&i| keep(i)).collect();
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    Paired {
+        static_median_us: median_us(idx.iter().map(|&i| us(stat.lags[i])).collect()),
+        adaptive_median_us: median_us(idx.iter().map(|&i| us(adap.lags[i])).collect()),
+        paired_median_improvement_us: median_us(
+            idx.iter().map(|&i| us(stat.lags[i]) - us(adap.lags[i])).collect(),
+        ),
+    }
+}
+
+fn main() {
+    // -- Scenario 1: rotating hotspot ------------------------------------
+    let drift = rotating_tpcc(&RotatingTpccConfig {
+        base: TpccConfig { num_txns: 24_000, warehouses: 4, olap_qps: 400.0, ..Default::default() },
+        phases: 4,
+        focus_share: 0.8,
+    });
+    let drift_epochs = encode(&drift);
+    let n = drift.num_tables();
+
+    // The static plan is fitted to the *initial* distribution: only the
+    // phase-0 StockLevel tables are stage-1. Everything the later phases
+    // rotate in (customer/orders, then warehouse/history) starts cold —
+    // exactly what a non-adaptive deployment would be running.
+    let initial_hot: FxHashSet<TableId> =
+        [tables::DISTRICT, tables::ORDER_LINE, tables::STOCK].into_iter().collect();
+    let initial = TableGrouping::new(
+        n,
+        vec![
+            vec![tables::DISTRICT, tables::STOCK],
+            vec![tables::ORDER_LINE],
+            (0..n as u32).map(TableId::new).filter(|t| !initial_hot.contains(t)).collect(),
+        ],
+        vec![100.0, 200.0, 1.0],
+        &initial_hot,
+    )
+    .expect("initial grouping");
+
+    let cost = epoch_cost(&drift_epochs, n, &initial);
+    let gap = (cost * 4).max(Duration::from_micros(500));
+    let sampled = sample_queries(&drift.queries);
+    println!(
+        "rotating hotspot: {} txns, {} epochs @ {gap:?} (epoch cost {cost:?}), {} measured queries",
+        drift.txns.len(),
+        drift_epochs.len(),
+        sampled.len()
+    );
+
+    let stat = paced_run(&drift_epochs, n, &initial, false, &sampled, gap);
+    let adap = paced_run(&drift_epochs, n, &initial, true, &sampled, gap);
+    let all = pair(&stat, &adap, |_| true);
+    // Queries whose class the rotation carried away from the fitted plan.
+    let rotated = pair(&stat, &adap, |i| sampled[i].class != 0);
+    println!(
+        "static median lag {:.0}us | adaptive median lag {:.0}us | paired median improvement {:.0}us",
+        all.static_median_us, all.adaptive_median_us, all.paired_median_improvement_us
+    );
+    println!(
+        "rotated-in classes only: {:.0}us vs {:.0}us, paired improvement {:.0}us",
+        rotated.static_median_us, rotated.adaptive_median_us, rotated.paired_median_improvement_us
+    );
+    println!(
+        "adaptation: {} regroups, {} resplits applied; timeouts static={} adaptive={}",
+        adap.metrics.regroups_applied,
+        adap.metrics.resplits_applied,
+        stat.timed_out,
+        adap.timed_out
+    );
+
+    // -- Scenario 2: no drift --------------------------------------------
+    let flat = tpcc::generate(&TpccConfig {
+        num_txns: 16_000,
+        warehouses: 4,
+        olap_qps: 400.0,
+        ..Default::default()
+    });
+    let flat_epochs = encode(&flat);
+    let (groups, rates) = tpcc::paper_grouping();
+    let paper =
+        TableGrouping::new(n, groups, rates, &flat.analytic_tables).expect("paper grouping");
+    let flat_cost = epoch_cost(&flat_epochs, n, &paper);
+    let flat_gap = (flat_cost * 4).max(Duration::from_micros(500));
+    let flat_sampled = sample_queries(&flat.queries);
+    println!(
+        "\nno drift: {} txns, {} epochs @ {flat_gap:?}, {} measured queries",
+        flat.txns.len(),
+        flat_epochs.len(),
+        flat_sampled.len()
+    );
+
+    // Two repetitions per configuration, interleaved; the overhead is the
+    // paired per-query lag difference (pooled across reps), which cancels
+    // the query-schedule component that dominates a difference of
+    // unpaired medians.
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    let mut static_lags = Vec::new();
+    let mut adaptive_lags = Vec::new();
+    let mut paired_diffs = Vec::new();
+    for _ in 0..2 {
+        let stat = paced_run(&flat_epochs, n, &paper, false, &flat_sampled, flat_gap);
+        let adap = paced_run(&flat_epochs, n, &paper, true, &flat_sampled, flat_gap);
+        for (s, a) in stat.lags.iter().zip(&adap.lags) {
+            static_lags.push(us(*s));
+            adaptive_lags.push(us(*a));
+            paired_diffs.push(us(*a) - us(*s));
+        }
+    }
+    let flat_static_median = median_us(static_lags);
+    let flat_adaptive_median = median_us(adaptive_lags);
+    let overhead_us = median_us(paired_diffs);
+    let overhead_pct = overhead_us / flat_static_median * 100.0;
+    println!(
+        "static median lag {flat_static_median:.0}us | adaptive median lag \
+         {flat_adaptive_median:.0}us | paired overhead {overhead_us:+.0}us = {overhead_pct:+.2}%",
+    );
+
+    let improved = all.paired_median_improvement_us > 0.0;
+    let overhead_ok = overhead_pct <= 3.0;
+    println!("\nacceptance: drift improvement {improved} / no-drift overhead <= 3% {overhead_ok}");
+
+    if std::path::Path::new("results").is_dir() {
+        let json = format!(
+            "{{\n  \"benchmark\": \"adaptive\",\n  \
+             \"drift_scenario\": {{\n    \
+             \"workload\": \"tpcc-rotating\", \"txns\": {}, \"epochs\": {}, \
+             \"epoch_gap_us\": {},\n    \
+             \"queries_measured\": {}, \"timeouts_static\": {}, \"timeouts_adaptive\": {},\n    \
+             \"static_median_lag_us\": {:.1}, \"adaptive_median_lag_us\": {:.1},\n    \
+             \"paired_median_improvement_us\": {:.1},\n    \
+             \"rotated_classes\": {{\n      \
+             \"static_median_lag_us\": {:.1}, \"adaptive_median_lag_us\": {:.1},\n      \
+             \"paired_median_improvement_us\": {:.1}\n    }},\n    \
+             \"regroups_applied\": {}, \"resplits_applied\": {},\n    \
+             \"target\": \"paired_median_improvement_us > 0\"\n  }},\n  \
+             \"no_drift_scenario\": {{\n    \
+             \"workload\": \"tpcc\", \"txns\": {}, \"epochs\": {}, \"epoch_gap_us\": {}, \
+             \"repetitions\": 2,\n    \
+             \"queries_measured\": {},\n    \
+             \"static_median_lag_us\": {:.1}, \"adaptive_median_lag_us\": {:.1},\n    \
+             \"paired_overhead_us\": {:.1}, \"overhead_pct\": {:.2}, \"target_pct\": 3.0\n  }},\n  \
+             \"all_targets_met\": {}\n}}\n",
+            drift.txns.len(),
+            drift_epochs.len(),
+            gap.as_micros(),
+            sampled.len(),
+            stat.timed_out,
+            adap.timed_out,
+            all.static_median_us,
+            all.adaptive_median_us,
+            all.paired_median_improvement_us,
+            rotated.static_median_us,
+            rotated.adaptive_median_us,
+            rotated.paired_median_improvement_us,
+            adap.metrics.regroups_applied,
+            adap.metrics.resplits_applied,
+            flat.txns.len(),
+            flat_epochs.len(),
+            flat_gap.as_micros(),
+            flat_sampled.len(),
+            flat_static_median,
+            flat_adaptive_median,
+            overhead_us,
+            overhead_pct,
+            improved && overhead_ok,
+        );
+        std::fs::write("results/BENCH_adaptive.json", json).expect("write results");
+        println!("wrote results/BENCH_adaptive.json");
+    }
+}

@@ -22,7 +22,8 @@ fn main() {
         &train,
         &bustracker::access_graph(),
         DtgmConfig { epochs: 30, steps_per_epoch: 12, max_horizon: 1, ..Default::default() },
-    );
+    )
+    .expect("series long enough for DTGM");
     let ha = Ha { window: 60 };
 
     // Walk through "today", predicting each slot one step ahead and

@@ -18,7 +18,7 @@ use aets_suite::common::{TableId, Timestamp};
 use aets_suite::memtable::MemDb;
 use aets_suite::replay::{
     ingest_epoch, AetsConfig, AetsEngine, DurableBackup, DurableOptions, IngestStats, QuerySpec,
-    ReplayEngine, RetryPolicy, SerialEngine, TableGrouping,
+    ReplayEngine, RetryPolicy, SerialEngine, ServiceOptions, TableGrouping,
 };
 use aets_suite::telemetry::{http_get, names, parse_exposition, Telemetry};
 use aets_suite::transport::{
@@ -84,7 +84,10 @@ fn main() {
         num_tables,
         DurableOptions {
             checkpoint_every: 16,
-            obs_addr: std::env::var("AETS_OBS_ADDR").ok(),
+            service: ServiceOptions {
+                obs_addr: std::env::var("AETS_OBS_ADDR").ok(),
+                ..Default::default()
+            },
             ..Default::default()
         },
         None,

@@ -30,8 +30,8 @@
 use aets_suite::common::{TableId, Timestamp};
 use aets_suite::memtable::{MemDb, Scan};
 use aets_suite::replay::{
-    AdmissionMode, AetsConfig, AetsEngine, BackupNode, NodeOptions, QuerySpec, ReplayEngine,
-    SerialEngine, TableGrouping,
+    AdmissionMode, AetsConfig, AetsEngine, BackupNode, NodeOptions, QuerySpec, QueryTarget,
+    ReplayEngine, SerialEngine, TableGrouping,
 };
 use aets_suite::telemetry::{names, Telemetry};
 use aets_suite::wal::{batch_into_epochs, encode_epoch, EncodedEpoch};
@@ -126,7 +126,7 @@ fn pace_and_serve(
             readers.push(scope.spawn(move || {
                 let mut done: Vec<Duration> = Vec::new();
                 while !stop.load(Ordering::Acquire) {
-                    let wm = node.board().global_cmt_ts().as_micros();
+                    let wm = node.safe_ts().as_micros();
                     let qts = match policy {
                         QtsPolicy::Margin(margin) => (wm + margin).min(last),
                         QtsPolicy::NextPublish => epochs
@@ -135,8 +135,10 @@ fn pace_and_serve(
                             .find(|w| *w > wm)
                             .unwrap_or(last),
                     };
-                    let session = node.open_session(Timestamp::from_micros(qts), &[table]);
-                    session.query(QuerySpec::count(table)).expect("query");
+                    // The generic surface: one session over the spec's
+                    // footprint, submitted through the admission queue.
+                    node.query_one(Timestamp::from_micros(qts), QuerySpec::count(table))
+                        .expect("query");
                     done.push(t0.elapsed());
                 }
                 done

@@ -21,9 +21,9 @@ use aets_suite::common::{TableId, Timestamp};
 use aets_suite::fleet::{
     DegradedPolicy, Fleet, FleetFaultPlan, FleetOptions, RoutedPart, ShardHealth, ShardPlan,
 };
-use aets_suite::memtable::{MemDb, Scan};
+use aets_suite::memtable::MemDb;
 use aets_suite::replay::{
-    OutputKind, QueryOutput, QuerySpec, ReplayEngine, SerialEngine, TableGrouping,
+    eval_spec, QueryOutput, QuerySpec, QueryTarget, ReplayEngine, SerialEngine, TableGrouping,
 };
 use aets_suite::wal::{batch_into_epochs, encode_epoch, EncodedEpoch, Epoch};
 use aets_suite::workloads::tpcc;
@@ -72,20 +72,10 @@ fn scratch(tag: &str) -> PathBuf {
     dir
 }
 
-/// The serial-oracle answer for `spec` at `qts`.
+/// The serial-oracle answer for `spec` at `qts` — the shared
+/// [`eval_spec`] path, the same glue every other target routes through.
 fn oracle_answer(oracle: &MemDb, spec: &QuerySpec, qts: Timestamp) -> QueryOutput {
-    let mut scan = Scan::at(qts);
-    if let Some((lo, hi)) = spec.key_range {
-        scan = scan.keys(lo, hi);
-    }
-    let table = oracle.table(spec.table);
-    match &spec.output {
-        OutputKind::Rows => QueryOutput::Rows(scan.collect(table)),
-        OutputKind::Count => QueryOutput::Count(scan.count(table)),
-        OutputKind::AggregateCol { column, agg } => {
-            QueryOutput::Aggregate(scan.aggregate(table, *column, *agg))
-        }
-    }
+    eval_spec(oracle, spec, qts)
 }
 
 fn chaos_opts() -> FleetOptions {
@@ -176,42 +166,23 @@ fn chaos_run(seed: u64) -> u64 {
     }
     assert_eq!(fleet.global_cmt_ts(), fx.target, "drained fleet must reach the stream head");
 
-    // Final oracle equivalence: full row scans of every table, strict
-    // (Refuse) policy, merged across shards.
+    // Final oracle equivalence: full row scans of every table through
+    // the generic `QueryTarget` surface — the fleet (routed + merged,
+    // strict policy) and the serial oracle answer the identical call.
     let specs: Vec<QuerySpec> =
         (0..num_tables as u32).map(|t| QuerySpec::rows(TableId::new(t))).collect();
-    let ans = fleet.query(fx.target, &specs, DegradedPolicy::Refuse).unwrap();
-    assert!(ans.is_complete());
-    for (spec, part) in specs.iter().zip(&ans.parts) {
-        match part {
-            RoutedPart::Output(out) => assert_eq!(
-                *out,
-                oracle_answer(&fx.oracle, spec, fx.target),
-                "seed {seed:#x}: final state diverged on table {:?}",
-                spec.table
-            ),
-            RoutedPart::Unavailable { shard } => {
-                panic!("seed {seed:#x}: shard {shard} unavailable after settle")
-            }
-        }
-    }
+    let got = fleet.query_at(fx.target, &specs).expect("settled fleet must answer strict reads");
+    let want = fx.oracle.query_at(fx.target, &specs).unwrap();
+    assert_eq!(got, want, "seed {seed:#x}: final state diverged from oracle");
 
     // The held early session survived every failover; its snapshot must
     // still be exact (its pins kept GC below its qts on every shard,
     // including replacements).
     if let Some(session) = early_session {
         let qts = session.qts();
-        let ans = fleet.query(qts, &specs, DegradedPolicy::Refuse).unwrap();
-        for (spec, part) in specs.iter().zip(&ans.parts) {
-            if let RoutedPart::Output(out) = part {
-                assert_eq!(
-                    *out,
-                    oracle_answer(&fx.oracle, spec, qts),
-                    "seed {seed:#x}: pinned early snapshot diverged on table {:?}",
-                    spec.table
-                );
-            }
-        }
+        let got = fleet.query_at(qts, &specs).unwrap();
+        let want = fx.oracle.query_at(qts, &specs).unwrap();
+        assert_eq!(got, want, "seed {seed:#x}: pinned early snapshot diverged from oracle");
     }
 
     let m = fleet.metrics();
@@ -297,10 +268,6 @@ fn crash_storm_converges() {
     }
     let specs: Vec<QuerySpec> =
         (0..num_tables as u32).map(|t| QuerySpec::rows(TableId::new(t))).collect();
-    let ans = fleet.query(fx.target, &specs, DegradedPolicy::Refuse).unwrap();
-    for (spec, part) in specs.iter().zip(&ans.parts) {
-        if let RoutedPart::Output(out) = part {
-            assert_eq!(*out, oracle_answer(&fx.oracle, spec, fx.target));
-        }
-    }
+    let got = fleet.query_at(fx.target, &specs).unwrap();
+    assert_eq!(got, fx.oracle.query_at(fx.target, &specs).unwrap());
 }

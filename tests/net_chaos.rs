@@ -377,7 +377,7 @@ fn chaos_spans_reconstruct_the_causal_chain_for_a_single_epoch_id() {
     // -> visibility flip -> first admitted query — with no span ever
     // referencing a missing parent, and the receiver-side chain must be
     // reconstructable live from the node's `/spans.json` endpoint.
-    use aets_suite::replay::NodeOptions;
+    use aets_suite::replay::{NodeOptions, QueryTarget, ServiceOptions};
     use aets_suite::telemetry::trace::{first_orphan, stages};
     use aets_suite::telemetry::{http_get, Span};
 
@@ -435,10 +435,15 @@ fn chaos_spans_reconstruct_the_causal_chain_for_a_single_epoch_id() {
     let probe = total - 1;
     assert_eq!(tel_rx.spans().epoch_hint(), Some(probe), "epoch hint tracks the commit");
     let serving = node
-        .serve(NodeOptions { obs_addr: Some("127.0.0.1:0".into()), ..Default::default() })
+        .serve(NodeOptions {
+            service: ServiceOptions::builder().obs_addr("127.0.0.1:0").build(),
+            ..Default::default()
+        })
         .unwrap();
-    let session = serving.open_session(fx.target, &[TableId::new(0)]);
-    session.query(QuerySpec::count(TableId::new(0))).unwrap();
+    // Generic-surface read: the served count must equal the serial
+    // oracle's answer through the same `QueryTarget` call.
+    let got = serving.query_one(fx.target, QuerySpec::count(TableId::new(0))).unwrap();
+    assert_eq!(got, fx.oracle.query_one(fx.target, QuerySpec::count(TableId::new(0))).unwrap());
 
     // Spans survived the chaos: every epoch was admitted exactly once, so
     // every epoch id carries exactly one receive span, and the merged

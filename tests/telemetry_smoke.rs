@@ -318,7 +318,7 @@ fn obs_endpoint_serves_metrics_spans_and_a_flipping_healthz() {
     // endpoint: /metrics parses as Prometheus exposition, /spans.json
     // filters by epoch, and /healthz flips 200 -> 503 when a group
     // quarantines.
-    use aets_suite::replay::{BackupNode, NodeOptions};
+    use aets_suite::replay::{BackupNode, NodeOptions, ServiceOptions};
     use aets_suite::telemetry::http_get;
 
     let w = tpcc::generate(&TpccConfig { num_txns: 600, warehouses: 1, ..Default::default() });
@@ -339,7 +339,10 @@ fn obs_endpoint_serves_metrics_spans_and_a_flipping_healthz() {
         .engine(engine)
         .num_tables(w.num_tables())
         .telemetry(tel.clone())
-        .options(NodeOptions { obs_addr: Some("127.0.0.1:0".into()), ..Default::default() })
+        .options(NodeOptions {
+            service: ServiceOptions::builder().obs_addr("127.0.0.1:0").build(),
+            ..Default::default()
+        })
         .build()
         .expect("node with endpoint");
     let addr = node.obs_addr().expect("endpoint bound");
@@ -385,7 +388,7 @@ fn forced_quarantine_dumps_a_parseable_flight_bundle() {
     // a bounded JSON bundle on disk the moment a group quarantines — the
     // black box to pull after an incident.
     use aets_suite::common::TableId;
-    use aets_suite::replay::{DurableBackup, DurableOptions};
+    use aets_suite::replay::{DurableBackup, DurableOptions, ServiceOptions};
     use aets_suite::telemetry::flight::list_bundles;
     use aets_suite::wal::{crc32, EncodedEpoch, MetaScanner};
     use std::path::PathBuf;
@@ -432,7 +435,7 @@ fn forced_quarantine_dumps_a_parseable_flight_bundle() {
     let flight_dir = scratch("bundles");
     let opts = DurableOptions {
         checkpoint_every: 0,
-        flight_dir: Some(flight_dir.clone()),
+        service: ServiceOptions::builder().flight_dir(flight_dir.clone()).build(),
         ..Default::default()
     };
     let mut node =
@@ -566,7 +569,7 @@ fn fleet_run_emits_shard_health_failover_and_latency_metrics() {
     // failover.
     use aets_suite::common::TableId;
     use aets_suite::fleet::{DegradedPolicy, Fleet, FleetOptions, ShardPlan};
-    use aets_suite::replay::QuerySpec;
+    use aets_suite::replay::{QuerySpec, ServiceOptions};
     use aets_suite::telemetry::shard_label;
 
     let w = tpcc::generate(&TpccConfig { num_txns: 400, warehouses: 1, ..Default::default() });
@@ -577,8 +580,11 @@ fn fleet_run_emits_shard_health_failover_and_latency_metrics() {
     let plan = ShardPlan::balanced(grouping, 2).expect("plan");
 
     let tel = Arc::new(Telemetry::new());
-    let opts =
-        FleetOptions { failover_after: 2, telemetry: Some(tel.clone()), ..Default::default() };
+    let opts = FleetOptions {
+        failover_after: 2,
+        service: ServiceOptions::builder().telemetry(tel.clone()).build(),
+        ..Default::default()
+    };
     let root = std::env::temp_dir().join(format!("aets-telsmoke-fleet-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     let mut fleet = Fleet::open(plan, &root, opts).expect("fleet");
